@@ -1,0 +1,172 @@
+package scsq
+
+import (
+	"fmt"
+	"testing"
+
+	"scsq/internal/bench"
+	"scsq/internal/fft"
+	"scsq/internal/marshal"
+	"scsq/internal/torus"
+)
+
+// The Benchmark* functions below regenerate the paper's figures through the
+// same harness as cmd/scsq-bench, reporting bandwidth as a custom "Mbps"
+// metric (one benchmark per figure, one sub-benchmark per curve point). The
+// absolute numbers come from the calibrated virtual-time hardware model;
+// what matters is the shape (see EXPERIMENTS.md).
+
+// BenchmarkFigure6P2P reproduces Figure 6: intra-BG point-to-point
+// streaming bandwidth versus MPI buffer size, single vs double buffering.
+func BenchmarkFigure6P2P(b *testing.B) {
+	cfg := bench.DefaultFigure6()
+	cfg.Repeats = 1
+	for _, buf := range cfg.BufSizes {
+		b.Run(fmt.Sprintf("buf=%d", buf), func(b *testing.B) {
+			one := cfg
+			one.BufSizes = []int{buf}
+			var single, double float64
+			for i := 0; i < b.N; i++ {
+				rows, err := bench.RunFigure6(one)
+				if err != nil {
+					b.Fatal(err)
+				}
+				single = rows[0].Single.MeanMbps
+				double = rows[0].Double.MeanMbps
+			}
+			b.ReportMetric(single, "single-Mbps")
+			b.ReportMetric(double, "double-Mbps")
+		})
+	}
+}
+
+// BenchmarkFigure8Merge reproduces Figure 8: stream-merging bandwidth under
+// the sequential and balanced node selections of Figure 7.
+func BenchmarkFigure8Merge(b *testing.B) {
+	cfg := bench.DefaultFigure8()
+	cfg.Repeats = 1
+	for _, buf := range cfg.BufSizes {
+		b.Run(fmt.Sprintf("buf=%d", buf), func(b *testing.B) {
+			one := cfg
+			one.BufSizes = []int{buf}
+			var row bench.Figure8Row
+			for i := 0; i < b.N; i++ {
+				rows, err := bench.RunFigure8(one)
+				if err != nil {
+					b.Fatal(err)
+				}
+				row = rows[0]
+			}
+			b.ReportMetric(row.SequentialDouble.MeanMbps, "seq-Mbps")
+			b.ReportMetric(row.BalancedDouble.MeanMbps, "bal-Mbps")
+		})
+	}
+}
+
+// BenchmarkFigure15Inbound reproduces Figure 15: BG inbound streaming
+// bandwidth for Queries 1-6 versus the number of parallel back-end streams.
+func BenchmarkFigure15Inbound(b *testing.B) {
+	cfg := bench.DefaultFigure15()
+	cfg.Repeats = 1
+	for _, q := range cfg.Queries {
+		for _, n := range cfg.NValues {
+			b.Run(fmt.Sprintf("query=%d/n=%d", q, n), func(b *testing.B) {
+				one := cfg
+				one.Queries = []int{q}
+				one.NValues = []int{n}
+				var mbps float64
+				for i := 0; i < b.N; i++ {
+					rows, err := bench.RunFigure15(one)
+					if err != nil {
+						b.Fatal(err)
+					}
+					mbps = rows[0].Total.MeanMbps
+				}
+				b.ReportMetric(mbps, "Mbps")
+			})
+		}
+	}
+}
+
+// BenchmarkMarshalArray measures the wire-format encoder on the paper's
+// array payloads.
+func BenchmarkMarshalArray(b *testing.B) {
+	arr := make([]float64, 3_000_000/8)
+	buf := make([]byte, 0, 3_100_000)
+	b.SetBytes(3_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = marshal.Append(buf[:0], arr)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDemarshalArray measures the wire-format decoder.
+func BenchmarkDemarshalArray(b *testing.B) {
+	arr := make([]float64, 3_000_000/8)
+	buf, err := marshal.Append(nil, arr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := marshal.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFFT measures the radix-2 FFT substrate.
+func BenchmarkFFT(b *testing.B) {
+	x := make([]complex128, 4096)
+	for i := range x {
+		x[i] = complex(float64(i%7), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fft.Transform(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTorusRoute measures dimension-ordered route computation.
+func BenchmarkTorusRoute(b *testing.B) {
+	tor, err := torus.New(8, 8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tor.Route(i%512, (i*37)%512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryEndToEnd measures a full engine round trip of the paper's
+// Figure 5 query at a small workload.
+func BenchmarkQueryEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng, err := New(WithMPIBufferBytes(10_000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream, err := eng.Query(`
+select extract(b)
+from sp a, sp b
+where b=sp(streamof(count(extract(a))), 'bg', 0)
+and   a=sp(gen_array(30000,10), 'bg', 1);`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := stream.One(); err != nil {
+			b.Fatal(err)
+		}
+		eng.Close()
+	}
+}

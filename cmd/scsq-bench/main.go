@@ -1,0 +1,135 @@
+// Command scsq-bench regenerates the figures of the paper's evaluation
+// (§3) on the simulated LOFAR environment and prints them as text tables or
+// CSV.
+//
+// Usage:
+//
+//	scsq-bench -fig 6                 # Figure 6 (point-to-point, buffer sweep)
+//	scsq-bench -fig 8                 # Figure 8 (stream merging topologies)
+//	scsq-bench -fig 15                # Figure 15 (inbound Queries 1-6)
+//	scsq-bench -fig ablation          # naive vs topology-aware node selection
+//	scsq-bench -fig udp               # extension: inbound streaming over lossy UDP
+//	scsq-bench -fig all -csv          # everything, machine readable
+//	scsq-bench -fig 15 -paper-scale   # the paper's 100 × 3 MB arrays
+//
+// By default a scaled workload is used that preserves the paper's curve
+// shapes while running in seconds; -paper-scale switches to the original
+// 3 MB × 100 arrays.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scsq/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scsq-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig        = flag.String("fig", "all", "figure to regenerate: 6, 8, 15, ablation, udp or all")
+		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
+		paperScale = flag.Bool("paper-scale", false, "use the paper's 100 × 3 MB arrays (slow)")
+		repeats    = flag.Int("repeats", 5, "measurement repetitions per point")
+	)
+	flag.Parse()
+
+	out := os.Stdout
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+
+	if want("6") {
+		cfg := bench.DefaultFigure6()
+		cfg.Repeats = *repeats
+		if *paperScale {
+			cfg.ArrayBytes, cfg.ArrayCount = bench.PaperArrayBytes, bench.PaperArrayCount
+		}
+		rows, err := bench.RunFigure6(cfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			if err := bench.CSVFigure6(out, rows); err != nil {
+				return err
+			}
+		} else if err := bench.WriteFigure6(out, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("8") {
+		cfg := bench.DefaultFigure8()
+		cfg.Repeats = *repeats
+		if *paperScale {
+			cfg.ArrayBytes, cfg.ArrayCount = bench.PaperArrayBytes, bench.PaperArrayCount
+		}
+		rows, err := bench.RunFigure8(cfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			if err := bench.CSVFigure8(out, rows); err != nil {
+				return err
+			}
+		} else if err := bench.WriteFigure8(out, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("ablation") {
+		cfg := bench.DefaultAblation()
+		cfg.Repeats = *repeats
+		if *paperScale {
+			cfg.ArrayBytes, cfg.ArrayCount = bench.PaperArrayBytes, bench.PaperArrayCount
+		}
+		rows, err := bench.RunSelectorAblation(cfg)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteAblation(out, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("udp") {
+		cfg := bench.DefaultUDPLoss()
+		cfg.Repeats = *repeats
+		if *paperScale {
+			cfg.ArrayBytes, cfg.ArrayCount = bench.PaperArrayBytes, bench.PaperArrayCount
+		}
+		rows, err := bench.RunUDPLoss(cfg)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteUDPLoss(out, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("15") {
+		cfg := bench.DefaultFigure15()
+		cfg.Repeats = *repeats
+		if *paperScale {
+			cfg.ArrayBytes, cfg.ArrayCount = bench.PaperArrayBytes, bench.PaperArrayCount
+		}
+		rows, err := bench.RunFigure15(cfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			if err := bench.CSVFigure15(out, rows); err != nil {
+				return err
+			}
+		} else if err := bench.WriteFigure15(out, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

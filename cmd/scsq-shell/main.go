@@ -1,0 +1,196 @@
+// Command scsq-shell evaluates SCSQL statements against a simulated LOFAR
+// environment: interactively (a statement per ';'), from -e flags, or from
+// files given as arguments.
+//
+//	scsq-shell -e "select extract(b) from sp a, sp b where ...;"
+//	scsq-shell queries.scsql
+//	scsq-shell            # REPL on stdin
+//
+// Each query prints its result elements, the virtual makespan, and — with
+// -payload — the measured streaming bandwidth.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"scsq"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scsq-shell:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exec    = flag.String("e", "", "SCSQL statements to execute (';'-separated)")
+		payload = flag.Int64("payload", 0, "payload bytes for bandwidth reporting (0 = no bandwidth line)")
+		mpiBuf  = flag.Int("mpibuf", 64*1024, "MPI driver send-buffer size in bytes")
+		single  = flag.Bool("single", false, "use single-buffered MPI drivers")
+		util    = flag.Int("utilization", 0, "print the N busiest simulated resources after each query")
+		explain = flag.Bool("explain", false, "print the query's communication topology after each query")
+		realNet = flag.Bool("realtcp", false, "carry cross-cluster streams over real loopback sockets")
+	)
+	flag.Parse()
+
+	opts := []scsq.Option{scsq.WithMPIBufferBytes(*mpiBuf)}
+	if *single {
+		opts = append(opts, scsq.WithSingleBuffering())
+	}
+	if *realNet {
+		opts = append(opts, scsq.WithRealTCP())
+	}
+	eng, err := scsq.New(opts...)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	sh := &shell{eng: eng, payload: *payload, util: *util, explain: *explain, out: os.Stdout}
+
+	if *exec != "" {
+		return sh.runSource(*exec)
+	}
+	if flag.NArg() > 0 {
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			if err := sh.runSource(string(data)); err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+		}
+		return nil
+	}
+	return sh.repl(os.Stdin)
+}
+
+type shell struct {
+	eng     *scsq.Engine
+	payload int64
+	util    int
+	explain bool
+	out     io.Writer
+}
+
+// runSource executes every ';'-terminated statement in src.
+func (s *shell) runSource(src string) error {
+	for _, stmt := range splitStatements(src) {
+		if err := s.execute(stmt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// repl reads statements from r until EOF, reporting errors without exiting.
+func (s *shell) repl(r io.Reader) error {
+	fmt.Fprintln(s.out, "SCSQ shell — terminate statements with ';', Ctrl-D to exit.")
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var pending strings.Builder
+	prompt := func() { fmt.Fprint(s.out, "scsql> ") }
+	prompt()
+	for scanner.Scan() {
+		pending.WriteString(scanner.Text())
+		pending.WriteByte('\n')
+		if strings.Contains(scanner.Text(), ";") {
+			for _, stmt := range splitStatements(pending.String()) {
+				if err := s.execute(stmt); err != nil {
+					fmt.Fprintln(s.out, "error:", err)
+				}
+			}
+			pending.Reset()
+			prompt()
+		}
+	}
+	fmt.Fprintln(s.out)
+	return scanner.Err()
+}
+
+// execute runs one statement and prints its outcome.
+func (s *shell) execute(stmt string) error {
+	stmt = strings.TrimSpace(stmt)
+	if stmt == "" {
+		return nil
+	}
+	res, err := s.eng.Exec(stmt + ";")
+	if err != nil {
+		return err
+	}
+	if res.Defined != "" {
+		fmt.Fprintf(s.out, "defined function %s\n", res.Defined)
+		return nil
+	}
+	els, err := res.Stream.Drain()
+	if err != nil {
+		return err
+	}
+	for _, el := range els {
+		fmt.Fprintf(s.out, "%v\n", formatValue(el.Value))
+	}
+	fmt.Fprintf(s.out, "-- %d element(s), virtual makespan %v\n", len(els), res.Stream.Makespan())
+	if s.payload > 0 {
+		fmt.Fprintf(s.out, "-- bandwidth %.1f Mbps over %d payload bytes\n",
+			res.Stream.BandwidthMbps(s.payload), s.payload)
+	}
+	if s.util > 0 {
+		fmt.Fprintf(s.out, "-- busiest resources:\n")
+		for _, u := range s.eng.Utilization(res.Stream, s.util) {
+			fmt.Fprintf(s.out, "--   %-12s %12v %6.1f%%\n", u.Resource, u.Busy, u.Share*100)
+		}
+	}
+	if s.explain {
+		fmt.Fprintf(s.out, "-- communication topology:\n")
+		for _, ed := range s.eng.Topology() {
+			fmt.Fprintf(s.out, "--   %-12s (%s) --%s--> %s (%s)\n", ed.Producer, ed.From, ed.Carrier, ed.Consumer, ed.To)
+		}
+	}
+	s.eng.Reset()
+	return nil
+}
+
+func formatValue(v any) string {
+	if arr, ok := v.([]float64); ok && len(arr) > 8 {
+		return fmt.Sprintf("[]float64(len=%d, head=%v...)", len(arr), arr[:4])
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+// splitStatements splits on ';' while respecting string literals.
+func splitStatements(src string) []string {
+	var (
+		out     []string
+		current strings.Builder
+		quote   rune
+	)
+	for _, r := range src {
+		switch {
+		case quote != 0:
+			current.WriteRune(r)
+			if r == quote {
+				quote = 0
+			}
+		case r == '\'' || r == '"':
+			quote = r
+			current.WriteRune(r)
+		case r == ';':
+			out = append(out, current.String())
+			current.Reset()
+		default:
+			current.WriteRune(r)
+		}
+	}
+	if strings.TrimSpace(current.String()) != "" {
+		out = append(out, current.String())
+	}
+	return out
+}

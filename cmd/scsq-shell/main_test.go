@@ -1,0 +1,93 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"scsq"
+)
+
+func TestSplitStatements(t *testing.T) {
+	tests := []struct {
+		give string
+		want []string
+	}{
+		{"a; b;", []string{"a", " b"}},
+		{"only one", []string{"only one"}},
+		{"quoted ';' stays; next", []string{"quoted ';' stays", " next"}},
+		{`double ";" too; x`, []string{`double ";" too`, " x"}},
+		{";;", nil},
+		{"", nil},
+	}
+	for _, tt := range tests {
+		got := splitStatements(tt.give)
+		// Filter like the callers do: empty statements are skipped by
+		// execute, so drop all-whitespace entries for comparison.
+		var trimmed []string
+		for _, s := range got {
+			if strings.TrimSpace(s) != "" {
+				trimmed = append(trimmed, s)
+			}
+		}
+		if !reflect.DeepEqual(trimmed, tt.want) {
+			t.Errorf("splitStatements(%q) = %q, want %q", tt.give, trimmed, tt.want)
+		}
+	}
+}
+
+func TestShellExecute(t *testing.T) {
+	eng, err := scsq.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var sb strings.Builder
+	sh := &shell{eng: eng, payload: 1000, util: 2, out: &sb}
+	err = sh.runSource(`
+create function f(integer n) -> stream as select extract(a) from sp a where a=sp(iota(1,n), 'be');
+select f(2);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"defined function f", "1", "2", "makespan", "bandwidth", "busiest"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellREPLRecoversFromErrors(t *testing.T) {
+	eng, err := scsq.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var sb strings.Builder
+	sh := &shell{eng: eng, out: &sb}
+	input := "select nonsense(;\nselect extract(a) from sp a where a=sp(iota(1,1), 'be');\n"
+	if err := sh.repl(strings.NewReader(input)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "error:") {
+		t.Errorf("first statement should report an error:\n%s", out)
+	}
+	if !strings.Contains(out, "1 element(s)") {
+		t.Errorf("second statement should still run:\n%s", out)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	long := make([]float64, 100)
+	if got := formatValue(long); !strings.Contains(got, "len=100") {
+		t.Errorf("long arrays should be summarized, got %q", got)
+	}
+	if got := formatValue(int64(7)); got != "7" {
+		t.Errorf("formatValue(7) = %q", got)
+	}
+	if got := formatValue([]float64{1, 2}); !strings.Contains(got, "1") {
+		t.Errorf("short arrays print in full, got %q", got)
+	}
+}

@@ -1,0 +1,128 @@
+// Command scsq-topo prints the simulated LOFAR hardware inventory and
+// probes BlueGene torus routes — the node-selection debugging aid behind
+// the allocation-sequence experiments. It shows, for chosen node pairs,
+// the dimension-ordered route and which co-processors forward the traffic,
+// which is exactly the information the paper's sequential-versus-balanced
+// comparison (Figure 7) turns on.
+//
+//	scsq-topo                 # inventory + pset map
+//	scsq-topo -route 2,0      # route from BG node 2 to node 0
+//	scsq-topo -x 8 -y 8 -z 8  # a bigger partition
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"scsq/internal/hw"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scsq-topo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dimX  = flag.Int("x", 4, "torus X dimension")
+		dimY  = flag.Int("y", 4, "torus Y dimension")
+		dimZ  = flag.Int("z", 2, "torus Z dimension")
+		pset  = flag.Int("pset", 8, "compute nodes per I/O node")
+		route = flag.String("route", "", "probe a route, e.g. -route 2,0")
+	)
+	flag.Parse()
+
+	env, err := hw.NewLOFAR(
+		hw.WithTorusDims(*dimX, *dimY, *dimZ),
+		hw.WithPsetSize(*pset),
+	)
+	if err != nil {
+		return err
+	}
+
+	if *route != "" {
+		return probeRoute(env, *route)
+	}
+	return inventory(env)
+}
+
+func inventory(env *hw.Env) error {
+	x, y, z := env.Torus.Dims()
+	fmt.Printf("BlueGene partition: %d×%d×%d torus, %d compute nodes, %d psets of %d (+1 I/O node each)\n",
+		x, y, z, env.Torus.Size(), env.PsetCount(), env.PsetSize())
+	fmt.Printf("Linux clusters: %d back-end nodes, %d front-end nodes (GbE)\n\n",
+		env.ClusterSize(hw.BackEnd), env.ClusterSize(hw.FrontEnd))
+
+	fmt.Println("pset map (compute node -> I/O node):")
+	for p := 0; p < env.PsetCount(); p++ {
+		nodes, err := env.NodesInPset(p)
+		if err != nil {
+			return err
+		}
+		cells := make([]string, len(nodes))
+		for i, id := range nodes {
+			c, err := env.Torus.CoordOf(id)
+			if err != nil {
+				return err
+			}
+			cells[i] = fmt.Sprintf("%d%s", id, c)
+		}
+		fmt.Printf("  pset %d / io%d: %s\n", p, p, strings.Join(cells, " "))
+	}
+
+	fmt.Println("\ncost model (calibrated, see DESIGN.md §3):")
+	m := env.Cost
+	fmt.Printf("  torus packet %d B, packet cost %v, recv factor %.2f, switch cost %v\n",
+		m.TorusPacketBytes, m.PacketCost.Std(), m.RecvFactor, m.CoprocSwitchCost.Std())
+	fmt.Printf("  be NIC %.1f ns/B, io forwarder %.1f ns/B, io switch %v, ciod peer %v\n",
+		m.BeNICByte, m.IOByte, m.IOSwitchCost.Std(), m.CiodPeerCost.Std())
+	return nil
+}
+
+func probeRoute(env *hw.Env, spec string) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("route spec must be src,dst — got %q", spec)
+	}
+	src, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return fmt.Errorf("bad source node: %w", err)
+	}
+	dst, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return fmt.Errorf("bad destination node: %w", err)
+	}
+	path, err := env.Torus.Route(src, dst)
+	if err != nil {
+		return err
+	}
+	mids, err := env.Torus.Intermediates(src, dst)
+	if err != nil {
+		return err
+	}
+	srcC, err := env.Torus.CoordOf(src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("route %d%s", src, srcC)
+	for _, id := range path {
+		c, err := env.Torus.CoordOf(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf(" -> %d%s", id, c)
+	}
+	fmt.Printf("\nhops: %d", len(path))
+	if len(mids) > 0 {
+		fmt.Printf(", forwarded by co-processor(s) of node(s) %v — slower when those nodes are busy", mids)
+	} else {
+		fmt.Printf(", direct neighbors — no forwarding co-processors involved")
+	}
+	fmt.Println()
+	return nil
+}

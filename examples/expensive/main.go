@@ -1,0 +1,87 @@
+// The expensive example addresses a future-work item of the paper §5:
+// "analyze the performance of continuous queries involving expensive
+// functions". It runs an FFT — an expensive per-element function — over the
+// sensor streams, parallelized across a varying number of BlueGene stream
+// processes with spv(), and reports how throughput scales with the degree
+// of parallelism. Each stream process transforms and windows its own
+// stream; only small aggregates leave the BlueGene.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scsq"
+)
+
+// 2 MiB arrays (262144 samples — FFT needs power-of-two lengths), near the
+// paper's 3 MB workload for which the cost model is calibrated.
+const (
+	arrayBytes = 8 * 262144
+	arrayCount = 10
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "expensive:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	maxN := flag.Int("max-parallel", 8, "largest degree of parallelism to measure")
+	flag.Parse()
+
+	fmt.Println("FFT throughput versus stream-process parallelism")
+	fmt.Printf("%-10s %14s %14s\n", "processes", "makespan", "Mbps")
+	var base float64
+	for n := 1; n <= *maxN; n *= 2 {
+		mk, mbps, err := measure(n)
+		if err != nil {
+			return err
+		}
+		if n == 1 {
+			base = mbps
+		}
+		fmt.Printf("%-10d %14v %11.1f (%.1fx)\n", n, mk, mbps, mbps/base)
+	}
+	return nil
+}
+
+// measure runs n parallel fft pipelines: back-end generators feed BlueGene
+// stream processes that transform every array and count the results; a
+// collector sums the counts, so only integers leave the BlueGene.
+func measure(n int) (makespan any, mbps float64, err error) {
+	eng, err := scsq.New()
+	if err != nil {
+		return nil, 0, err
+	}
+	defer eng.Close()
+
+	query := fmt.Sprintf(`
+select extract(c) from
+bag of sp a, bag of sp b, sp c,
+integer n
+where c=sp(streamof(sum(merge(b))), 'bg')
+and   b=spv(
+  (select streamof(count(fft(extract(p))))
+   from sp p
+   where p in a),
+            'bg', psetrr())
+and   a=spv(
+  (select gen_array(%d,%d)
+   from integer i where i in iota(1,n)),
+            'be', 1)
+and   n=%d;`, arrayBytes, arrayCount, n)
+
+	stream, err := eng.Query(query)
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := stream.One(); err != nil {
+		return nil, 0, err
+	}
+	payload := int64(n) * arrayBytes * arrayCount
+	return stream.Makespan(), stream.BandwidthMbps(payload), nil
+}

@@ -1,0 +1,119 @@
+// The topology example uses SCSQL allocation sequences the way the paper
+// does: to set up different communication topologies and measure which one
+// streams fastest. It contrasts the two headline results:
+//
+//  1. Intra-BlueGene stream merging with the sequential node selection
+//     (traffic routed through a busy intermediate co-processor) versus the
+//     balanced one (disjoint torus channels) — Figures 7-8.
+//  2. Inbound streaming over one I/O node (Query 1) versus round-robin over
+//     all I/O nodes from a single back-end node (Query 5) — Figure 15.
+//
+// The measured bandwidths motivate the node-selection strategies the paper
+// derives: prefer balanced placements inside the torus, spread inbound
+// streams over many I/O nodes, and co-locate back-end producers.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"scsq"
+)
+
+// The paper's 3 MB arrays: the engine's per-message cost model is
+// calibrated for them (the bench harness rescales costs for smaller
+// arrays; this example keeps things simple and uses the real size).
+const (
+	arrayBytes = 3_000_000
+	arrayCount = 20
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "topology:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("== intra-BlueGene stream merging (Figures 7-8) ==")
+	seq, err := mergeBandwidth(1, 2) // Figure 7A: b routes through a's co-processor
+	if err != nil {
+		return err
+	}
+	bal, err := mergeBandwidth(1, 4) // Figure 7B: disjoint channels
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sequential selection (a=1,b=2,c=0): %7.1f Mbps\n", seq)
+	fmt.Printf("balanced   selection (a=1,b=4,c=0): %7.1f Mbps\n", bal)
+	fmt.Printf("balanced advantage:                 %+6.1f%%\n\n", (bal/seq-1)*100)
+
+	fmt.Println("== BG inbound streaming, n=4 back-end streams (Figure 15) ==")
+	single, err := inboundBandwidth(`
+select extract(c) from
+bag of sp a, sp b, sp c, integer n
+where c=sp(extract(b), 'bg')
+and   b=sp(count(merge(a)), 'bg')
+and   a=spv((select gen_array(%d,%d) from integer i where i in iota(1,n)), 'be', 1)
+and   n=4;`)
+	if err != nil {
+		return err
+	}
+	spread, err := inboundBandwidth(`
+select extract(c) from
+bag of sp a, bag of sp b, sp c, integer n
+where c=sp(streamof(sum(merge(b))), 'bg')
+and   b=spv((select streamof(count(extract(p))) from sp p where p in a), 'bg', psetrr())
+and   a=spv((select gen_array(%d,%d) from integer i where i in iota(1,n)), 'be', 1)
+and   n=4;`)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("one I/O node   (Query 1):  %7.1f Mbps\n", single)
+	fmt.Printf("psetrr() spread (Query 5): %7.1f Mbps\n", spread)
+	fmt.Printf("spreading advantage:       %+6.1f%%\n", (spread/single-1)*100)
+	return nil
+}
+
+// mergeBandwidth measures the Figure 8 merging query with producers on
+// nodes x and y.
+func mergeBandwidth(x, y int) (float64, error) {
+	eng, err := scsq.New(scsq.WithMPIBufferBytes(100_000))
+	if err != nil {
+		return 0, err
+	}
+	defer eng.Close()
+	q := fmt.Sprintf(`
+select extract(c)
+from sp a, sp b, sp c
+where c=sp(count(merge({a,b})), 'bg', 0)
+and   a=sp(gen_array(%d,%d), 'bg', %d)
+and   b=sp(gen_array(%d,%d), 'bg', %d);`,
+		arrayBytes, arrayCount, x, arrayBytes, arrayCount, y)
+	stream, err := eng.Query(q)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := stream.One(); err != nil {
+		return 0, err
+	}
+	return stream.BandwidthMbps(2 * arrayBytes * arrayCount), nil
+}
+
+// inboundBandwidth measures an inbound query template over n=4 streams.
+func inboundBandwidth(template string) (float64, error) {
+	eng, err := scsq.New()
+	if err != nil {
+		return 0, err
+	}
+	defer eng.Close()
+	stream, err := eng.Query(fmt.Sprintf(template, arrayBytes, arrayCount))
+	if err != nil {
+		return 0, err
+	}
+	if _, err := stream.One(); err != nil {
+		return 0, err
+	}
+	return stream.BandwidthMbps(4 * arrayBytes * arrayCount), nil
+}

@@ -1,0 +1,3 @@
+module scsq
+
+go 1.23

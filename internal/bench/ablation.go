@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+
+	"scsq/internal/cndb"
+	"scsq/internal/core"
+	"scsq/internal/hw"
+	"scsq/internal/sqep"
+)
+
+// AblationConfig parameterizes the node-selection ablation: k producers
+// stream large arrays to one merging consumer inside the BlueGene, placed
+// either by the paper's naive next-available algorithm or by the
+// topology-aware selector (cndb.TopologySelector) that encodes the paper's
+// measured placement rules.
+type AblationConfig struct {
+	Producers  []int
+	BufBytes   int
+	ArrayBytes int
+	ArrayCount int
+	Repeats    int
+}
+
+// DefaultAblation is a laptop-scale ablation configuration.
+func DefaultAblation() AblationConfig {
+	return AblationConfig{
+		Producers:  []int{2, 3, 4},
+		BufBytes:   100_000,
+		ArrayBytes: 300_000,
+		ArrayCount: 20,
+		Repeats:    5,
+	}
+}
+
+// AblationRow is one producer-count point.
+type AblationRow struct {
+	Producers int
+	Naive     Sample
+	Topology  Sample
+	// GainPct is the topology-aware selector's bandwidth advantage.
+	GainPct float64
+}
+
+// RunSelectorAblation measures the merging bandwidth under the naive and
+// the topology-aware node selections.
+func RunSelectorAblation(cfg AblationConfig) ([]AblationRow, error) {
+	if err := validateWorkload(cfg.ArrayBytes, cfg.ArrayCount, cfg.Repeats); err != nil {
+		return nil, err
+	}
+	if cfg.BufBytes <= 0 {
+		return nil, fmt.Errorf("bench: buffer size must be positive, got %d", cfg.BufBytes)
+	}
+	var rows []AblationRow
+	for _, k := range cfg.Producers {
+		row := AblationRow{Producers: k}
+		for _, topo := range []bool{false, true} {
+			var runs []float64
+			for r := 0; r < cfg.Repeats; r++ {
+				mbps, err := runMergeWithSelector(cfg, k, topo)
+				if err != nil {
+					return nil, fmt.Errorf("ablation k=%d topo=%v: %w", k, topo, err)
+				}
+				runs = append(runs, mbps)
+			}
+			if topo {
+				row.Topology = summarize(runs)
+			} else {
+				row.Naive = summarize(runs)
+			}
+		}
+		if row.Naive.MeanMbps > 0 {
+			row.GainPct = (row.Topology.MeanMbps/row.Naive.MeanMbps - 1) * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runMergeWithSelector builds the k-producer merge programmatically so the
+// producer placement can come from either selector.
+func runMergeWithSelector(cfg AblationConfig, k int, topologyAware bool) (float64, error) {
+	eng, err := core.NewEngine(core.WithMPIBufferBytes(cfg.BufBytes))
+	if err != nil {
+		return 0, err
+	}
+	defer eng.Close()
+
+	const consumerNode = 0
+	consumerSeq, err := cndb.NewSequence(consumerNode)
+	if err != nil {
+		return 0, err
+	}
+	var producerSeq *cndb.Sequence
+	if topologyAware {
+		producerSeq, err = cndb.NewTopologySelector(eng.Env()).BalancedProducers(consumerNode, k)
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		// The naive algorithm returns the next available node: with the
+		// consumer holding node 0, producers land on 1, 2, ..., k — the
+		// contended sequential-style placement.
+		ids := make([]int, k)
+		for i := range ids {
+			ids[i] = i + 1
+		}
+		producerSeq, err = cndb.NewSequence(ids...)
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	// Reserve the consumer's node first so neither selector can take it;
+	// the RP graph still needs producers built before the consumer.
+	subs := make([]core.Subquery, k)
+	for i := range subs {
+		subs[i] = func(*core.PlanBuilder) (sqep.Operator, error) {
+			return sqep.NewGenArray(cfg.ArrayBytes, cfg.ArrayCount), nil
+		}
+	}
+	producers, err := eng.SPV(subs, hw.BlueGene, producerSeq)
+	if err != nil {
+		return 0, err
+	}
+	consumer, err := eng.SP(func(pb *core.PlanBuilder) (sqep.Operator, error) {
+		in, err := pb.Merge(producers)
+		if err != nil {
+			return nil, err
+		}
+		return sqep.NewStreamOf(sqep.NewCount(in)), nil
+	}, hw.BlueGene, consumerSeq)
+	if err != nil {
+		return 0, err
+	}
+	cs, err := eng.Extract(consumer)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := cs.One(); err != nil {
+		return 0, err
+	}
+	payload := int64(k) * int64(cfg.ArrayBytes) * int64(cfg.ArrayCount)
+	return float64(payload) * 8 / cs.Makespan().Sub(0).Seconds() / 1e6, nil
+}
+
+// WriteAblation renders the ablation table.
+func WriteAblation(w writer, rows []AblationRow) error {
+	if _, err := fmt.Fprintf(w, "Node-selection ablation — %s\n", "k-producer BG merge, naive vs topology-aware placement (Mbps)"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-10s %18s %18s %10s\n", "producers", "naive", "topology", "gain"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-10d %18s %18s %+9.1f%%\n", r.Producers, r.Naive, r.Topology, r.GainPct); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writer is the io.Writer subset used by the table renderers.
+type writer interface {
+	Write(p []byte) (int, error)
+}

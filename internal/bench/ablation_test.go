@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"scsq/internal/cndb"
+	"scsq/internal/hw"
+)
+
+func TestSelectorAblationTopologyWins(t *testing.T) {
+	cfg := DefaultAblation()
+	cfg.Producers = []int{2, 3}
+	cfg.Repeats = 2
+	rows, err := RunSelectorAblation(cfg)
+	if err != nil {
+		t.Fatalf("ablation: %v", err)
+	}
+	for _, r := range rows {
+		// The topology-aware selector never loses (within noise), and for
+		// two producers it recovers most of the Figure 8 balanced gain.
+		if r.Topology.MeanMbps < 0.97*r.Naive.MeanMbps {
+			t.Errorf("k=%d: topology-aware (%v) lost to naive (%v)", r.Producers, r.Topology, r.Naive)
+		}
+		if r.Producers == 2 && r.GainPct < 25 {
+			t.Errorf("k=2: gain %.1f%%, want ≥ 25%% (the balanced-selection advantage)", r.GainPct)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteAblation(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "topology") {
+		t.Errorf("table missing header: %s", sb.String())
+	}
+}
+
+func TestSelectorAblationValidation(t *testing.T) {
+	cfg := DefaultAblation()
+	cfg.BufBytes = 0
+	if _, err := RunSelectorAblation(cfg); err == nil {
+		t.Error("zero buffer should fail")
+	}
+	cfg = DefaultAblation()
+	cfg.Repeats = -1
+	if _, err := RunSelectorAblation(cfg); err == nil {
+		t.Error("negative repeats should fail")
+	}
+}
+
+func TestBalancedProducersAvoidContention(t *testing.T) {
+	env, err := hw.NewLOFAR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := cndb.NewTopologySelector(env)
+	seq, err := sel.BalancedProducers(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := seq.IDs()
+	if len(ids) != 3 {
+		t.Fatalf("chose %v, want 3 nodes", ids)
+	}
+	chosen := map[int]bool{0: true}
+	for _, id := range ids {
+		chosen[id] = true
+	}
+	for _, id := range ids {
+		mids, err := env.Torus.Intermediates(id, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mids {
+			if chosen[m] {
+				t.Errorf("producer %d routes through chosen node %d", id, m)
+			}
+		}
+	}
+}
+
+func TestBalancedProducersValidation(t *testing.T) {
+	env, err := hw.NewLOFAR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := cndb.NewTopologySelector(env)
+	if _, err := sel.BalancedProducers(-1, 2); err == nil {
+		t.Error("bad consumer should fail")
+	}
+	if _, err := sel.BalancedProducers(0, 0); err == nil {
+		t.Error("zero producers should fail")
+	}
+	if _, err := sel.BalancedProducers(0, 99); err == nil {
+		t.Error("too many producers should fail")
+	}
+	// Saturating the partition falls back rather than failing.
+	seq, err := sel.BalancedProducers(0, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seq.Period(); got != 31 {
+		t.Errorf("fallback chose %d nodes, want 31", got)
+	}
+}
+
+func TestBackEndProducersCoLocate(t *testing.T) {
+	env, err := hw.NewLOFAR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := cndb.NewTopologySelector(env)
+	seq, err := sel.BackEndProducers(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 0, 1, 1}
+	got := seq.IDs()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("placements = %v, want %v", got, want)
+		}
+	}
+	if _, err := sel.BackEndProducers(0, 1); err == nil {
+		t.Error("zero producers should fail")
+	}
+	// Default spill threshold.
+	if seq, err := sel.BackEndProducers(5, 0); err != nil || len(seq.IDs()) != 5 {
+		t.Errorf("default maxPer: %v %v", seq, err)
+	}
+}
+
+func TestInboundReceiversSpreadsPsets(t *testing.T) {
+	env, err := hw.NewLOFAR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := cndb.NewTopologySelector(env).InboundReceivers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := seq.IDs()
+	seen := map[int]bool{}
+	for _, id := range ids[:4] {
+		p, err := env.PsetOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("first four receivers span %d psets, want 4", len(seen))
+	}
+}

@@ -1,0 +1,329 @@
+// Package bench is the experiment harness that regenerates every figure of
+// the paper's evaluation (§3): Figure 6 (intra-BG point-to-point streaming
+// bandwidth vs MPI buffer size, single vs double buffering), Figure 8
+// (stream merging under the sequential and balanced node selections of
+// Figure 7), and Figure 15 (BG inbound streaming bandwidth for Queries 1-6
+// vs the number of parallel back-end streams).
+//
+// Each experiment executes the corresponding SCSQL query from
+// internal/scsql's corpus on a fresh simulated LOFAR environment and
+// measures bandwidth as payload bytes divided by the virtual makespan, the
+// same "total time to communicate a finite stream of arrays" methodology as
+// the paper. Like the paper, every point is measured five times; the
+// harness reports mean and standard deviation.
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"scsq/internal/carrier"
+	"scsq/internal/core"
+	"scsq/internal/hw"
+	"scsq/internal/scsql"
+)
+
+// PaperArrayBytes is the array size of the paper's workload (3 MB arrays).
+const PaperArrayBytes = 3_000_000
+
+// PaperArrayCount is the per-stream array count of the paper's workload.
+const PaperArrayCount = 100
+
+// Sample is a measured bandwidth point.
+type Sample struct {
+	MeanMbps  float64
+	StdevMbps float64
+	Runs      int
+}
+
+func (s Sample) String() string {
+	return fmt.Sprintf("%.1f±%.1f Mbps", s.MeanMbps, s.StdevMbps)
+}
+
+// summarize folds repeated bandwidth measurements into a Sample.
+func summarize(mbps []float64) Sample {
+	n := float64(len(mbps))
+	if n == 0 {
+		return Sample{}
+	}
+	var sum float64
+	for _, v := range mbps {
+		sum += v
+	}
+	mean := sum / n
+	var varSum float64
+	for _, v := range mbps {
+		varSum += (v - mean) * (v - mean)
+	}
+	return Sample{
+		MeanMbps:  mean,
+		StdevMbps: math.Sqrt(varSum / n),
+		Runs:      len(mbps),
+	}
+}
+
+// runQuery executes one SCSQL query on a fresh engine and returns the
+// measured bandwidth in Mbps for the given payload volume.
+func runQuery(src string, payloadBytes int64, opts ...core.Option) (float64, error) {
+	eng, err := core.NewEngine(opts...)
+	if err != nil {
+		return 0, err
+	}
+	defer eng.Close()
+	ev := scsql.NewEvaluator(eng, nil)
+	res, err := ev.Exec(src)
+	if err != nil {
+		return 0, fmt.Errorf("bench: %w", err)
+	}
+	if _, err := res.Stream.Drain(); err != nil {
+		return 0, fmt.Errorf("bench: %w", err)
+	}
+	makespan := res.Stream.Makespan()
+	if makespan <= 0 {
+		return 0, fmt.Errorf("bench: query finished with non-positive makespan %v", makespan)
+	}
+	seconds := makespan.Sub(0).Seconds()
+	return float64(payloadBytes) * 8 / seconds / 1e6, nil
+}
+
+// DefaultBufSizes is the MPI buffer-size sweep of Figures 6 and 8.
+var DefaultBufSizes = []int{100, 300, 1000, 3000, 10_000, 30_000, 100_000, 300_000, 1_000_000}
+
+// Figure6Config parameterizes the point-to-point experiment.
+type Figure6Config struct {
+	BufSizes   []int
+	ArrayBytes int
+	ArrayCount int
+	Repeats    int
+}
+
+// DefaultFigure6 is a laptop-scale configuration preserving the paper's
+// curve shape (bandwidth depends on per-byte and per-buffer costs only, so
+// array size cancels out of the MPI model).
+func DefaultFigure6() Figure6Config {
+	return Figure6Config{
+		BufSizes:   DefaultBufSizes,
+		ArrayBytes: 300_000,
+		ArrayCount: 20,
+		Repeats:    5,
+	}
+}
+
+// Figure6Row is one buffer-size point of Figure 6.
+type Figure6Row struct {
+	BufBytes int
+	Single   Sample
+	Double   Sample
+}
+
+// RunFigure6 regenerates Figure 6: intra-BG point-to-point streaming
+// bandwidth versus MPI buffer size for single and double buffering.
+func RunFigure6(cfg Figure6Config) ([]Figure6Row, error) {
+	if err := validateWorkload(cfg.ArrayBytes, cfg.ArrayCount, cfg.Repeats); err != nil {
+		return nil, err
+	}
+	src := scsql.Figure5Query(cfg.ArrayBytes, cfg.ArrayCount)
+	payload := int64(cfg.ArrayBytes) * int64(cfg.ArrayCount)
+	var rows []Figure6Row
+	for _, buf := range cfg.BufSizes {
+		row := Figure6Row{BufBytes: buf}
+		for _, mode := range []carrier.Buffering{carrier.SingleBuffered, carrier.DoubleBuffered} {
+			var runs []float64
+			for r := 0; r < cfg.Repeats; r++ {
+				mbps, err := runQuery(src, payload,
+					core.WithMPIBufferBytes(buf),
+					core.WithBuffering(mode),
+				)
+				if err != nil {
+					return nil, fmt.Errorf("figure6 buf=%d mode=%v: %w", buf, mode, err)
+				}
+				runs = append(runs, mbps)
+			}
+			if mode == carrier.SingleBuffered {
+				row.Single = summarize(runs)
+			} else {
+				row.Double = summarize(runs)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Topology selects the node placement of the stream-merging experiment
+// (paper Figure 7).
+type Topology int
+
+// The two merging topologies.
+const (
+	// Sequential places a=1, b=2, c=0: traffic from b to c is routed
+	// through a's busy communication co-processor (Figure 7A).
+	Sequential Topology = iota + 1
+	// Balanced places a=1, b=4, c=0: both producers reach c over disjoint
+	// torus channels (Figure 7B).
+	Balanced
+)
+
+func (t Topology) String() string {
+	switch t {
+	case Sequential:
+		return "sequential"
+	case Balanced:
+		return "balanced"
+	default:
+		return "unknown"
+	}
+}
+
+// nodes returns the x, y producer nodes of the topology.
+func (t Topology) nodes() (x, y int) {
+	if t == Sequential {
+		return 1, 2
+	}
+	return 1, 4
+}
+
+// Figure8Config parameterizes the stream-merging experiment.
+type Figure8Config struct {
+	BufSizes   []int
+	ArrayBytes int
+	ArrayCount int
+	Repeats    int
+}
+
+// DefaultFigure8 is the laptop-scale merging configuration.
+func DefaultFigure8() Figure8Config {
+	return Figure8Config{
+		BufSizes:   DefaultBufSizes,
+		ArrayBytes: 300_000,
+		ArrayCount: 20,
+		Repeats:    5,
+	}
+}
+
+// Figure8Row is one buffer-size point of Figure 8: total streaming input
+// bandwidth at the merging node for both topologies and buffering modes.
+type Figure8Row struct {
+	BufBytes         int
+	SequentialSingle Sample
+	SequentialDouble Sample
+	BalancedSingle   Sample
+	BalancedDouble   Sample
+}
+
+// RunFigure8 regenerates Figure 8: stream-merging bandwidth under the
+// sequential and balanced node selections.
+func RunFigure8(cfg Figure8Config) ([]Figure8Row, error) {
+	if err := validateWorkload(cfg.ArrayBytes, cfg.ArrayCount, cfg.Repeats); err != nil {
+		return nil, err
+	}
+	payload := 2 * int64(cfg.ArrayBytes) * int64(cfg.ArrayCount)
+	var rows []Figure8Row
+	for _, buf := range cfg.BufSizes {
+		row := Figure8Row{BufBytes: buf}
+		for _, topo := range []Topology{Sequential, Balanced} {
+			x, y := topo.nodes()
+			src := scsql.MergeQuery(x, y, cfg.ArrayBytes, cfg.ArrayCount)
+			for _, mode := range []carrier.Buffering{carrier.SingleBuffered, carrier.DoubleBuffered} {
+				var runs []float64
+				for r := 0; r < cfg.Repeats; r++ {
+					mbps, err := runQuery(src, payload,
+						core.WithMPIBufferBytes(buf),
+						core.WithBuffering(mode),
+					)
+					if err != nil {
+						return nil, fmt.Errorf("figure8 buf=%d topo=%v mode=%v: %w", buf, topo, mode, err)
+					}
+					runs = append(runs, mbps)
+				}
+				s := summarize(runs)
+				switch {
+				case topo == Sequential && mode == carrier.SingleBuffered:
+					row.SequentialSingle = s
+				case topo == Sequential && mode == carrier.DoubleBuffered:
+					row.SequentialDouble = s
+				case topo == Balanced && mode == carrier.SingleBuffered:
+					row.BalancedSingle = s
+				default:
+					row.BalancedDouble = s
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure15Config parameterizes the BG inbound streaming experiment.
+type Figure15Config struct {
+	NValues    []int
+	Queries    []int
+	ArrayBytes int
+	ArrayCount int
+	Repeats    int
+}
+
+// DefaultFigure15 is the laptop-scale inbound configuration. The per-message
+// fixed costs of the TCP path are rescaled to the smaller array size (see
+// hw.CostModel.ScaleInboundFixed), which makes every per-message cost keep
+// its proportion to the per-byte costs — the measured curves are identical
+// to a paper-scale 3 MB run, only cheaper to produce.
+func DefaultFigure15() Figure15Config {
+	return Figure15Config{
+		NValues:    []int{1, 2, 3, 4, 5, 6, 7, 8},
+		Queries:    []int{1, 2, 3, 4, 5, 6},
+		ArrayBytes: 100_000,
+		ArrayCount: 60,
+		Repeats:    5,
+	}
+}
+
+// Figure15Row is one (query, n) point of Figure 15.
+type Figure15Row struct {
+	Query int
+	N     int
+	Total Sample
+}
+
+// RunFigure15 regenerates Figure 15: total inbound streaming bandwidth from
+// the back-end cluster into the BlueGene for Queries 1 through 6.
+func RunFigure15(cfg Figure15Config) ([]Figure15Row, error) {
+	if err := validateWorkload(cfg.ArrayBytes, cfg.ArrayCount, cfg.Repeats); err != nil {
+		return nil, err
+	}
+	cost := hw.DefaultCostModel().ScaleInboundFixed(float64(cfg.ArrayBytes) / PaperArrayBytes)
+	var rows []Figure15Row
+	for _, q := range cfg.Queries {
+		for _, n := range cfg.NValues {
+			src, err := scsql.InboundQuery(q, n, cfg.ArrayBytes, cfg.ArrayCount)
+			if err != nil {
+				return nil, err
+			}
+			payload := int64(n) * int64(cfg.ArrayBytes) * int64(cfg.ArrayCount)
+			var runs []float64
+			for r := 0; r < cfg.Repeats; r++ {
+				env, err := hw.NewLOFAR(hw.WithCostModel(cost))
+				if err != nil {
+					return nil, err
+				}
+				mbps, err := runQuery(src, payload, core.WithEnv(env))
+				if err != nil {
+					return nil, fmt.Errorf("figure15 q=%d n=%d: %w", q, n, err)
+				}
+				runs = append(runs, mbps)
+			}
+			rows = append(rows, Figure15Row{Query: q, N: n, Total: summarize(runs)})
+		}
+	}
+	return rows, nil
+}
+
+func validateWorkload(arrayBytes, arrayCount, repeats int) error {
+	if arrayBytes <= 0 || arrayCount <= 0 {
+		return fmt.Errorf("bench: array workload must be positive (size=%d count=%d)", arrayBytes, arrayCount)
+	}
+	if repeats <= 0 {
+		return fmt.Errorf("bench: repeats must be positive, got %d", repeats)
+	}
+	return nil
+}

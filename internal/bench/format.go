@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteFigure6 renders the Figure 6 table.
+func WriteFigure6(w io.Writer, rows []Figure6Row) error {
+	if _, err := fmt.Fprintf(w, "Figure 6 — intra-BG point-to-point streaming bandwidth (Mbps)\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-10s %18s %18s\n", "buf(B)", "single", "double"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-10d %18s %18s\n", r.BufBytes, r.Single, r.Double); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFigure8 renders the Figure 8 table.
+func WriteFigure8(w io.Writer, rows []Figure8Row) error {
+	if _, err := fmt.Fprintf(w, "Figure 8 — stream merging: total input bandwidth at node c (Mbps)\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-10s %18s %18s %18s %18s\n",
+		"buf(B)", "seq/single", "seq/double", "bal/single", "bal/double"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-10d %18s %18s %18s %18s\n",
+			r.BufBytes, r.SequentialSingle, r.SequentialDouble, r.BalancedSingle, r.BalancedDouble); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFigure15 renders the Figure 15 table: one row per n, one column per
+// query.
+func WriteFigure15(w io.Writer, rows []Figure15Row) error {
+	byQuery := make(map[int]map[int]Sample)
+	var (
+		queries []int
+		ns      []int
+	)
+	seenQ := make(map[int]bool)
+	seenN := make(map[int]bool)
+	for _, r := range rows {
+		if byQuery[r.Query] == nil {
+			byQuery[r.Query] = make(map[int]Sample)
+		}
+		byQuery[r.Query][r.N] = r.Total
+		if !seenQ[r.Query] {
+			seenQ[r.Query] = true
+			queries = append(queries, r.Query)
+		}
+		if !seenN[r.N] {
+			seenN[r.N] = true
+			ns = append(ns, r.N)
+		}
+	}
+	sort.Ints(queries)
+	sort.Ints(ns)
+
+	if _, err := fmt.Fprintf(w, "Figure 15 — BG inbound streaming bandwidth (Mbps)\n"); err != nil {
+		return err
+	}
+	header := []string{fmt.Sprintf("%-4s", "n")}
+	for _, q := range queries {
+		header = append(header, fmt.Sprintf("%16s", fmt.Sprintf("Query %d", q)))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, " ")); err != nil {
+		return err
+	}
+	for _, n := range ns {
+		cells := []string{fmt.Sprintf("%-4d", n)}
+		for _, q := range queries {
+			s, ok := byQuery[q][n]
+			if !ok {
+				cells = append(cells, fmt.Sprintf("%16s", "-"))
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%16.1f", s.MeanMbps))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSVFigure6 renders Figure 6 as CSV.
+func CSVFigure6(w io.Writer, rows []Figure6Row) error {
+	if _, err := fmt.Fprintln(w, "buf_bytes,single_mbps,single_stdev,double_mbps,double_stdev"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%d,%.3f,%.3f,%.3f,%.3f\n",
+			r.BufBytes, r.Single.MeanMbps, r.Single.StdevMbps, r.Double.MeanMbps, r.Double.StdevMbps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSVFigure8 renders Figure 8 as CSV.
+func CSVFigure8(w io.Writer, rows []Figure8Row) error {
+	if _, err := fmt.Fprintln(w, "buf_bytes,seq_single_mbps,seq_double_mbps,bal_single_mbps,bal_double_mbps"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%d,%.3f,%.3f,%.3f,%.3f\n",
+			r.BufBytes, r.SequentialSingle.MeanMbps, r.SequentialDouble.MeanMbps,
+			r.BalancedSingle.MeanMbps, r.BalancedDouble.MeanMbps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSVFigure15 renders Figure 15 as CSV.
+func CSVFigure15(w io.Writer, rows []Figure15Row) error {
+	if _, err := fmt.Fprintln(w, "query,n,mbps,stdev"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%d,%d,%.3f,%.3f\n", r.Query, r.N, r.Total.MeanMbps, r.Total.StdevMbps); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleFig6Rows() []Figure6Row {
+	return []Figure6Row{
+		{BufBytes: 1000, Single: Sample{MeanMbps: 418.6, Runs: 5}, Double: Sample{MeanMbps: 409.0, StdevMbps: 1.5, Runs: 5}},
+		{BufBytes: 10000, Single: Sample{MeanMbps: 230.1, Runs: 5}, Double: Sample{MeanMbps: 236.1, Runs: 5}},
+	}
+}
+
+func sampleFig8Rows() []Figure8Row {
+	return []Figure8Row{{
+		BufBytes:         100000,
+		SequentialSingle: Sample{MeanMbps: 182.1},
+		SequentialDouble: Sample{MeanMbps: 189.9},
+		BalancedSingle:   Sample{MeanMbps: 272.9},
+		BalancedDouble:   Sample{MeanMbps: 281.2},
+	}}
+}
+
+func sampleFig15Rows() []Figure15Row {
+	return []Figure15Row{
+		{Query: 1, N: 1, Total: Sample{MeanMbps: 391.7}},
+		{Query: 5, N: 1, Total: Sample{MeanMbps: 391.7}},
+		{Query: 1, N: 4, Total: Sample{MeanMbps: 281.4}},
+		{Query: 5, N: 4, Total: Sample{MeanMbps: 886.4}},
+	}
+}
+
+func TestWriteFigure6(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigure6(&sb, sampleFig6Rows()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 6", "1000", "418.6", "409.0±1.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteFigure8(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigure8(&sb, sampleFig8Rows()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 8", "seq/single", "bal/double", "281.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteFigure15(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigure15(&sb, sampleFig15Rows()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 15", "Query 1", "Query 5", "886.4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Missing (query, n) combinations render as '-'.
+	rows := append(sampleFig15Rows(), Figure15Row{Query: 2, N: 4, Total: Sample{MeanMbps: 171.9}})
+	sb.Reset()
+	if err := WriteFigure15(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "-") {
+		t.Errorf("missing combinations should render as '-':\n%s", sb.String())
+	}
+}
+
+func TestCSVRenderers(t *testing.T) {
+	var sb strings.Builder
+	if err := CSVFigure6(&sb, sampleFig6Rows()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "buf_bytes,single_mbps") || !strings.Contains(sb.String(), "1000,418.600") {
+		t.Errorf("fig6 csv:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := CSVFigure8(&sb, sampleFig8Rows()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "seq_single_mbps") || !strings.Contains(sb.String(), "100000,182.100") {
+		t.Errorf("fig8 csv:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := CSVFigure15(&sb, sampleFig15Rows()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "query,n,mbps") || !strings.Contains(sb.String(), "5,4,886.400") {
+		t.Errorf("fig15 csv:\n%s", sb.String())
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	s := Sample{MeanMbps: 123.45, StdevMbps: 6.7, Runs: 5}
+	if got := s.String(); !strings.Contains(got, "123.5±6.7") {
+		t.Errorf("Sample.String = %q", got)
+	}
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+
+	"scsq/internal/core"
+	"scsq/internal/hw"
+	"scsq/internal/scsql"
+)
+
+// UDPLossConfig parameterizes the UDP-inbound extension experiment: the
+// paper's I/O nodes offer TCP or UDP (§2.1); this experiment streams the
+// Query-1 workload over the best-effort UDP service at several loss rates
+// and reports how much of the stream arrives and at what bandwidth.
+type UDPLossConfig struct {
+	LossRates  []float64
+	N          int
+	ArrayBytes int
+	ArrayCount int
+	Repeats    int
+}
+
+// DefaultUDPLoss is the laptop-scale UDP experiment.
+func DefaultUDPLoss() UDPLossConfig {
+	return UDPLossConfig{
+		LossRates:  []float64{0, 0.01, 0.05, 0.1, 0.2},
+		N:          4,
+		ArrayBytes: 100_000,
+		ArrayCount: 60,
+		Repeats:    5,
+	}
+}
+
+// UDPLossRow is one loss-rate point.
+type UDPLossRow struct {
+	LossRate float64
+	// DeliveredFrac is the fraction of sent arrays the BlueGene counted.
+	DeliveredFrac float64
+	// Goodput is the bandwidth of the arrays that arrived.
+	Goodput Sample
+}
+
+// RunUDPLoss measures the inbound Query-1 topology over lossy UDP.
+func RunUDPLoss(cfg UDPLossConfig) ([]UDPLossRow, error) {
+	if err := validateWorkload(cfg.ArrayBytes, cfg.ArrayCount, cfg.Repeats); err != nil {
+		return nil, err
+	}
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("bench: stream count must be positive, got %d", cfg.N)
+	}
+	src, err := scsql.InboundQuery(1, cfg.N, cfg.ArrayBytes, cfg.ArrayCount)
+	if err != nil {
+		return nil, err
+	}
+	cost := hw.DefaultCostModel().ScaleInboundFixed(float64(cfg.ArrayBytes) / PaperArrayBytes)
+	sent := int64(cfg.N) * int64(cfg.ArrayCount)
+
+	var rows []UDPLossRow
+	for _, rate := range cfg.LossRates {
+		var (
+			mbps      []float64
+			delivered int64
+		)
+		for r := 0; r < cfg.Repeats; r++ {
+			env, err := hw.NewLOFAR(hw.WithCostModel(cost))
+			if err != nil {
+				return nil, err
+			}
+			eng, err := core.NewEngine(core.WithEnv(env), core.WithUDPInbound(rate))
+			if err != nil {
+				return nil, err
+			}
+			ev := scsql.NewEvaluator(eng, nil)
+			res, err := ev.Exec(src)
+			if err != nil {
+				eng.Close()
+				return nil, fmt.Errorf("udploss rate=%v: %w", rate, err)
+			}
+			v, err := res.Stream.One()
+			if err != nil {
+				eng.Close()
+				return nil, fmt.Errorf("udploss rate=%v: %w", rate, err)
+			}
+			count, ok := v.(int64)
+			if !ok {
+				eng.Close()
+				return nil, fmt.Errorf("udploss rate=%v: count is %T", rate, v)
+			}
+			delivered = count // deterministic loss: identical across repeats
+			seconds := res.Stream.Makespan().Sub(0).Seconds()
+			mbps = append(mbps, float64(count)*float64(cfg.ArrayBytes)*8/seconds/1e6)
+			eng.Close()
+		}
+		rows = append(rows, UDPLossRow{
+			LossRate:      rate,
+			DeliveredFrac: float64(delivered) / float64(sent),
+			Goodput:       summarize(mbps),
+		})
+	}
+	return rows, nil
+}
+
+// WriteUDPLoss renders the UDP-loss table.
+func WriteUDPLoss(w writer, rows []UDPLossRow) error {
+	if _, err := fmt.Fprintln(w, "UDP inbound (extension) — Query 1 topology over the I/O nodes' UDP service"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-10s %12s %18s\n", "loss", "delivered", "goodput"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-10.2f %11.1f%% %18s\n", r.LossRate, r.DeliveredFrac*100, r.Goodput); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+// Package carrier defines the stream-carrier abstraction of SCSQ's sender
+// and receiver drivers (paper §2.3). A carrier connection transports frames
+// of marshaled stream objects from a producer RP to a subscriber RP and
+// charges the simulated hardware for the transfer, yielding the virtual
+// delivery time of each frame.
+//
+// Two carrier implementations exist, matching the paper: internal/mpicar
+// (native MPI inside the BlueGene, with single- or double-buffered drivers)
+// and internal/tcpcar (TCP between clusters).
+package carrier
+
+import (
+	"errors"
+
+	"scsq/internal/vtime"
+)
+
+// Buffering selects the MPI driver's buffer discipline (paper §2.3: the MPI
+// sender and receiver drivers contain double buffers so that one buffer can
+// be processed while the other one is read or written).
+type Buffering int
+
+// Buffering modes.
+const (
+	SingleBuffered Buffering = iota + 1
+	DoubleBuffered
+)
+
+func (b Buffering) String() string {
+	switch b {
+	case SingleBuffered:
+		return "single"
+	case DoubleBuffered:
+		return "double"
+	default:
+		return "unknown"
+	}
+}
+
+// Frame is one flushed send buffer.
+type Frame struct {
+	// Source identifies the producer RP; receivers use it to model
+	// source-switching penalties when merging.
+	Source string
+	// Payload holds marshaled stream objects (see internal/marshal).
+	Payload []byte
+	// Ready is the virtual instant the payload finished marshaling at the
+	// sender.
+	Ready vtime.Time
+	// Last marks the final frame of the stream; its payload may be empty.
+	Last bool
+}
+
+// Delivered is a frame annotated with its virtual arrival time at the
+// receiving node.
+type Delivered struct {
+	Frame
+	// At is the virtual arrival instant (network stages complete;
+	// de-marshaling is charged by the receiver driver).
+	At vtime.Time
+	// ViaTCP reports that the frame crossed a cluster boundary over the TCP
+	// carrier (receiver drivers charge inbound-TCP de-marshal rates and
+	// merge-switch penalties only for such frames).
+	ViaTCP bool
+}
+
+// Inbox is the receiving end of one or more connections. The channel is
+// buffered by the flow-control window of the receiver driver; senders block
+// when the subscriber falls behind, which is SCSQ's stream-flow regulation.
+type Inbox chan Delivered
+
+// Conn is an open carrier connection.
+type Conn interface {
+	// Send charges the hardware model for the frame and delivers it to the
+	// receiver's inbox. It returns the virtual time at which the sender-side
+	// device (co-processor or NIC) finished with the frame — the instant the
+	// send buffer becomes reusable — which the sender driver uses to
+	// implement single versus double buffering.
+	Send(f Frame) (senderFree vtime.Time, err error)
+	// Close releases carrier resources (e.g. the inbound-stream registry
+	// entry used for coordination-penalty modeling). It does not close the
+	// inbox, which may be shared by other connections.
+	Close() error
+}
+
+// ErrClosed is returned by Send on a closed connection.
+var ErrClosed = errors.New("carrier: connection closed")

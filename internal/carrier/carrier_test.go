@@ -1,0 +1,27 @@
+package carrier
+
+import "testing"
+
+func TestBufferingString(t *testing.T) {
+	tests := []struct {
+		b    Buffering
+		want string
+	}{
+		{SingleBuffered, "single"},
+		{DoubleBuffered, "double"},
+		{Buffering(0), "unknown"},
+		{Buffering(9), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.b.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestFrameZeroValue(t *testing.T) {
+	var f Frame
+	if f.Last || f.Payload != nil || f.Ready != 0 {
+		t.Errorf("zero frame = %+v", f)
+	}
+}

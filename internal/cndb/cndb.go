@@ -1,0 +1,201 @@
+// Package cndb implements the compute node database each cluster
+// coordinator maintains (paper §2.2): the properties and status of the
+// compute nodes in its cluster, and the node selection algorithm that
+// starts a new RP on a suitable node.
+//
+// Node selection is either naive — "returning the next available node", the
+// paper's default — or constrained by an allocation sequence: a stream of
+// allowable compute nodes in preferred allocation order, produced by a node
+// allocation query (explicit node ids, urr(), inPset(), psetrr()). The
+// selection algorithm chooses the first available node in the sequence and
+// fails if the sequence contains no available node.
+package cndb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"scsq/internal/hw"
+)
+
+// ErrNoAvailableNode is returned when an allocation sequence (or the whole
+// cluster) contains no available node.
+var ErrNoAvailableNode = errors.New("cndb: allocation sequence contains no available node")
+
+// Sequence is an allocation sequence: a cyclic stream of candidate node ids
+// in preferred order. A Sequence is stateful — consecutive selections
+// against the same sequence continue where the previous one stopped, which
+// is how spv() spreads a batch of stream processes round-robin.
+type Sequence struct {
+	mu  sync.Mutex
+	ids []int
+	pos int
+}
+
+// NewSequence builds an allocation sequence cycling over ids. It returns an
+// error for an empty id list.
+func NewSequence(ids ...int) (*Sequence, error) {
+	if len(ids) == 0 {
+		return nil, errors.New("cndb: empty allocation sequence")
+	}
+	return &Sequence{ids: append([]int(nil), ids...)}, nil
+}
+
+// Period returns the cycle length of the sequence.
+func (s *Sequence) Period() int { return len(s.ids) }
+
+// IDs returns a copy of one full cycle of the sequence.
+func (s *Sequence) IDs() []int { return append([]int(nil), s.ids...) }
+
+func (s *Sequence) next() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.ids[s.pos]
+	s.pos = (s.pos + 1) % len(s.ids)
+	return id
+}
+
+// DB is one cluster's compute node database. BlueGene compute nodes are
+// exclusive (CNK runs a single process, so each RP needs a fresh node);
+// Linux cluster nodes can host any number of RPs.
+type DB struct {
+	cluster   hw.ClusterName
+	exclusive bool
+
+	mu        sync.Mutex
+	allocated map[int]int // node id -> RP count
+	size      int
+	rr        int
+}
+
+// New builds the CNDB for cluster c of environment env.
+func New(env *hw.Env, c hw.ClusterName) (*DB, error) {
+	n := env.ClusterSize(c)
+	if n == 0 {
+		return nil, fmt.Errorf("cndb: unknown or empty cluster %q", c)
+	}
+	return &DB{
+		cluster:   c,
+		exclusive: c == hw.BlueGene,
+		allocated: make(map[int]int),
+		size:      n,
+	}, nil
+}
+
+// Cluster returns the cluster this database describes.
+func (db *DB) Cluster() hw.ClusterName { return db.cluster }
+
+// Size returns the number of compute nodes in the cluster.
+func (db *DB) Size() int { return db.size }
+
+// Exclusive reports whether nodes host at most one RP (BlueGene).
+func (db *DB) Exclusive() bool { return db.exclusive }
+
+// Select allocates a node. With a nil sequence the naive algorithm is used:
+// the next available node (for exclusive clusters) or round-robin (for
+// shared clusters). With a sequence, the first available node in the
+// sequence is chosen, consuming sequence positions; if a full cycle yields
+// no available node, ErrNoAvailableNode is returned.
+func (db *DB) Select(seq *Sequence) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if seq == nil {
+		return db.selectNaive()
+	}
+	for i := 0; i < seq.Period(); i++ {
+		id := seq.next()
+		if id < 0 || id >= db.size {
+			return 0, fmt.Errorf("cndb: allocation sequence node %d out of range for cluster %q (size %d)", id, db.cluster, db.size)
+		}
+		if db.exclusive && db.allocated[id] > 0 {
+			continue
+		}
+		db.allocated[id]++
+		return id, nil
+	}
+	return 0, fmt.Errorf("%w (cluster %q)", ErrNoAvailableNode, db.cluster)
+}
+
+func (db *DB) selectNaive() (int, error) {
+	if db.exclusive {
+		for id := 0; id < db.size; id++ {
+			if db.allocated[id] == 0 {
+				db.allocated[id]++
+				return id, nil
+			}
+		}
+		return 0, fmt.Errorf("%w (cluster %q)", ErrNoAvailableNode, db.cluster)
+	}
+	id := db.rr % db.size
+	db.rr++
+	db.allocated[id]++
+	return id, nil
+}
+
+// Release returns a node allocation. Releasing a node that is not allocated
+// is a no-op.
+func (db *DB) Release(id int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.allocated[id] > 0 {
+		db.allocated[id]--
+		if db.allocated[id] == 0 {
+			delete(db.allocated, id)
+		}
+	}
+}
+
+// AllocatedCount reports how many RPs are currently placed on node id.
+func (db *DB) AllocatedCount(id int) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.allocated[id]
+}
+
+// Reset releases every allocation and rewinds the round-robin cursor.
+func (db *DB) Reset() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.allocated = make(map[int]int)
+	db.rr = 0
+}
+
+// URR returns the paper's urr(cluster) allocation sequence: each identifier
+// represents a new node of the cluster in a round-robin fashion.
+func URR(db *DB) *Sequence {
+	ids := make([]int, db.Size())
+	for i := range ids {
+		ids[i] = i
+	}
+	s, _ := NewSequence(ids...) // db.Size() > 0 by construction
+	return s
+}
+
+// InPset returns the inPset(k) allocation sequence: the compute nodes of
+// BlueGene pset k, forcing all selected RPs to share one I/O node.
+func InPset(env *hw.Env, k int) (*Sequence, error) {
+	ids, err := env.NodesInPset(k)
+	if err != nil {
+		return nil, err
+	}
+	return NewSequence(ids...)
+}
+
+// PsetRR returns the psetrr() allocation sequence: BlueGene compute node
+// numbers where each succeeding node belongs to a new pset in a round-robin
+// fashion, parallelizing inbound communication over different I/O nodes.
+func PsetRR(env *hw.Env) (*Sequence, error) {
+	psets := env.PsetCount()
+	size := env.PsetSize()
+	if psets == 0 || size == 0 {
+		return nil, errors.New("cndb: environment has no psets")
+	}
+	ids := make([]int, 0, psets*size)
+	for member := 0; member < size; member++ {
+		for p := 0; p < psets; p++ {
+			ids = append(ids, p*size+member)
+		}
+	}
+	return NewSequence(ids...)
+}

@@ -1,0 +1,188 @@
+// Package coord implements SCSQ's cluster coordinators (paper §2.2): feCC
+// on the front-end cluster, beCC on the back-end cluster, and bgCC on the
+// BlueGene. Each coordinator owns its cluster's compute node database and
+// places new running processes via the node selection algorithm.
+//
+// Because BlueGene's compute node kernel lacks server capabilities (no
+// listen(), accept() or select()), the client manager cannot contact bgCC
+// directly: subqueries destined for the BlueGene are registered with feCC,
+// and bgCC retrieves them by polling — reproduced here literally by
+// BGPoller.
+package coord
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"scsq/internal/cndb"
+	"scsq/internal/hw"
+	"scsq/internal/rp"
+)
+
+// PlaceResult is the outcome of a placement request.
+type PlaceResult struct {
+	Node int
+	Err  error
+}
+
+// PlaceRequest asks for a BlueGene node allocation; bgCC answers on Reply.
+type PlaceRequest struct {
+	Seq   *cndb.Sequence
+	Reply chan PlaceResult
+}
+
+// Coordinator is one cluster's coordinator.
+type Coordinator struct {
+	cluster hw.ClusterName
+	env     *hw.Env
+	db      *cndb.DB
+
+	mu  sync.Mutex
+	rps map[string]*rp.RP
+
+	// bgQueue holds BlueGene placement requests registered with this
+	// (front-end) coordinator, awaiting the BlueGene coordinator's poll.
+	bgQueue chan *PlaceRequest
+}
+
+// New builds the coordinator for cluster c.
+func New(env *hw.Env, c hw.ClusterName) (*Coordinator, error) {
+	db, err := cndb.New(env, c)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{
+		cluster: c,
+		env:     env,
+		db:      db,
+		rps:     make(map[string]*rp.RP),
+		bgQueue: make(chan *PlaceRequest, 1024),
+	}, nil
+}
+
+// Cluster returns the coordinator's cluster.
+func (c *Coordinator) Cluster() hw.ClusterName { return c.cluster }
+
+// DB returns the coordinator's compute node database.
+func (c *Coordinator) DB() *cndb.DB { return c.db }
+
+// Place allocates a compute node in this cluster, honoring the allocation
+// sequence if one is given.
+func (c *Coordinator) Place(seq *cndb.Sequence) (int, error) {
+	return c.db.Select(seq)
+}
+
+// Release returns a node allocation.
+func (c *Coordinator) Release(node int) { c.db.Release(node) }
+
+// Register records a started RP with its coordinator.
+func (c *Coordinator) Register(p *rp.RP) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rps[p.ID()] = p
+}
+
+// Unregister removes a terminated RP.
+func (c *Coordinator) Unregister(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.rps, id)
+}
+
+// RPCount reports how many RPs are registered.
+func (c *Coordinator) RPCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.rps)
+}
+
+// SubmitBGPlacement registers a BlueGene placement request with this
+// (front-end) coordinator. The request is answered asynchronously once the
+// BlueGene coordinator polls it. The returned channel receives exactly one
+// result.
+func (c *Coordinator) SubmitBGPlacement(seq *cndb.Sequence) (<-chan PlaceResult, error) {
+	if c.cluster != hw.FrontEnd {
+		return nil, fmt.Errorf("coord: BG placements must be registered with the front-end coordinator, not %q", c.cluster)
+	}
+	req := &PlaceRequest{Seq: seq, Reply: make(chan PlaceResult, 1)}
+	select {
+	case c.bgQueue <- req:
+		return req.Reply, nil
+	default:
+		return nil, fmt.Errorf("coord: front-end BG placement queue full")
+	}
+}
+
+// pollBG drains pending BG placement requests (called by BGPoller).
+func (c *Coordinator) pollBG() []*PlaceRequest {
+	var out []*PlaceRequest
+	for {
+		select {
+		case req := <-c.bgQueue:
+			out = append(out, req)
+		default:
+			return out
+		}
+	}
+}
+
+// BGPoller is the polling loop with which the BlueGene coordinator
+// retrieves new subqueries from the front-end coordinator.
+type BGPoller struct {
+	fe, bg   *Coordinator
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewBGPoller starts the bgCC→feCC polling loop. Call Shutdown to stop it.
+func NewBGPoller(fe, bg *Coordinator, interval time.Duration) (*BGPoller, error) {
+	if fe.cluster != hw.FrontEnd || bg.cluster != hw.BlueGene {
+		return nil, fmt.Errorf("coord: poller needs fe and bg coordinators, got %q and %q", fe.cluster, bg.cluster)
+	}
+	if interval <= 0 {
+		interval = 200 * time.Microsecond
+	}
+	p := &BGPoller{
+		fe:       fe,
+		bg:       bg,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go p.loop()
+	return p, nil
+}
+
+func (p *BGPoller) loop() {
+	defer close(p.done)
+	ticker := time.NewTicker(p.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			for _, req := range p.fe.pollBG() {
+				node, err := p.bg.Place(req.Seq)
+				req.Reply <- PlaceResult{Node: node, Err: err}
+			}
+		case <-p.stop:
+			// Final drain so no submitted request is left unanswered.
+			for _, req := range p.fe.pollBG() {
+				node, err := p.bg.Place(req.Seq)
+				req.Reply <- PlaceResult{Node: node, Err: err}
+			}
+			return
+		}
+	}
+}
+
+// Shutdown stops the polling loop and waits for it to exit.
+func (p *BGPoller) Shutdown() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	<-p.done
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"scsq/internal/hw"
+	"scsq/internal/sqep"
+	"scsq/internal/vtime"
+)
+
+// ClientStream is the client manager's view of a continuous query's result:
+// the top-level extract()/merge() of a CQ, consumed on the front-end
+// cluster where the user interacts with SCSQ.
+type ClientStream struct {
+	eng  *Engine
+	recv sqep.Operator
+	ctx  sqep.Ctx
+
+	drained  bool
+	elements []sqep.Element
+	makespan vtime.Time
+	err      error
+}
+
+// Extract returns the client-side stream of process p's output (the
+// top-level extract(p) of a query).
+func (e *Engine) Extract(p *SP) (*ClientStream, error) {
+	return e.ClientPlan(func(b *PlanBuilder) (sqep.Operator, error) {
+		return b.Extract(p)
+	})
+}
+
+// MergeExtract returns the client-side merged stream of the given processes
+// (a top-level merge(...) of a query).
+func (e *Engine) MergeExtract(ps []*SP) (*ClientStream, error) {
+	if len(ps) == 0 {
+		return nil, errors.New("core: extract of empty process bag")
+	}
+	return e.ClientPlan(func(b *PlanBuilder) (sqep.Operator, error) {
+		return b.Merge(ps)
+	})
+}
+
+// ClientPlan builds an arbitrary result plan executing in the client
+// manager on the front-end cluster. The top-level select expression of a
+// query — extract(c), merge(spv(...)), radixcombine(merge({a,b})), ... —
+// compiles to such a plan.
+func (e *Engine) ClientPlan(build Subquery) (*ClientStream, error) {
+	node, err := e.env.Node(hw.FrontEnd, e.clientNode)
+	if err != nil {
+		return nil, err
+	}
+	b := &PlanBuilder{eng: e, cluster: hw.FrontEnd, node: e.clientNode, spID: "client"}
+	root, err := build(b)
+	if err != nil {
+		return nil, err
+	}
+	return &ClientStream{
+		eng: e,
+		ctx: sqep.Ctx{
+			CPU:     node.CPU,
+			Cost:    e.env.Cost,
+			Files:   e.files,
+			Sources: e.sources,
+		},
+		recv: root,
+	}, nil
+}
+
+// Drain starts every stream process of the query, consumes the result
+// stream to completion, waits for all RPs to terminate, and releases their
+// node allocations. It returns the result elements. Drain is idempotent.
+func (s *ClientStream) Drain() ([]sqep.Element, error) {
+	if s.drained {
+		return s.elements, s.err
+	}
+	s.drained = true
+
+	e := s.eng
+	e.mu.Lock()
+	sps := append([]*SP(nil), e.sps...)
+	e.mu.Unlock()
+
+	var errs []error
+	for _, sp := range sps {
+		if err := sp.start(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := s.recv.Open(&s.ctx); err != nil {
+		errs = append(errs, err)
+	}
+	if len(errs) == 0 {
+		for {
+			el, ok, err := s.recv.Next()
+			if err != nil {
+				errs = append(errs, err)
+				break
+			}
+			if !ok {
+				break
+			}
+			s.elements = append(s.elements, el)
+			s.makespan = vtime.MaxTime(s.makespan, el.At)
+		}
+	}
+	if err := s.recv.Close(); err != nil {
+		errs = append(errs, err)
+	}
+
+	// Quiesce: RPs may have dynamically started new RPs while running
+	// (paper §2.2), so wait rounds until no new process appears.
+	waited := make(map[string]bool, len(sps))
+	for {
+		for _, sp := range sps {
+			if waited[sp.id] {
+				continue
+			}
+			waited[sp.id] = true
+			if err := sp.rp.Wait(); err != nil {
+				errs = append(errs, err)
+			}
+			e.coords[sp.cluster].Release(sp.node)
+			e.coords[sp.cluster].Unregister(sp.id)
+		}
+		e.mu.Lock()
+		all := append([]*SP(nil), e.sps...)
+		e.mu.Unlock()
+		var fresh []*SP
+		for _, sp := range all {
+			if !waited[sp.id] {
+				fresh = append(fresh, sp)
+			}
+		}
+		if len(fresh) == 0 {
+			break
+		}
+		sps = fresh
+	}
+	e.mu.Lock()
+	e.sps = nil
+	e.mu.Unlock()
+
+	s.err = errors.Join(errs...)
+	return s.elements, s.err
+}
+
+// Makespan returns the virtual completion time of the query: the timestamp
+// of the last result element delivered to the client manager. It is only
+// meaningful after Drain.
+func (s *ClientStream) Makespan() vtime.Time { return s.makespan }
+
+// Values returns the drained element values.
+func (s *ClientStream) Values() []any {
+	out := make([]any, len(s.elements))
+	for i, el := range s.elements {
+		out[i] = el.Value
+	}
+	return out
+}
+
+// One drains the stream and asserts it produced exactly one element,
+// returning its value — the common shape of the paper's measurement
+// queries, whose output is a single integer.
+func (s *ClientStream) One() (any, error) {
+	els, err := s.Drain()
+	if err != nil {
+		return nil, err
+	}
+	if len(els) != 1 {
+		return nil, fmt.Errorf("core: expected a single result element, got %d", len(els))
+	}
+	return els[0].Value, nil
+}

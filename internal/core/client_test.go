@@ -1,0 +1,219 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"scsq/internal/hw"
+	"scsq/internal/sqep"
+	"scsq/internal/vtime"
+)
+
+func TestOneRejectsMultipleElements(t *testing.T) {
+	e, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	a, err := e.SP(func(*PlanBuilder) (sqep.Operator, error) {
+		return sqep.NewIota(1, 3), nil
+	}, hw.BackEnd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := e.Extract(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.One(); err == nil || !strings.Contains(err.Error(), "single result") {
+		t.Errorf("One over 3 elements: err = %v", err)
+	}
+}
+
+func TestValuesAndDrainIdempotent(t *testing.T) {
+	e, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	a, err := e.SP(func(*PlanBuilder) (sqep.Operator, error) {
+		return sqep.NewIota(1, 2), nil
+	}, hw.BackEnd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := e.Extract(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	vals := cs.Values()
+	if len(vals) != 2 || vals[0] != int64(1) {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func TestMergeExtractEmptyBag(t *testing.T) {
+	e, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.MergeExtract(nil); err == nil {
+		t.Error("empty bag should fail")
+	}
+}
+
+func TestRPErrorSurfacesThroughDrain(t *testing.T) {
+	e, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// A plan whose operator errors mid-stream.
+	bad, err := e.SP(func(*PlanBuilder) (sqep.Operator, error) {
+		return sqep.NewMapFn("explode", sqep.NewIota(1, 10), func(v any) (any, vtime.Duration, error) {
+			if v.(int64) == 3 {
+				return nil, 0, errTest
+			}
+			return v, 0, nil
+		}), nil
+	}, hw.BackEnd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := e.Extract(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, derr := cs.Drain()
+	if derr == nil || !strings.Contains(derr.Error(), "boom-test") {
+		t.Errorf("drain error = %v, want the RP's failure", derr)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "boom-test" }
+
+func TestEngineOptionValidation(t *testing.T) {
+	if _, err := NewEngine(WithMPIBufferBytes(0)); err == nil {
+		t.Error("zero MPI buffer should fail")
+	}
+	if _, err := NewEngine(WithWindowFrames(0)); err == nil {
+		t.Error("zero window should fail")
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	e, err := NewEngine(WithBGPollInterval(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.Env() == nil {
+		t.Error("Env must be set")
+	}
+	if e.Coordinator(hw.BlueGene) == nil || e.Coordinator("zz") != nil {
+		t.Error("Coordinator lookup misbehaves")
+	}
+	if e.FileTable() != nil {
+		t.Error("default file table must be nil")
+	}
+	if err := e.Close(); err != nil {
+		t.Error("Close must be idempotent")
+	}
+}
+
+func TestResetReleasesNodesAndEdges(t *testing.T) {
+	e, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	a, err := e.SP(func(*PlanBuilder) (sqep.Operator, error) {
+		return sqep.NewIota(1, 1), nil
+	}, hw.BlueGene, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Extract(a); err != nil {
+		t.Fatal(err)
+	}
+	if e.Coordinator(hw.BlueGene).DB().AllocatedCount(a.Node()) == 0 {
+		t.Fatal("node should be allocated")
+	}
+	e.Reset()
+	if e.Coordinator(hw.BlueGene).DB().AllocatedCount(a.Node()) != 0 {
+		t.Error("Reset must release node allocations")
+	}
+	if len(e.Edges()) != 0 {
+		t.Error("Reset must clear the topology")
+	}
+	// The engine is usable again.
+	b, err := e.SP(func(*PlanBuilder) (sqep.Operator, error) {
+		return sqep.NewIota(1, 4), nil
+	}, hw.BlueGene, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := e.Extract(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	els, err := cs.Drain()
+	if err != nil || len(els) != 4 {
+		t.Errorf("post-reset drain = %d elements, %v", len(els), err)
+	}
+}
+
+func TestWindowFramesOptionBoundsInFlight(t *testing.T) {
+	// A tiny window still completes (backpressure, not deadlock).
+	e, err := NewEngine(WithWindowFrames(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	cs := figure5(t, e, 50_000, 8)
+	v, err := cs.One()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(8) {
+		t.Errorf("count = %v, want 8", v)
+	}
+}
+
+func TestSubscribeViaBuilderOnly(t *testing.T) {
+	// Wiring to an SP that already started must fail cleanly.
+	e, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	a, err := e.SP(func(*PlanBuilder) (sqep.Operator, error) {
+		return sqep.NewIota(1, 1), nil
+	}, hw.BackEnd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain a query that consumes a; afterwards a has terminated.
+	cs, err := e.Extract(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ConnectLive(a, hw.FrontEnd, 0); err == nil {
+		t.Error("wiring to a started RP should fail")
+	}
+}

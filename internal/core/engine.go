@@ -1,0 +1,580 @@
+// Package core implements the SCSQ engine: the client manager, the
+// stream-process (SP) abstraction that makes processes first-class query
+// objects, and the wiring of running processes across the simulated LOFAR
+// clusters.
+//
+// The paper's sp(s, c) assigns subquery s to a new stream process in
+// cluster c; spv(s, c) assigns each subquery of a set to a new stream
+// process; extract(p) requests the elements of p's subquery; merge(p)
+// combines the streams of a set of processes. Engine.SP, Engine.SPV,
+// PlanBuilder.Extract/Merge and Engine.Extract/MergeExtract are these
+// functions' programmatic form; the SCSQL front end (internal/scsql) lowers
+// parsed queries onto them.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"scsq/internal/carrier"
+	"scsq/internal/cndb"
+	"scsq/internal/coord"
+	"scsq/internal/hw"
+	"scsq/internal/mpicar"
+	"scsq/internal/rp"
+	"scsq/internal/sqep"
+	"scsq/internal/tcpcar"
+	"scsq/internal/udpcar"
+	"scsq/internal/vtime"
+)
+
+// Engine is a SCSQ instance over a (simulated) hardware environment. An
+// engine executes one continuous query at a time: build the SP graph with
+// SP/SPV, consume it with Extract/MergeExtract + Drain, then Reset to run
+// the next query against fresh virtual time.
+type Engine struct {
+	env    *hw.Env
+	mpi    *mpicar.Fabric
+	tcp    *tcpcar.Fabric
+	netTCP *tcpcar.NetFabric // non-nil in real-socket mode
+	udp    *udpcar.Fabric    // non-nil when inbound streams use UDP
+	coords map[hw.ClusterName]*coord.Coordinator
+	poller *coord.BGPoller
+
+	files   sqep.FileTable
+	sources map[string]sqep.SourceFunc
+
+	mpiBufBytes int
+	buffering   carrier.Buffering
+	window      int
+	horizon     vtime.Duration
+	clientNode  int // front-end node hosting the client manager
+
+	mu     sync.Mutex
+	pacer  *vtime.Pacer
+	sps    []*SP
+	edges  []Edge
+	nextID int
+	closed bool
+}
+
+// Edge describes one carrier connection of the current query's process
+// graph, for topology introspection (the shell's -explain flag).
+type Edge struct {
+	Producer    string // producer SP id
+	Consumer    string // consumer SP id, or "client" for the client manager
+	FromCluster hw.ClusterName
+	FromNode    int
+	ToCluster   hw.ClusterName
+	ToNode      int
+	Carrier     string // "mpi" or "tcp"
+}
+
+// Option configures NewEngine.
+type Option interface{ apply(*engineConfig) }
+
+type engineConfig struct {
+	env          *hw.Env
+	files        sqep.FileTable
+	sources      map[string]sqep.SourceFunc
+	mpiBufBytes  int
+	buffering    carrier.Buffering
+	window       int
+	horizon      vtime.Duration
+	pollInterval time.Duration
+	realTCP      bool
+	udpLoss      float64
+	useUDP       bool
+}
+
+type optionFunc func(*engineConfig)
+
+func (f optionFunc) apply(c *engineConfig) { f(c) }
+
+// WithEnv runs the engine over an existing environment instead of a default
+// LOFAR one.
+func WithEnv(env *hw.Env) Option {
+	return optionFunc(func(c *engineConfig) { c.env = env })
+}
+
+// WithFileTable provides the table behind filename(i) and grep().
+func WithFileTable(t sqep.FileTable) Option {
+	return optionFunc(func(c *engineConfig) { c.files = t })
+}
+
+// WithSource registers a named external stream source for receiver(name).
+func WithSource(name string, fn sqep.SourceFunc) Option {
+	return optionFunc(func(c *engineConfig) { c.sources[name] = fn })
+}
+
+// WithMPIBufferBytes sets the MPI driver's send-buffer size (Figures 6/8
+// sweep this).
+func WithMPIBufferBytes(n int) Option {
+	return optionFunc(func(c *engineConfig) { c.mpiBufBytes = n })
+}
+
+// WithBuffering selects single or double buffering for the MPI drivers.
+func WithBuffering(b carrier.Buffering) Option {
+	return optionFunc(func(c *engineConfig) { c.buffering = b })
+}
+
+// WithWindowFrames sets the per-connection flow-control window (frames an
+// inbox buffers before the producer blocks).
+func WithWindowFrames(n int) Option {
+	return optionFunc(func(c *engineConfig) { c.window = n })
+}
+
+// WithRealTCP carries cross-cluster streams over real loopback TCP sockets
+// (length-prefixed frames, one connection per stream) instead of in-process
+// channels. Virtual-time results are identical; the mode exercises the
+// actual network stack.
+func WithRealTCP() Option {
+	return optionFunc(func(c *engineConfig) { c.realTCP = true })
+}
+
+// WithUDPInbound carries back-end → BlueGene streams over the I/O nodes'
+// UDP service instead of TCP (paper §2.1: the I/O nodes provide TCP or
+// UDP). UDP is best-effort: datagrams drop at the given deterministic rate,
+// so array counts observe the loss; end-of-stream control frames are always
+// delivered.
+func WithUDPInbound(lossRate float64) Option {
+	return optionFunc(func(c *engineConfig) {
+		c.useUDP = true
+		c.udpLoss = lossRate
+	})
+}
+
+// WithPacerHorizon sets the conservative-pacing window: no RP of a query
+// runs more than this far ahead of its slowest peer in virtual time. Zero
+// disables pacing (fast but wall-clock-scheduling sensitive).
+func WithPacerHorizon(d vtime.Duration) Option {
+	return optionFunc(func(c *engineConfig) { c.horizon = d })
+}
+
+// WithBGPollInterval sets how often bgCC polls feCC for new subqueries.
+func WithBGPollInterval(d time.Duration) Option {
+	return optionFunc(func(c *engineConfig) { c.pollInterval = d })
+}
+
+// NewEngine builds an engine. With no options it simulates the default
+// LOFAR environment.
+func NewEngine(opts ...Option) (*Engine, error) {
+	cfg := engineConfig{
+		sources:      make(map[string]sqep.SourceFunc),
+		mpiBufBytes:  64 * 1024,
+		buffering:    carrier.DoubleBuffered,
+		window:       4,
+		horizon:      vtime.Millisecond,
+		pollInterval: 200 * time.Microsecond,
+	}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	if cfg.env == nil {
+		env, err := hw.NewLOFAR()
+		if err != nil {
+			return nil, err
+		}
+		cfg.env = env
+	}
+	if cfg.mpiBufBytes <= 0 {
+		return nil, fmt.Errorf("core: MPI buffer size must be positive, got %d", cfg.mpiBufBytes)
+	}
+	if cfg.window <= 0 {
+		return nil, fmt.Errorf("core: window must be positive, got %d", cfg.window)
+	}
+
+	e := &Engine{
+		env:         cfg.env,
+		mpi:         mpicar.NewFabric(cfg.env),
+		tcp:         tcpcar.NewFabric(cfg.env),
+		coords:      make(map[hw.ClusterName]*coord.Coordinator, 3),
+		files:       cfg.files,
+		sources:     cfg.sources,
+		mpiBufBytes: cfg.mpiBufBytes,
+		buffering:   cfg.buffering,
+		window:      cfg.window,
+		horizon:     cfg.horizon,
+		pacer:       vtime.NewPacer(cfg.horizon),
+	}
+	for _, c := range []hw.ClusterName{hw.FrontEnd, hw.BackEnd, hw.BlueGene} {
+		cc, err := coord.New(cfg.env, c)
+		if err != nil {
+			return nil, err
+		}
+		e.coords[c] = cc
+	}
+	poller, err := coord.NewBGPoller(e.coords[hw.FrontEnd], e.coords[hw.BlueGene], cfg.pollInterval)
+	if err != nil {
+		return nil, err
+	}
+	e.poller = poller
+	if cfg.realTCP {
+		nf, err := tcpcar.NewNetFabric(e.tcp)
+		if err != nil {
+			e.poller.Shutdown()
+			return nil, err
+		}
+		e.netTCP = nf
+	}
+	if cfg.useUDP {
+		uf, err := udpcar.NewFabric(cfg.env, cfg.udpLoss)
+		if err != nil {
+			e.poller.Shutdown()
+			return nil, err
+		}
+		e.udp = uf
+	}
+	return e, nil
+}
+
+// Env returns the engine's hardware environment.
+func (e *Engine) Env() *hw.Env { return e.env }
+
+// Coordinator returns the cluster coordinator for c (nil for unknown
+// clusters).
+func (e *Engine) Coordinator(c hw.ClusterName) *coord.Coordinator { return e.coords[c] }
+
+// FileTable returns the configured file table (possibly nil).
+func (e *Engine) FileTable() sqep.FileTable { return e.files }
+
+// Close shuts the engine down (stopping the bgCC polling loop). Queries in
+// flight must be drained first.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	e.poller.Shutdown()
+	if e.netTCP != nil {
+		return e.netTCP.Close()
+	}
+	return nil
+}
+
+// Reset releases any leftover SP allocations and rewinds every virtual
+// resource, preparing the engine for an independent query run.
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	sps := e.sps
+	e.sps = nil
+	e.mu.Unlock()
+	for _, s := range sps {
+		e.coords[s.cluster].Release(s.node)
+		e.coords[s.cluster].Unregister(s.id)
+	}
+	for _, cc := range e.coords {
+		cc.DB().Reset()
+	}
+	e.env.Reset()
+	e.mpi.Reset()
+	e.mu.Lock()
+	e.pacer = vtime.NewPacer(e.horizon)
+	e.edges = nil
+	e.mu.Unlock()
+}
+
+// Edges returns the carrier connections wired since the last Reset — the
+// query's physical communication topology.
+func (e *Engine) Edges() []Edge {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Edge(nil), e.edges...)
+}
+
+func (e *Engine) recordEdge(ed Edge) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.edges = append(e.edges, ed)
+}
+
+func (e *Engine) newID(prefix string) string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nextID++
+	return prefix + strconv.Itoa(e.nextID)
+}
+
+// place allocates a compute node in cluster c. BlueGene placements go
+// through the front-end coordinator and are picked up by bgCC's polling
+// loop, because CNK offers no server capabilities.
+func (e *Engine) place(c hw.ClusterName, seq *cndb.Sequence) (int, error) {
+	cc, ok := e.coords[c]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown cluster %q", c)
+	}
+	if c == hw.BlueGene {
+		reply, err := e.coords[hw.FrontEnd].SubmitBGPlacement(seq)
+		if err != nil {
+			return 0, err
+		}
+		res := <-reply
+		return res.Node, res.Err
+	}
+	return cc.Place(seq)
+}
+
+// SP assigns a subquery to a new stream process in cluster c, optionally
+// constrained by an allocation sequence (paper: sp(s, c) and
+// sp(s, c, alloc)). The returned handle is a first-class object usable in
+// further subqueries via PlanBuilder.Extract/Merge.
+func (e *Engine) SP(sub Subquery, c hw.ClusterName, seq *cndb.Sequence) (*SP, error) {
+	node, err := e.place(c, seq)
+	if err != nil {
+		return nil, fmt.Errorf("core: sp(%q): %w", c, err)
+	}
+	hwNode, err := e.env.Node(c, node)
+	if err != nil {
+		return nil, err
+	}
+	id := e.newID("rp-" + string(c) + "-")
+	ctx := sqep.Ctx{
+		CPU:     hwNode.CPU,
+		Cost:    e.env.Cost,
+		Files:   e.files,
+		Sources: e.sources,
+	}
+	b := &PlanBuilder{eng: e, cluster: c, node: node, spID: id}
+	op, err := sub(b)
+	if err != nil {
+		e.coords[c].Release(node)
+		return nil, err
+	}
+	proc := rp.New(id, c, node, ctx, func(*sqep.Ctx) (sqep.Operator, error) { return op, nil })
+	// Only free-running source RPs register as pacing agents: a reactive
+	// RP's timing derives from its (already paced) inputs, and pacing it
+	// would deadlock — it publishes no progress until data arrives.
+	if !b.hasInputs {
+		e.mu.Lock()
+		agent := e.pacer.Register()
+		e.mu.Unlock()
+		proc.SetPacer(agent)
+	}
+	sp := &SP{eng: e, rp: proc, cluster: c, node: node, id: id}
+	e.coords[c].Register(proc)
+	e.mu.Lock()
+	e.sps = append(e.sps, sp)
+	e.mu.Unlock()
+	return sp, nil
+}
+
+// SPV assigns each subquery of the set to a new stream process in cluster
+// c, sharing one allocation sequence so consecutive placements walk the
+// sequence (paper: spv(s, c, alloc)). It returns the bag of handles.
+func (e *Engine) SPV(subs []Subquery, c hw.ClusterName, seq *cndb.Sequence) ([]*SP, error) {
+	sps := make([]*SP, 0, len(subs))
+	for i, sub := range subs {
+		sp, err := e.SP(sub, c, seq)
+		if err != nil {
+			return nil, fmt.Errorf("core: spv[%d]: %w", i, err)
+		}
+		sps = append(sps, sp)
+	}
+	return sps, nil
+}
+
+// SP is a stream process: a first-class handle to a continuous subquery
+// assigned to a compute node.
+type SP struct {
+	eng     *Engine
+	rp      *rp.RP
+	cluster hw.ClusterName
+	node    int
+	id      string
+
+	mu      sync.Mutex
+	started bool
+}
+
+// ID returns the SP's unique identity.
+func (s *SP) ID() string { return s.id }
+
+// Cluster returns the cluster the SP runs in.
+func (s *SP) Cluster() hw.ClusterName { return s.cluster }
+
+// Node returns the compute node the SP was assigned to.
+func (s *SP) Node() int { return s.node }
+
+// Stats returns the SP's monitoring counters.
+func (s *SP) Stats() rp.Stats { return s.rp.Stats() }
+
+// Start launches the stream process immediately instead of waiting for the
+// query's Drain. It is the second half of dynamic RP creation (paper §2.2:
+// "an RP can dynamically start new RPs by requesting them from the cluster
+// coordinator"): a running RP builds a new SP with Engine.SP, wires itself
+// to it with Engine.ConnectLive, then starts it. Starting twice is a no-op.
+func (s *SP) Start() error { return s.start() }
+
+func (s *SP) start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return nil
+	}
+	s.started = true
+	return s.rp.Start()
+}
+
+// Subquery builds the SQEP of a stream process. It runs at SP-construction
+// time on the client manager: it may wire inputs from other SPs via the
+// builder, and returns the plan's root operator.
+type Subquery func(b *PlanBuilder) (sqep.Operator, error)
+
+// PlanBuilder wires a new SP's inputs to its producer SPs.
+type PlanBuilder struct {
+	eng       *Engine
+	cluster   hw.ClusterName
+	node      int
+	spID      string
+	hasInputs bool
+}
+
+// Cluster returns the cluster of the SP being built.
+func (b *PlanBuilder) Cluster() hw.ClusterName { return b.cluster }
+
+// Node returns the node of the SP being built.
+func (b *PlanBuilder) Node() int { return b.node }
+
+// Extract returns an operator streaming producer p's output into this SP
+// (the paper's extract(p)). The stream terminates when p terminates.
+func (b *PlanBuilder) Extract(p *SP) (sqep.Operator, error) {
+	b.hasInputs = true
+	return b.eng.connectAs([]*SP{p}, b.cluster, b.node, b.spID)
+}
+
+// Merge returns an operator combining the outputs of all processes in ps
+// (the paper's merge()); it terminates when the last process terminates.
+func (b *PlanBuilder) Merge(ps []*SP) (sqep.Operator, error) {
+	if len(ps) == 0 {
+		return nil, errors.New("core: merge of empty process bag")
+	}
+	b.hasInputs = true
+	return b.eng.connectAs(ps, b.cluster, b.node, b.spID)
+}
+
+// connect wires producers to a consumer node over the appropriate carriers
+// (MPI inside the BlueGene, TCP across clusters) and returns the receiving
+// operator. All producers share one inbox, which is how merge() interleaves
+// their frames by arrival.
+func (e *Engine) connect(producers []*SP, cc hw.ClusterName, cn int) (sqep.Operator, error) {
+	return e.connectAs(producers, cc, cn, "client")
+}
+
+// connectAs is connect with the consumer's identity for edge recording.
+func (e *Engine) connectAs(producers []*SP, cc hw.ClusterName, cn int, consumer string) (sqep.Operator, error) {
+	inbox := make(carrier.Inbox, e.window)
+	consNode, err := e.env.Node(cc, cn)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range producers {
+		prodNode, err := e.env.Node(p.cluster, p.node)
+		if err != nil {
+			return nil, err
+		}
+		var (
+			conn carrier.Conn
+			scfg rp.SenderConfig
+		)
+		if p.cluster == hw.BlueGene && cc == hw.BlueGene {
+			mconn, err := e.mpi.Dial(p.node, cn, e.buffering, inbox)
+			if err != nil {
+				return nil, err
+			}
+			conn = mconn
+			scfg = rp.SenderConfig{
+				BufBytes:       e.mpiBufBytes,
+				Mode:           e.buffering,
+				MarshalPerByte: e.env.Cost.BGMarshalByte,
+				CacheFactor:    e.env.Cost.CacheFactor,
+				CPU:            prodNode.CPU,
+			}
+		} else {
+			var (
+				tconn carrier.Conn
+				err   error
+			)
+			src := tcpcar.Endpoint{Cluster: p.cluster, Node: p.node}
+			dst := tcpcar.Endpoint{Cluster: cc, Node: cn}
+			switch {
+			case e.udp != nil && p.cluster == hw.BackEnd && cc == hw.BlueGene:
+				tconn, err = e.udp.Dial(src, dst, inbox)
+			case e.netTCP != nil:
+				tconn, err = e.netTCP.Dial(src, dst, inbox)
+			default:
+				tconn, err = e.tcp.Dial(src, dst, inbox)
+			}
+			if err != nil {
+				return nil, err
+			}
+			conn = tconn
+			scfg = rp.SenderConfig{
+				BufBytes:        1 << 20,
+				Mode:            carrier.DoubleBuffered, // the TCP stack buffers
+				FlushPerElement: true,
+				MarshalPerByte:  e.marshalRate(p.cluster),
+				CPU:             prodNode.CPU,
+			}
+		}
+		if err := p.rp.Subscribe(conn, scfg); err != nil {
+			return nil, err
+		}
+		kind := "tcp"
+		switch {
+		case p.cluster == hw.BlueGene && cc == hw.BlueGene:
+			kind = "mpi"
+		case e.udp != nil && p.cluster == hw.BackEnd && cc == hw.BlueGene:
+			kind = "udp"
+		}
+		e.recordEdge(Edge{
+			Producer:    p.id,
+			Consumer:    consumer,
+			FromCluster: p.cluster,
+			FromNode:    p.node,
+			ToCluster:   cc,
+			ToNode:      cn,
+			Carrier:     kind,
+		})
+	}
+	rcfg := rp.ReceiverConfig{
+		Producers:  len(producers),
+		MPIPerByte: e.env.Cost.BGMarshalByte,
+		CPU:        consNode.CPU,
+	}
+	switch cc {
+	case hw.BlueGene:
+		rcfg.TCPPerByte = e.env.Cost.BGCPUByte
+		rcfg.CacheFactor = e.env.Cost.CacheFactor
+		rcfg.MergeSwitchCost = e.env.Cost.BGMergeSwitchCost
+	case hw.BackEnd:
+		rcfg.TCPPerByte = e.env.Cost.BeCPUByte
+	case hw.FrontEnd:
+		rcfg.TCPPerByte = e.env.Cost.FECPUByte
+	}
+	return rp.NewReceiver(inbox, rcfg), nil
+}
+
+// ConnectLive wires a new input stream from producer p to a consumer at
+// (cc, cn) while the query is already running — the carrier half of
+// dynamic RP creation. The producer must not have started yet (wire first,
+// then SP.Start); the returned operator plugs into the consumer's SQEP.
+func (e *Engine) ConnectLive(p *SP, cc hw.ClusterName, cn int) (sqep.Operator, error) {
+	return e.connectAs([]*SP{p}, cc, cn, fmt.Sprintf("dynamic@%s:%d", cc, cn))
+}
+
+// marshalRate returns the per-byte marshal cost of a node in cluster c.
+func (e *Engine) marshalRate(c hw.ClusterName) float64 {
+	switch c {
+	case hw.BlueGene:
+		return e.env.Cost.BGMarshalByte
+	case hw.BackEnd:
+		return e.env.Cost.BeCPUByte
+	default:
+		return e.env.Cost.FECPUByte
+	}
+}

@@ -1,0 +1,142 @@
+// Package fft implements the radix-2 fast Fourier transform used by the
+// paper's radix2 query function (§2.4). The decomposition FFT(x) =
+// combine(FFT(even(x)), FFT(odd(x))) is exactly what the SCSQL query
+// parallelizes over two stream processes; Combine implements the
+// butterfly-recombination step (the query's radixcombine()).
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ErrNotPowerOfTwo reports an input whose length is not a power of two.
+type ErrNotPowerOfTwo struct{ N int }
+
+func (e *ErrNotPowerOfTwo) Error() string {
+	return fmt.Sprintf("fft: length %d is not a power of two", e.N)
+}
+
+// Transform computes the in-order radix-2 DIT FFT of x. The input length
+// must be a power of two (including 1). The input is not modified.
+func Transform(x []complex128) ([]complex128, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, nil
+	}
+	if n&(n-1) != 0 {
+		return nil, &ErrNotPowerOfTwo{N: n}
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	bitReverse(out)
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := -2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := cmplx.Exp(complex(0, step*float64(k)))
+				a := out[start+k]
+				b := out[start+k+half] * w
+				out[start+k] = a + b
+				out[start+k+half] = a - b
+			}
+		}
+	}
+	return out, nil
+}
+
+// Inverse computes the inverse FFT of x (power-of-two length).
+func Inverse(x []complex128) ([]complex128, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, nil
+	}
+	conj := make([]complex128, n)
+	for i, v := range x {
+		conj[i] = cmplx.Conj(v)
+	}
+	y, err := Transform(conj)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range y {
+		y[i] = cmplx.Conj(v) / complex(float64(n), 0)
+	}
+	return y, nil
+}
+
+// Combine performs the radix-2 recombination: given E = FFT(even samples)
+// and O = FFT(odd samples) of a signal of length 2·len(E), it returns the
+// FFT of the full signal. len(even) must equal len(odd) and be a power of
+// two.
+func Combine(even, odd []complex128) ([]complex128, error) {
+	if len(even) != len(odd) {
+		return nil, fmt.Errorf("fft: combine halves differ in length (%d vs %d)", len(even), len(odd))
+	}
+	h := len(even)
+	if h == 0 {
+		return nil, nil
+	}
+	if h&(h-1) != 0 {
+		return nil, &ErrNotPowerOfTwo{N: h}
+	}
+	n := 2 * h
+	out := make([]complex128, n)
+	for k := 0; k < h; k++ {
+		w := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+		t := w * odd[k]
+		out[k] = even[k] + t
+		out[k+h] = even[k] - t
+	}
+	return out, nil
+}
+
+// TransformReal computes the FFT of a real-valued signal.
+func TransformReal(x []float64) ([]complex128, error) {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	return Transform(c)
+}
+
+// bitReverse permutes x into bit-reversed order in place.
+func bitReverse(x []complex128) {
+	n := len(x)
+	j := 0
+	for i := 1; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+}
+
+// InterleavedToComplex converts [re0, im0, re1, im1, ...] to complex
+// values. The input length must be even.
+func InterleavedToComplex(x []float64) ([]complex128, error) {
+	if len(x)%2 != 0 {
+		return nil, fmt.Errorf("fft: interleaved input length %d is odd", len(x))
+	}
+	out := make([]complex128, len(x)/2)
+	for i := range out {
+		out[i] = complex(x[2*i], x[2*i+1])
+	}
+	return out, nil
+}
+
+// ComplexToInterleaved converts complex values to [re0, im0, re1, im1, ...].
+func ComplexToInterleaved(x []complex128) []float64 {
+	out := make([]float64, 2*len(x))
+	for i, v := range x {
+		out[2*i] = real(v)
+		out[2*i+1] = imag(v)
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package hw
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"scsq/internal/vtime"
+)
+
+// Utilization reports one virtual resource's busy time over an
+// experiment and its share of the makespan. The paper's analyses — "the
+// single-threaded communication co-processor of c must handle data streams
+// from both a and b", "this indicates that the BlueGene I/O is a
+// bottleneck" — are exactly reads of this table.
+type Utilization struct {
+	// Resource names the device, e.g. "bg0.coproc", "io1.fwd", "be1.nic".
+	Resource string
+	// Busy is the total virtual time the resource served work.
+	Busy vtime.Duration
+	// Share is Busy divided by the experiment makespan (0 when no makespan
+	// was supplied).
+	Share float64
+}
+
+func (u Utilization) String() string {
+	if u.Share > 0 {
+		return fmt.Sprintf("%-12s %12v %6.1f%%", u.Resource, u.Busy.Std(), u.Share*100)
+	}
+	return fmt.Sprintf("%-12s %12v", u.Resource, u.Busy.Std())
+}
+
+// UtilizationReport returns the busy time of every resource in the
+// environment, sorted descending, annotated with its share of makespan
+// (pass 0 if unknown). Resources that never served work are omitted.
+func (e *Env) UtilizationReport(makespan vtime.Duration) []Utilization {
+	var out []Utilization
+	add := func(r *vtime.Resource) {
+		if r == nil {
+			return
+		}
+		busy := r.BusyTime()
+		if busy == 0 {
+			return
+		}
+		u := Utilization{Resource: r.Name(), Busy: busy}
+		if makespan > 0 {
+			u.Share = float64(busy) / float64(makespan)
+		}
+		out = append(out, u)
+	}
+	for _, n := range e.bg {
+		add(n.CPU)
+		add(n.Coproc)
+	}
+	for _, n := range e.io {
+		add(n.Forwarder)
+		add(n.Tree)
+	}
+	for _, n := range e.be {
+		add(n.CPU)
+		add(n.NIC)
+	}
+	for _, n := range e.fe {
+		add(n.CPU)
+		add(n.NIC)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Busy != out[j].Busy {
+			return out[i].Busy > out[j].Busy
+		}
+		return out[i].Resource < out[j].Resource
+	})
+	return out
+}
+
+// Bottleneck returns the busiest resource of the experiment, or a zero
+// Utilization if nothing was charged.
+func (e *Env) Bottleneck(makespan vtime.Duration) Utilization {
+	rep := e.UtilizationReport(makespan)
+	if len(rep) == 0 {
+		return Utilization{}
+	}
+	return rep[0]
+}
+
+// WriteUtilization renders the top entries of a utilization report.
+func WriteUtilization(w io.Writer, report []Utilization, top int) error {
+	if top <= 0 || top > len(report) {
+		top = len(report)
+	}
+	if _, err := fmt.Fprintf(w, "%-12s %12s %7s\n", "resource", "busy", "share"); err != nil {
+		return err
+	}
+	for _, u := range report[:top] {
+		if _, err := fmt.Fprintln(w, u); err != nil {
+			return err
+		}
+	}
+	return nil
+}

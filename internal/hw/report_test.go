@@ -1,0 +1,94 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+
+	"scsq/internal/vtime"
+)
+
+func TestUtilizationReport(t *testing.T) {
+	env := defaultEnv(t)
+	n0, err := env.Node(BlueGene, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0.Coproc.Use(0, 800)
+	n0.CPU.Use(0, 200)
+	be0, err := env.Node(BackEnd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be0.NIC.Use(0, 500)
+
+	rep := env.UtilizationReport(1000)
+	if len(rep) != 3 {
+		t.Fatalf("report entries = %d, want 3 (idle resources omitted)", len(rep))
+	}
+	if rep[0].Resource != "bg0.coproc" || rep[0].Busy != 800 {
+		t.Errorf("top entry = %+v, want bg0.coproc busy 800", rep[0])
+	}
+	if rep[0].Share != 0.8 {
+		t.Errorf("share = %v, want 0.8", rep[0].Share)
+	}
+	if rep[1].Resource != "be0.nic" || rep[2].Resource != "bg0.cpu" {
+		t.Errorf("order = %v, %v", rep[1].Resource, rep[2].Resource)
+	}
+
+	b := env.Bottleneck(1000)
+	if b.Resource != "bg0.coproc" {
+		t.Errorf("bottleneck = %q, want bg0.coproc", b.Resource)
+	}
+
+	// Zero makespan: shares omitted.
+	rep = env.UtilizationReport(0)
+	if rep[0].Share != 0 {
+		t.Errorf("share without makespan = %v, want 0", rep[0].Share)
+	}
+}
+
+func TestUtilizationEmptyEnvironment(t *testing.T) {
+	env := defaultEnv(t)
+	if rep := env.UtilizationReport(100); len(rep) != 0 {
+		t.Errorf("untouched environment report = %v, want empty", rep)
+	}
+	if b := env.Bottleneck(100); b.Resource != "" {
+		t.Errorf("bottleneck of idle env = %+v, want zero", b)
+	}
+}
+
+func TestWriteUtilization(t *testing.T) {
+	env := defaultEnv(t)
+	n0, err := env.Node(BlueGene, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0.Coproc.Use(0, vtime.Millisecond)
+	var sb strings.Builder
+	if err := WriteUtilization(&sb, env.UtilizationReport(2*vtime.Millisecond), 5); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "bg0.coproc") || !strings.Contains(out, "50.0%") {
+		t.Errorf("rendered report:\n%s", out)
+	}
+	// top=0 means all.
+	sb.Reset()
+	if err := WriteUtilization(&sb, env.UtilizationReport(0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "bg0.coproc") {
+		t.Errorf("rendered report:\n%s", sb.String())
+	}
+}
+
+func TestUtilizationString(t *testing.T) {
+	u := Utilization{Resource: "x.y", Busy: vtime.Duration(1500), Share: 0.25}
+	if got := u.String(); !strings.Contains(got, "25.0%") {
+		t.Errorf("String = %q", got)
+	}
+	u.Share = 0
+	if got := u.String(); strings.Contains(got, "%") {
+		t.Errorf("shareless String = %q should omit the percentage", got)
+	}
+}

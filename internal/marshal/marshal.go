@@ -1,0 +1,205 @@
+// Package marshal implements the binary wire format SCSQ running processes
+// use to ship stream objects between each other (paper §2.3: outgoing
+// objects are marshaled into send buffers; incoming buffers are de-marshaled
+// — materialized — into objects).
+//
+// The format is a compact tagged encoding:
+//
+//	value   := tag payload
+//	tag     := one byte (see the Tag* constants)
+//	int     := varint-free fixed 8-byte little-endian two's complement
+//	float   := IEEE-754 bits, 8-byte little-endian
+//	string  := u32 length + bytes
+//	array   := u32 element count + raw float64 bits
+//	bag     := u32 element count + values
+//	null    := (no payload)
+//	bool    := one byte, 0 or 1
+//
+// Numerical arrays — the dominant payload in the paper's experiments — are
+// encoded as raw IEEE-754 bits so marshaling cost is a single copy.
+package marshal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Value tags of the wire format.
+const (
+	TagNull   byte = 1
+	TagInt    byte = 2
+	TagFloat  byte = 3
+	TagString byte = 4
+	TagArray  byte = 5
+	TagBag    byte = 6
+	TagBool   byte = 7
+)
+
+// Errors returned by the decoder.
+var (
+	ErrTruncated  = errors.New("marshal: truncated value")
+	ErrUnknownTag = errors.New("marshal: unknown tag")
+)
+
+// Size returns the encoded size in bytes of v, or an error for an
+// unsupported type. Supported types: nil, int64, int, float64, bool,
+// string, []float64 and []any (bags of supported values).
+func Size(v any) (int, error) {
+	switch x := v.(type) {
+	case nil:
+		return 1, nil
+	case int64, int, float64:
+		return 9, nil
+	case bool:
+		return 2, nil
+	case string:
+		return 5 + len(x), nil
+	case []float64:
+		return 5 + 8*len(x), nil
+	case []any:
+		n := 5
+		for _, e := range x {
+			s, err := Size(e)
+			if err != nil {
+				return 0, err
+			}
+			n += s
+		}
+		return n, nil
+	default:
+		return 0, fmt.Errorf("marshal: unsupported type %T", v)
+	}
+}
+
+// Append encodes v onto buf and returns the extended slice.
+func Append(buf []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, TagNull), nil
+	case int:
+		return appendInt(buf, int64(x)), nil
+	case int64:
+		return appendInt(buf, x), nil
+	case float64:
+		buf = append(buf, TagFloat)
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(x)), nil
+	case bool:
+		b := byte(0)
+		if x {
+			b = 1
+		}
+		return append(buf, TagBool, b), nil
+	case string:
+		buf = append(buf, TagString)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x)))
+		return append(buf, x...), nil
+	case []float64:
+		buf = append(buf, TagArray)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x)))
+		for _, f := range x {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+		}
+		return buf, nil
+	case []any:
+		buf = append(buf, TagBag)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x)))
+		var err error
+		for _, e := range x {
+			if buf, err = Append(buf, e); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("marshal: unsupported type %T", v)
+	}
+}
+
+func appendInt(buf []byte, x int64) []byte {
+	buf = append(buf, TagInt)
+	return binary.LittleEndian.AppendUint64(buf, uint64(x))
+}
+
+// Decode decodes one value from the front of buf, returning the value and
+// the number of bytes consumed.
+func Decode(buf []byte) (any, int, error) {
+	if len(buf) == 0 {
+		return nil, 0, ErrTruncated
+	}
+	switch buf[0] {
+	case TagNull:
+		return nil, 1, nil
+	case TagInt:
+		if len(buf) < 9 {
+			return nil, 0, ErrTruncated
+		}
+		return int64(binary.LittleEndian.Uint64(buf[1:9])), 9, nil
+	case TagFloat:
+		if len(buf) < 9 {
+			return nil, 0, ErrTruncated
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[1:9])), 9, nil
+	case TagBool:
+		if len(buf) < 2 {
+			return nil, 0, ErrTruncated
+		}
+		return buf[1] != 0, 2, nil
+	case TagString:
+		if len(buf) < 5 {
+			return nil, 0, ErrTruncated
+		}
+		n := int(binary.LittleEndian.Uint32(buf[1:5]))
+		if len(buf) < 5+n {
+			return nil, 0, ErrTruncated
+		}
+		return string(buf[5 : 5+n]), 5 + n, nil
+	case TagArray:
+		if len(buf) < 5 {
+			return nil, 0, ErrTruncated
+		}
+		n := int(binary.LittleEndian.Uint32(buf[1:5]))
+		if len(buf) < 5+8*n {
+			return nil, 0, ErrTruncated
+		}
+		arr := make([]float64, n)
+		for i := 0; i < n; i++ {
+			arr[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[5+8*i:]))
+		}
+		return arr, 5 + 8*n, nil
+	case TagBag:
+		if len(buf) < 5 {
+			return nil, 0, ErrTruncated
+		}
+		n := int(binary.LittleEndian.Uint32(buf[1:5]))
+		off := 5
+		bag := make([]any, 0, n)
+		for i := 0; i < n; i++ {
+			v, used, err := Decode(buf[off:])
+			if err != nil {
+				return nil, 0, err
+			}
+			bag = append(bag, v)
+			off += used
+		}
+		return bag, off, nil
+	default:
+		return nil, 0, fmt.Errorf("%w: 0x%02x", ErrUnknownTag, buf[0])
+	}
+}
+
+// DecodeAll decodes every value in buf, which must contain a whole number
+// of encoded values.
+func DecodeAll(buf []byte) ([]any, error) {
+	var out []any
+	for len(buf) > 0 {
+		v, n, err := Decode(buf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		buf = buf[n:]
+	}
+	return out, nil
+}

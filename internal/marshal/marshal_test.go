@@ -1,0 +1,215 @@
+package marshal
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, v any) any {
+	t.Helper()
+	buf, err := Append(nil, v)
+	if err != nil {
+		t.Fatalf("Append(%v): %v", v, err)
+	}
+	size, err := Size(v)
+	if err != nil {
+		t.Fatalf("Size(%v): %v", v, err)
+	}
+	if size != len(buf) {
+		t.Fatalf("Size(%v) = %d, encoded %d bytes", v, size, len(buf))
+	}
+	got, n, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("Decode consumed %d of %d bytes", n, len(buf))
+	}
+	return got
+}
+
+func TestRoundTripScalars(t *testing.T) {
+	tests := []struct {
+		give any
+		want any
+	}{
+		{nil, nil},
+		{int64(0), int64(0)},
+		{int64(-42), int64(-42)},
+		{int64(math.MaxInt64), int64(math.MaxInt64)},
+		{int(7), int64(7)}, // int normalizes to int64
+		{3.14159, 3.14159},
+		{math.Inf(1), math.Inf(1)},
+		{true, true},
+		{false, false},
+		{"", ""},
+		{"hello, 世界", "hello, 世界"},
+	}
+	for _, tt := range tests {
+		if got := roundTrip(t, tt.give); !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("round trip %v = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestRoundTripNaN(t *testing.T) {
+	got := roundTrip(t, math.NaN())
+	f, ok := got.(float64)
+	if !ok || !math.IsNaN(f) {
+		t.Errorf("NaN round trip = %v", got)
+	}
+}
+
+func TestRoundTripArray(t *testing.T) {
+	arr := []float64{1.5, -2.25, 0, math.MaxFloat64}
+	got := roundTrip(t, arr)
+	if !reflect.DeepEqual(got, arr) {
+		t.Errorf("array round trip = %v, want %v", got, arr)
+	}
+	if got := roundTrip(t, []float64{}); !reflect.DeepEqual(got, []float64{}) {
+		t.Errorf("empty array round trip = %v", got)
+	}
+}
+
+func TestRoundTripBag(t *testing.T) {
+	bag := []any{int64(1), "two", 3.0, []float64{4, 5}, nil, true}
+	got := roundTrip(t, bag)
+	if !reflect.DeepEqual(got, bag) {
+		t.Errorf("bag round trip = %v, want %v", got, bag)
+	}
+	nested := []any{[]any{int64(1)}, []any{}}
+	if got := roundTrip(t, nested); !reflect.DeepEqual(got, nested) {
+		t.Errorf("nested bag round trip = %v, want %v", got, nested)
+	}
+}
+
+func TestUnsupportedType(t *testing.T) {
+	if _, err := Append(nil, struct{}{}); err == nil {
+		t.Error("Append(struct{}{}) should fail")
+	}
+	if _, err := Size(make(chan int)); err == nil {
+		t.Error("Size(chan) should fail")
+	}
+	if _, err := Append(nil, []any{struct{}{}}); err == nil {
+		t.Error("Append of a bag with an unsupported element should fail")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full, err := Append(nil, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := Decode(full[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("Decode of %d/%d bytes: err = %v, want ErrTruncated", cut, len(full), err)
+		}
+	}
+}
+
+func TestDecodeUnknownTag(t *testing.T) {
+	if _, _, err := Decode([]byte{0xff}); !errors.Is(err, ErrUnknownTag) {
+		t.Errorf("err = %v, want ErrUnknownTag", err)
+	}
+}
+
+func TestDecodeAll(t *testing.T) {
+	var buf []byte
+	var err error
+	values := []any{int64(1), "x", []float64{2.5}}
+	for _, v := range values {
+		if buf, err = Append(buf, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := DecodeAll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, values) {
+		t.Errorf("DecodeAll = %v, want %v", got, values)
+	}
+	if _, err := DecodeAll(append(buf, TagInt)); err == nil {
+		t.Error("DecodeAll with a trailing partial value should fail")
+	}
+}
+
+// TestRoundTripProperty fuzzes random value trees through the codec.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randValue(rng, 3)
+		buf, err := Append(nil, v)
+		if err != nil {
+			return false
+		}
+		got, n, err := Decode(buf)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		return reflect.DeepEqual(got, normalize(v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randValue builds a random encodable value with bounded nesting depth.
+func randValue(rng *rand.Rand, depth int) any {
+	kinds := 6
+	if depth > 0 {
+		kinds = 7
+	}
+	switch rng.Intn(kinds) {
+	case 0:
+		return nil
+	case 1:
+		return rng.Int63() - rng.Int63()
+	case 2:
+		return rng.NormFloat64()
+	case 3:
+		return rng.Intn(2) == 0
+	case 4:
+		b := make([]byte, rng.Intn(20))
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return string(b)
+	case 5:
+		arr := make([]float64, rng.Intn(16))
+		for i := range arr {
+			arr[i] = rng.NormFloat64()
+		}
+		return arr
+	default:
+		bag := make([]any, rng.Intn(4))
+		for i := range bag {
+			bag[i] = randValue(rng, depth-1)
+		}
+		return bag
+	}
+}
+
+// normalize maps a value to its post-decode representation (nil array and
+// bag elements stay, but empty slices decode as empty non-nil slices).
+func normalize(v any) any {
+	switch x := v.(type) {
+	case []float64:
+		if len(x) == 0 {
+			return []float64{}
+		}
+		return x
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = normalize(e)
+		}
+		return out
+	default:
+		return v
+	}
+}

@@ -1,0 +1,182 @@
+// Package mpicar implements the MPI stream carrier used between BlueGene
+// compute nodes (paper §2.3: MPI is always used inside the BlueGene as that
+// is the only allowed protocol).
+//
+// A frame of s payload bytes crosses the 3D torus as k = ceil(s/1KB)
+// packets (1 KB is the smallest torus message). The carrier charges, in
+// order: the sender's communication co-processor, the co-processor of every
+// intermediate node on the dimension-ordered route (messages between
+// non-adjacent nodes are routed through the nodes in between, which is
+// slower when those co-processors are busy), and the receiver's
+// co-processor. The receiving co-processor is single-threaded and pays a
+// switching penalty whenever consecutive frames arrive from different
+// producers — the mechanism behind the paper's stream-merging results
+// (Figure 8).
+package mpicar
+
+import (
+	"fmt"
+	"sync"
+
+	"scsq/internal/carrier"
+	"scsq/internal/hw"
+	"scsq/internal/vtime"
+)
+
+// Fabric charges MPI transfers against a hardware environment. It tracks
+// how many producers stream into each node so the receive-side switching
+// penalty can be charged deterministically, so all connections of one
+// experiment must share a Fabric.
+type Fabric struct {
+	env *hw.Env
+
+	mu        sync.Mutex
+	producers map[int]int // dst node -> producers dialed this epoch
+}
+
+// NewFabric returns a fabric over env.
+func NewFabric(env *hw.Env) *Fabric {
+	return &Fabric{env: env, producers: make(map[int]int)}
+}
+
+// Env returns the underlying hardware environment.
+func (f *Fabric) Env() *hw.Env { return f.env }
+
+// producerCount reports how many producers have dialed dst during the
+// current experiment epoch. The count is cumulative — it does not drop when
+// a producer finishes — because the virtual-time model must not depend on
+// wall-clock completion order; Reset starts a new epoch.
+func (f *Fabric) producerCount(dst int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.producers[dst]
+}
+
+func (f *Fabric) addProducer(dst int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.producers[dst]++
+}
+
+// Reset clears the producer tracking (use together with hw.Env.Reset
+// between experiment repetitions).
+func (f *Fabric) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.producers = make(map[int]int)
+}
+
+// Conn is an open MPI connection between two BG compute nodes.
+type Conn struct {
+	fabric *Fabric
+	mode   carrier.Buffering
+	src    int
+	dst    int
+	route  []int // intermediate + destination node ids
+	inbox  carrier.Inbox
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ carrier.Conn = (*Conn)(nil)
+
+// Dial opens an MPI connection from BG compute node src to dst, delivering
+// frames into inbox. mode selects single or double buffering of the MPI
+// driver.
+func (f *Fabric) Dial(src, dst int, mode carrier.Buffering, inbox carrier.Inbox) (*Conn, error) {
+	if mode != carrier.SingleBuffered && mode != carrier.DoubleBuffered {
+		return nil, fmt.Errorf("mpicar: invalid buffering mode %d", mode)
+	}
+	if src == dst {
+		return nil, fmt.Errorf("mpicar: src and dst are the same node %d (CNK runs one process per node)", src)
+	}
+	route, err := f.env.Torus.Route(src, dst)
+	if err != nil {
+		return nil, fmt.Errorf("mpicar: %w", err)
+	}
+	if _, err := f.env.Node(hw.BlueGene, src); err != nil {
+		return nil, fmt.Errorf("mpicar: %w", err)
+	}
+	f.addProducer(dst)
+	return &Conn{
+		fabric: f,
+		mode:   mode,
+		src:    src,
+		dst:    dst,
+		route:  route,
+		inbox:  inbox,
+	}, nil
+}
+
+// Send implements carrier.Conn. It charges the torus transfer and delivers
+// the frame; the returned instant is when the sender's co-processor is done
+// with the buffer.
+func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return 0, carrier.ErrClosed
+	}
+
+	m := c.fabric.env.Cost
+	s := len(fr.Payload)
+	k := m.Packets(s)
+	cf := m.CacheFactor(s)
+
+	// Sender co-processor: k packets, plus the double-buffer bookkeeping.
+	sendSvc := scaleDur(vtime.Duration(k)*m.PacketCost, cf)
+	if c.mode == carrier.DoubleBuffered {
+		sendSvc += m.DoubleBufSync
+		// The ping-pong of the double buffers stalls on buffers that fill
+		// an odd number of torus packets (the "bumps" of Figure 6).
+		if k > 1 && k%2 == 1 {
+			sendSvc += m.OddPacketStall
+		}
+	}
+	srcNode, err := c.fabric.env.Node(hw.BlueGene, c.src)
+	if err != nil {
+		return 0, err
+	}
+	_, senderFree := srcNode.Coproc.Use(fr.Ready, sendSvc)
+
+	// Intermediate co-processors forward the packets in order.
+	t := senderFree
+	for _, mid := range c.route[:max(0, len(c.route)-1)] {
+		node, err := c.fabric.env.Node(hw.BlueGene, mid)
+		if err != nil {
+			return 0, err
+		}
+		fwdSvc := scaleDur(scaleDur(vtime.Duration(k)*m.PacketCost, m.FwdFactor), cf)
+		_, t = node.Coproc.Use(t, fwdSvc)
+	}
+
+	// Receiver co-processor, with the merge switching penalty: the
+	// single-threaded co-processor switches between its p producers at the
+	// expected alternation rate (p-1)/p.
+	dstNode, err := c.fabric.env.Node(hw.BlueGene, c.dst)
+	if err != nil {
+		return 0, err
+	}
+	recvSvc := scaleDur(scaleDur(vtime.Duration(k)*m.PacketCost, m.RecvFactor), cf)
+	if p := c.fabric.producerCount(c.dst); p > 1 {
+		recvSvc += scaleDur(m.CoprocSwitchCost, float64(p-1)/float64(p))
+	}
+	_, arrived := dstNode.Coproc.Use(t, recvSvc)
+
+	c.inbox <- carrier.Delivered{Frame: fr, At: arrived}
+	return senderFree, nil
+}
+
+// Close implements carrier.Conn.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+func scaleDur(d vtime.Duration, f float64) vtime.Duration {
+	return vtime.Duration(float64(d) * f)
+}

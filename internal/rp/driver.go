@@ -1,0 +1,301 @@
+package rp
+
+import (
+	"fmt"
+
+	"scsq/internal/carrier"
+	"scsq/internal/marshal"
+	"scsq/internal/sqep"
+	"scsq/internal/vtime"
+)
+
+// SenderConfig configures a sender driver.
+type SenderConfig struct {
+	// BufBytes is the send-buffer size: marshaled bytes are flushed in
+	// frames of this size (a trailing partial frame is flushed at end of
+	// stream). This is the buffer-size knob of Figures 6 and 8.
+	BufBytes int
+	// Mode selects single or double buffering: with a single buffer the
+	// next object cannot be marshaled until the previous buffer has left
+	// the sending device; with double buffers one buffer is filled while
+	// the other is transmitted.
+	Mode carrier.Buffering
+	// MarshalPerByte is the CPU cost to marshal one byte.
+	MarshalPerByte float64
+	// CacheFactor, if non-nil, scales CPU work by the buffer-size dependent
+	// cache-pressure factor (used for BG compute nodes).
+	CacheFactor func(bufBytes int) float64
+	// FlushPerElement flushes each marshaled object as one frame, however
+	// large, instead of packing fixed-size buffers. The TCP carrier uses
+	// this — applications write whole arrays and rely on the buffering of
+	// the TCP stack (paper §3) — while the MPI carrier packs buffers of
+	// BufBytes, the knob of Figures 6 and 8.
+	FlushPerElement bool
+	// CPU is the sending node's CPU resource.
+	CPU *vtime.Resource
+}
+
+// senderDriver marshals outgoing elements into send buffers and ships them
+// over one carrier connection (paper §2.3: "the sender driver ... marshals
+// them and sends the buffer contents to subscribers").
+type senderDriver struct {
+	cfg    SenderConfig
+	conn   carrier.Conn
+	source string
+
+	pending   []byte
+	pendReady vtime.Time
+	// history of sender-device completion times for the last two flushed
+	// buffers; single buffering gates marshaling on the last one, double
+	// buffering on the one before.
+	hist [2]vtime.Time
+
+	framesOut int64
+	bytesOut  int64
+}
+
+func newSenderDriver(source string, conn carrier.Conn, cfg SenderConfig) (*senderDriver, error) {
+	if cfg.BufBytes <= 0 {
+		return nil, fmt.Errorf("rp: sender buffer size must be positive, got %d", cfg.BufBytes)
+	}
+	if cfg.Mode != carrier.SingleBuffered && cfg.Mode != carrier.DoubleBuffered {
+		return nil, fmt.Errorf("rp: invalid buffering mode %d", cfg.Mode)
+	}
+	return &senderDriver{cfg: cfg, conn: conn, source: source}, nil
+}
+
+// bufferFreeAt reports when a send buffer is available for marshaling the
+// next element, per the buffering discipline.
+func (d *senderDriver) bufferFreeAt() vtime.Time {
+	if d.cfg.Mode == carrier.DoubleBuffered {
+		return d.hist[0] // two flushes ago
+	}
+	return d.hist[1] // previous flush
+}
+
+// push marshals el into the pending buffer, flushing full frames.
+func (d *senderDriver) push(el sqep.Element) error {
+	var err error
+	before := len(d.pending)
+	d.pending, err = marshal.Append(d.pending, el.Value)
+	if err != nil {
+		return err
+	}
+	added := len(d.pending) - before
+
+	// Charge the marshal work on the node CPU, gated by buffer
+	// availability.
+	cf := 1.0
+	if d.cfg.CacheFactor != nil {
+		cf = d.cfg.CacheFactor(d.cfg.BufBytes)
+	}
+	svc := vtime.Duration(d.cfg.MarshalPerByte * cf * float64(added))
+	ready := vtime.MaxTime(el.At, d.bufferFreeAt())
+	ready = vtime.MaxTime(ready, d.pendReady)
+	var done vtime.Time
+	if d.cfg.CPU != nil {
+		_, done = d.cfg.CPU.Use(ready, svc)
+	} else {
+		done = ready.Add(svc)
+	}
+	d.pendReady = done
+
+	if d.cfg.FlushPerElement {
+		return d.flushFrame(len(d.pending), false)
+	}
+	for len(d.pending) >= d.cfg.BufBytes {
+		if err := d.flushFrame(d.cfg.BufBytes, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finish flushes the remaining bytes and the end-of-stream frame.
+func (d *senderDriver) finish() error {
+	for len(d.pending) >= d.cfg.BufBytes {
+		if err := d.flushFrame(d.cfg.BufBytes, false); err != nil {
+			return err
+		}
+	}
+	n := len(d.pending)
+	return d.flushFrame(n, true) // possibly empty last frame
+}
+
+func (d *senderDriver) flushFrame(n int, last bool) error {
+	payload := make([]byte, n)
+	copy(payload, d.pending[:n])
+	d.pending = d.pending[n:]
+
+	free, err := d.conn.Send(carrier.Frame{
+		Source:  d.source,
+		Payload: payload,
+		Ready:   d.pendReady,
+		Last:    last,
+	})
+	if err != nil {
+		return err
+	}
+	d.hist[0], d.hist[1] = d.hist[1], free
+	d.framesOut++
+	d.bytesOut += int64(n)
+	return nil
+}
+
+func (d *senderDriver) close() error { return d.conn.Close() }
+
+// ReceiverConfig configures a receiver driver.
+type ReceiverConfig struct {
+	// Producers is the number of upstream connections feeding the inbox;
+	// the stream ends after this many Last frames.
+	Producers int
+	// MPIPerByte is the CPU cost to de-marshal one byte arriving over the
+	// MPI carrier.
+	MPIPerByte float64
+	// TCPPerByte is the CPU cost to de-marshal one byte arriving over the
+	// TCP carrier (a BG compute node's inbound-TCP rate differs from its
+	// MPI rate).
+	TCPPerByte float64
+	// CacheFactor, if non-nil, scales the CPU work for MPI frames by the
+	// buffer-size cache-pressure factor.
+	CacheFactor func(bufBytes int) float64
+	// MergeSwitchCost is the expected per-frame source-switching cost a
+	// single RP pays when merging several inbound TCP streams; it is
+	// charged as cost·(p−1)/p for p producers, the expected alternation
+	// rate of symmetric producers. MPI frames are exempt: their switching
+	// is charged by the carrier at the co-processor.
+	MergeSwitchCost vtime.Duration
+	// CPU is the receiving node's CPU resource.
+	CPU *vtime.Resource
+}
+
+// Receiver is the receiving half of a stream connection: it buffers
+// incoming frames, de-marshals (materializes) them into objects, and feeds
+// the RP's SQEP (paper §2.3, Figure 3). It implements sqep.Operator so
+// extract() and merge() appear as SQEP leaves.
+type Receiver struct {
+	cfg   ReceiverConfig
+	inbox carrier.Inbox
+
+	// bufs holds per-producer reassembly buffers: objects split across
+	// frames continue within one producer's byte stream even when frames
+	// from several producers interleave (merge).
+	bufs      map[string][]byte
+	cpuAt     vtime.Time
+	queue     []sqep.Element
+	lastsSeen int
+	done      bool
+
+	framesIn int64
+	bytesIn  int64
+}
+
+var _ sqep.Operator = (*Receiver)(nil)
+
+// NewReceiver builds a receiver over inbox.
+func NewReceiver(inbox carrier.Inbox, cfg ReceiverConfig) *Receiver {
+	if cfg.Producers < 1 {
+		cfg.Producers = 1
+	}
+	return &Receiver{cfg: cfg, inbox: inbox, bufs: make(map[string][]byte)}
+}
+
+// Open implements sqep.Operator.
+func (r *Receiver) Open(*sqep.Ctx) error { return nil }
+
+// Next implements sqep.Operator. It blocks until an element is available or
+// the stream ends (all producers sent their Last frame).
+func (r *Receiver) Next() (sqep.Element, bool, error) {
+	for {
+		if len(r.queue) > 0 {
+			el := r.queue[0]
+			r.queue = r.queue[1:]
+			return el, true, nil
+		}
+		if r.done {
+			return sqep.Element{}, false, nil
+		}
+		fr, ok := <-r.inbox
+		if !ok {
+			return sqep.Element{}, false, fmt.Errorf("rp: inbox closed before end of stream")
+		}
+		if err := r.ingest(fr); err != nil {
+			return sqep.Element{}, false, err
+		}
+	}
+}
+
+// ingest charges the de-marshal work for one frame and decodes any
+// completed objects.
+func (r *Receiver) ingest(fr carrier.Delivered) error {
+	r.framesIn++
+	r.bytesIn += int64(len(fr.Payload))
+
+	var svc vtime.Duration
+	if fr.ViaTCP {
+		svc = vtime.Duration(r.cfg.TCPPerByte * float64(len(fr.Payload)))
+		if p := r.cfg.Producers; p > 1 && r.cfg.MergeSwitchCost > 0 {
+			svc += vtime.Duration(float64(r.cfg.MergeSwitchCost) * float64(p-1) / float64(p))
+		}
+	} else {
+		svc = vtime.Duration(r.cfg.MPIPerByte * float64(len(fr.Payload)))
+		if r.cfg.CacheFactor != nil && len(fr.Payload) > 0 {
+			svc = vtime.Duration(float64(svc) * r.cfg.CacheFactor(len(fr.Payload)))
+		}
+	}
+	ready := vtime.MaxTime(fr.At, r.cpuAt)
+	var done vtime.Time
+	if r.cfg.CPU != nil {
+		_, done = r.cfg.CPU.Use(ready, svc)
+	} else {
+		done = ready.Add(svc)
+	}
+	r.cpuAt = done
+
+	if len(fr.Payload) > 0 {
+		buf := append(r.bufs[fr.Source], fr.Payload...)
+		for len(buf) > 0 {
+			v, n, err := marshal.Decode(buf)
+			if err == marshal.ErrTruncated {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			buf = buf[n:]
+			r.queue = append(r.queue, sqep.Element{Value: v, At: done, Src: fr.Source})
+		}
+		r.bufs[fr.Source] = buf
+	}
+	if fr.Last {
+		if n := len(r.bufs[fr.Source]); n > 0 {
+			return fmt.Errorf("rp: stream from %q ended with %d undecoded bytes", fr.Source, n)
+		}
+		r.lastsSeen++
+		if r.lastsSeen >= r.cfg.Producers {
+			r.done = true
+		}
+	}
+	return nil
+}
+
+// Close implements sqep.Operator. It drains the inbox so blocked senders
+// can finish when a consumer stops early.
+func (r *Receiver) Close() error {
+	if r.done {
+		return nil
+	}
+	r.done = true
+	go func() {
+		for range r.inbox {
+			// Discard: consumer stopped.
+		}
+	}()
+	return nil
+}
+
+// FramesIn reports how many frames the receiver has ingested.
+func (r *Receiver) FramesIn() int64 { return r.framesIn }
+
+// BytesIn reports how many payload bytes the receiver has ingested.
+func (r *Receiver) BytesIn() int64 { return r.bytesIn }

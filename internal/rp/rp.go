@@ -1,0 +1,205 @@
+// Package rp implements SCSQ running processes (paper §2.3, Figure 3). An
+// RP is responsible for (i) compiling its subquery into a local stream
+// query execution plan (SQEP) and interpreting it, (ii) delivering the
+// result to its subscribers through sender drivers, (iii) retrieving input
+// from its producers through receiver drivers, and (iv) monitoring its
+// execution. Flow between RPs is regulated by bounded inboxes: a producer
+// blocks when a subscriber's window is full, which plays the role of the
+// paper's control messages.
+package rp
+
+import (
+	"fmt"
+	"sync"
+
+	"scsq/internal/carrier"
+	"scsq/internal/hw"
+	"scsq/internal/sqep"
+	"scsq/internal/vtime"
+)
+
+// BuildFunc compiles an RP's subquery into its SQEP. It runs on the RP's
+// goroutine after the RP has been placed on a node; receiver leaves were
+// wired in by the engine beforehand and appear as operators inside the
+// returned plan.
+type BuildFunc func(ctx *sqep.Ctx) (sqep.Operator, error)
+
+// Stats exposes an RP's execution-monitoring counters.
+type Stats struct {
+	ElementsOut int64
+	BytesOut    int64
+	FramesOut   int64
+	// LastOut is the virtual timestamp of the last element produced.
+	LastOut vtime.Time
+}
+
+// RP is a running process executing one continuous subquery on one compute
+// node.
+type RP struct {
+	id      string
+	cluster hw.ClusterName
+	node    int
+	build   BuildFunc
+	ctx     sqep.Ctx
+
+	mu      sync.Mutex
+	subs    []*senderDriver
+	started bool
+	err     error
+	stats   Stats
+
+	pacer *vtime.PacerAgent
+	done  chan struct{}
+}
+
+// New creates an RP with the given identity and execution context. The RP
+// does not run until Start is called; subscribers must be attached before
+// then.
+func New(id string, cluster hw.ClusterName, node int, ctx sqep.Ctx, build BuildFunc) *RP {
+	return &RP{
+		id:      id,
+		cluster: cluster,
+		node:    node,
+		build:   build,
+		ctx:     ctx,
+		done:    make(chan struct{}),
+	}
+}
+
+// ID returns the RP's identity.
+func (r *RP) ID() string { return r.id }
+
+// Cluster returns the cluster the RP runs in.
+func (r *RP) Cluster() hw.ClusterName { return r.cluster }
+
+// Node returns the compute-node id the RP was placed on.
+func (r *RP) Node() int { return r.node }
+
+// SetPacer attaches the query's conservative-pacing agent: the RP publishes
+// its virtual progress per element and blocks rather than running more than
+// the pacing horizon ahead of its peers. It must be called before Start.
+func (r *RP) SetPacer(agent *vtime.PacerAgent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pacer = agent
+}
+
+// Subscribe attaches a subscriber reachable over conn. It must be called
+// before Start.
+func (r *RP) Subscribe(conn carrier.Conn, cfg SenderConfig) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return fmt.Errorf("rp %s: subscribe after start", r.id)
+	}
+	d, err := newSenderDriver(r.id, conn, cfg)
+	if err != nil {
+		return err
+	}
+	r.subs = append(r.subs, d)
+	return nil
+}
+
+// Start launches the RP's interpreter goroutine. It is an error to start an
+// RP twice.
+func (r *RP) Start() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return fmt.Errorf("rp %s: already started", r.id)
+	}
+	r.started = true
+	go r.run()
+	return nil
+}
+
+// Wait blocks until the RP has terminated and returns its execution error,
+// if any.
+func (r *RP) Wait() error {
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Stats returns a snapshot of the monitoring counters.
+func (r *RP) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+func (r *RP) setErr(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err == nil && err != nil {
+		r.err = fmt.Errorf("rp %s: %w", r.id, err)
+	}
+}
+
+// run interprets the SQEP and pushes results to every subscriber. On any
+// failure it still terminates the outgoing streams so downstream RPs do not
+// hang; the error is reported through Wait.
+func (r *RP) run() {
+	defer close(r.done)
+	defer r.pacer.Done()
+
+	plan, err := r.build(&r.ctx)
+	if err != nil {
+		r.setErr(err)
+		r.terminateSubs()
+		return
+	}
+	if err := plan.Open(&r.ctx); err != nil {
+		r.setErr(err)
+		r.terminateSubs()
+		return
+	}
+	defer func() {
+		if cerr := plan.Close(); cerr != nil {
+			r.setErr(cerr)
+		}
+	}()
+
+	for {
+		el, ok, err := plan.Next()
+		if err != nil {
+			r.setErr(err)
+			break
+		}
+		if !ok {
+			break
+		}
+		r.pacer.Wait(el.At)
+		r.mu.Lock()
+		r.stats.ElementsOut++
+		r.stats.BytesOut += int64(sqep.ValueBytes(el.Value))
+		r.stats.LastOut = vtime.MaxTime(r.stats.LastOut, el.At)
+		subs := r.subs
+		r.mu.Unlock()
+		for _, s := range subs {
+			if err := s.push(el); err != nil {
+				r.setErr(err)
+			}
+		}
+	}
+	r.terminateSubs()
+}
+
+// terminateSubs flushes and closes every outgoing stream.
+func (r *RP) terminateSubs() {
+	r.mu.Lock()
+	subs := r.subs
+	r.mu.Unlock()
+	for _, s := range subs {
+		if err := s.finish(); err != nil {
+			r.setErr(err)
+		}
+		if err := s.close(); err != nil {
+			r.setErr(err)
+		}
+		r.mu.Lock()
+		r.stats.FramesOut += s.framesOut
+		r.mu.Unlock()
+	}
+}

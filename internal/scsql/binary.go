@@ -1,0 +1,116 @@
+package scsql
+
+import (
+	"errors"
+	"fmt"
+)
+
+// applyBinary evaluates an arithmetic or comparison operator over runtime
+// values. Integer arithmetic stays integral (truncating division); mixing
+// an integer with a float promotes to float. Comparisons work on numbers
+// and on strings, yielding bool.
+func applyBinary(op string, l, r any) (any, error) {
+	switch op {
+	case "+", "-", "*", "/":
+		return applyArith(op, l, r)
+	case "<", "<=", ">", ">=", "<>":
+		return applyCompare(op, l, r)
+	default:
+		return nil, fmt.Errorf("unknown operator %q", op)
+	}
+}
+
+var errDivZero = errors.New("division by zero")
+
+func applyArith(op string, l, r any) (any, error) {
+	if li, lok := l.(int64); lok {
+		if ri, rok := r.(int64); rok {
+			switch op {
+			case "+":
+				return li + ri, nil
+			case "-":
+				return li - ri, nil
+			case "*":
+				return li * ri, nil
+			default:
+				if ri == 0 {
+					return nil, errDivZero
+				}
+				return li / ri, nil
+			}
+		}
+	}
+	lf, err := toFloat(l)
+	if err != nil {
+		return nil, fmt.Errorf("left operand of %q: %w", op, err)
+	}
+	rf, err := toFloat(r)
+	if err != nil {
+		return nil, fmt.Errorf("right operand of %q: %w", op, err)
+	}
+	switch op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	default:
+		if rf == 0 {
+			return nil, errDivZero
+		}
+		return lf / rf, nil
+	}
+}
+
+func applyCompare(op string, l, r any) (any, error) {
+	if ls, lok := l.(string); lok {
+		rs, rok := r.(string)
+		if !rok {
+			return nil, fmt.Errorf("cannot compare string with %T", r)
+		}
+		switch op {
+		case "<":
+			return ls < rs, nil
+		case "<=":
+			return ls <= rs, nil
+		case ">":
+			return ls > rs, nil
+		case ">=":
+			return ls >= rs, nil
+		default:
+			return ls != rs, nil
+		}
+	}
+	lf, err := toFloat(l)
+	if err != nil {
+		return nil, fmt.Errorf("left operand of %q: %w", op, err)
+	}
+	rf, err := toFloat(r)
+	if err != nil {
+		return nil, fmt.Errorf("right operand of %q: %w", op, err)
+	}
+	switch op {
+	case "<":
+		return lf < rf, nil
+	case "<=":
+		return lf <= rf, nil
+	case ">":
+		return lf > rf, nil
+	case ">=":
+		return lf >= rf, nil
+	default:
+		return lf != rf, nil
+	}
+}
+
+func toFloat(v any) (float64, error) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), nil
+	case float64:
+		return x, nil
+	default:
+		return 0, fmt.Errorf("not a number: %T", v)
+	}
+}

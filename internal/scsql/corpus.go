@@ -1,0 +1,138 @@
+package scsql
+
+import "fmt"
+
+// This file holds the paper's query corpus in canonical form. The texts
+// follow the listings in the paper §2.4 and §3 exactly, except that (a)
+// obvious typos in the printed listings are fixed (the paper's Figure-5 and
+// Query-3 listings have misplaced parentheses), and (b) the workload
+// parameters — array size, array count, and the parallelism degree n — are
+// template parameters so the experiment harness can sweep them. With
+// size=3000000, count=100 and n=4 the texts match the paper character for
+// character (modulo whitespace).
+
+// Figure5Query is the intra-BG point-to-point streaming query (paper §3.1,
+// Figure 5): a generates a stream of large arrays on BG node 1 and b counts
+// them on BG node 0.
+func Figure5Query(size, count int) string {
+	return fmt.Sprintf(`
+select extract(b)
+from sp a, sp b
+where b=sp(streamof(count(extract(a))), 'bg', 0)
+and   a=sp(gen_array(%d,%d), 'bg', 1);`, size, count)
+}
+
+// MergeQuery is the intra-BG stream-merging query (paper §3.1, Figures
+// 7-8): c on node 0 merges and counts the streams of a on node x and b on
+// node y. The sequential node selection of Figure 7A is x=1, y=2; the
+// balanced selection of Figure 7B is x=1, y=4.
+func MergeQuery(x, y, size, count int) string {
+	return fmt.Sprintf(`
+select extract(c)
+from sp a, sp b, sp c
+where c=sp(count(merge({a,b})), 'bg', 0)
+and   a=sp(gen_array(%d,%d), 'bg', %d)
+and   b=sp(gen_array(%d,%d), 'bg', %d);`, size, count, x, size, count, y)
+}
+
+// InboundQuery returns Query q (1..6) of the BG inbound streaming
+// experiments (paper §3.2) with n parallel back-end streams of count arrays
+// of size bytes each.
+func InboundQuery(q, n, size, count int) (string, error) {
+	gen := fmt.Sprintf(`(select gen_array(%d,%d)
+      from integer i where i in iota(1,n))`, size, count)
+	switch q {
+	case 1:
+		return fmt.Sprintf(`
+select extract(c) from
+bag of sp a, sp b, sp c,
+integer n
+where c=sp(extract(b), 'bg')
+and   b=sp(count(merge(a)), 'bg')
+and   a=spv(%s, 'be', 1)
+and   n=%d;`, gen, n), nil
+	case 2:
+		return fmt.Sprintf(`
+select extract(c) from
+bag of sp a, sp b, sp c,
+integer n
+where c=sp(extract(b), 'bg')
+and   b=sp(count(merge(a)), 'bg')
+and   a=spv(%s, 'be', urr('be'))
+and   n=%d;`, gen, n), nil
+	case 3:
+		return fmt.Sprintf(`
+select extract(c) from
+bag of sp a, bag of sp b, sp c,
+integer n
+where c=sp(streamof(sum(merge(b))), 'bg')
+and   b=spv(
+  (select streamof(count(extract(p)))
+   from sp p
+   where p in a),
+            'bg', inPset(1))
+and   a=spv(%s, 'be', 1)
+and   n=%d;`, gen, n), nil
+	case 4:
+		return fmt.Sprintf(`
+select extract(c) from
+bag of sp a, bag of sp b, sp c,
+integer n
+where c=sp(streamof(sum(merge(b))), 'bg')
+and   b=spv(
+  (select streamof(count(extract(p)))
+   from sp p
+   where p in a),
+            'bg', inPset(1))
+and   a=spv(%s, 'be', urr('be'))
+and   n=%d;`, gen, n), nil
+	case 5:
+		return fmt.Sprintf(`
+select extract(c) from
+bag of sp a, bag of sp b, sp c,
+integer n
+where c=sp(streamof(sum(merge(b))), 'bg')
+and   b=spv(
+  (select streamof(count(extract(p)))
+   from sp p
+   where p in a),
+            'bg', psetrr())
+and   a=spv(%s, 'be', 1)
+and   n=%d;`, gen, n), nil
+	case 6:
+		return fmt.Sprintf(`
+select extract(c) from
+bag of sp a, bag of sp b, sp c,
+integer n
+where c=sp(streamof(sum(merge(b))), 'bg')
+and   b=spv(
+  (select streamof(count(extract(p)))
+   from sp p
+   where p in a),
+            'bg', psetrr())
+and   a=spv(%s, 'be', urr('be'))
+and   n=%d;`, gen, n), nil
+	default:
+		return "", fmt.Errorf("scsql: no such inbound query %d (want 1-6)", q)
+	}
+}
+
+// GrepQuery is the distributed-grep mapreduce query (paper §2.4) with a
+// configurable degree of parallelism (the paper uses 1000).
+func GrepQuery(pattern string, parallel int) string {
+	return fmt.Sprintf(`
+merge(spv(
+    select grep('%s', filename(i))
+    from integer i
+    where i in iota(1,%d), 'be', urr('be')));`, pattern, parallel)
+}
+
+// Radix2Def is the radix-2 FFT query function definition (paper §2.4).
+const Radix2Def = `
+create function radix2(string s)
+              -> stream
+as select radixcombine(merge({a,b}))
+from sp a, sp b, sp c
+where a=sp(fft(odd(extract(c))))
+and   b=sp(fft(even(extract(c))))
+and   c=sp(receiver(s));`

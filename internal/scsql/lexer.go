@@ -1,0 +1,158 @@
+package scsql
+
+import (
+	"strings"
+	"unicode"
+)
+
+var keywords = map[string]Kind{
+	"select":   TokSelect,
+	"from":     TokFrom,
+	"where":    TokWhere,
+	"and":      TokAnd,
+	"in":       TokIn,
+	"create":   TokCreate,
+	"function": TokFunction,
+	"as":       TokAs,
+	"bag":      TokBag,
+	"of":       TokOf,
+}
+
+// Lex tokenizes SCSQL source text. Comments run from "--" to end of line.
+func Lex(src string) ([]Token, error) {
+	var (
+		toks      []Token
+		line, col = 1, 1
+	)
+	runes := []rune(src)
+	i := 0
+	pos := func() Pos { return Pos{Line: line, Col: col} }
+	advance := func() rune {
+		r := runes[i]
+		i++
+		if r == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+		return r
+	}
+	peek := func() rune {
+		if i >= len(runes) {
+			return 0
+		}
+		return runes[i]
+	}
+	peek2 := func() rune {
+		if i+1 >= len(runes) {
+			return 0
+		}
+		return runes[i+1]
+	}
+
+	for i < len(runes) {
+		start := pos()
+		r := peek()
+		switch {
+		case unicode.IsSpace(r):
+			advance()
+		case r == '-' && peek2() == '-':
+			for i < len(runes) && peek() != '\n' {
+				advance()
+			}
+		case r == '-' && peek2() == '>':
+			advance()
+			advance()
+			toks = append(toks, Token{Kind: TokArrow, Text: "->", Pos: start})
+		case r == '<' && peek2() == '=':
+			advance()
+			advance()
+			toks = append(toks, Token{Kind: TokLessEq, Text: "<=", Pos: start})
+		case r == '<' && peek2() == '>':
+			advance()
+			advance()
+			toks = append(toks, Token{Kind: TokNotEq, Text: "<>", Pos: start})
+		case r == '>' && peek2() == '=':
+			advance()
+			advance()
+			toks = append(toks, Token{Kind: TokGreaterEq, Text: ">=", Pos: start})
+		case r == '<':
+			advance()
+			toks = append(toks, Token{Kind: TokLess, Text: "<", Pos: start})
+		case r == '>':
+			advance()
+			toks = append(toks, Token{Kind: TokGreater, Text: ">", Pos: start})
+		case r == '+':
+			advance()
+			toks = append(toks, Token{Kind: TokPlus, Text: "+", Pos: start})
+		case r == '-':
+			advance()
+			toks = append(toks, Token{Kind: TokMinus, Text: "-", Pos: start})
+		case r == '*':
+			advance()
+			toks = append(toks, Token{Kind: TokStar, Text: "*", Pos: start})
+		case r == '/':
+			advance()
+			toks = append(toks, Token{Kind: TokSlash, Text: "/", Pos: start})
+		case r == '(':
+			advance()
+			toks = append(toks, Token{Kind: TokLParen, Text: "(", Pos: start})
+		case r == ')':
+			advance()
+			toks = append(toks, Token{Kind: TokRParen, Text: ")", Pos: start})
+		case r == '{':
+			advance()
+			toks = append(toks, Token{Kind: TokLBrace, Text: "{", Pos: start})
+		case r == '}':
+			advance()
+			toks = append(toks, Token{Kind: TokRBrace, Text: "}", Pos: start})
+		case r == ',':
+			advance()
+			toks = append(toks, Token{Kind: TokComma, Text: ",", Pos: start})
+		case r == ';':
+			advance()
+			toks = append(toks, Token{Kind: TokSemicolon, Text: ";", Pos: start})
+		case r == '=':
+			advance()
+			toks = append(toks, Token{Kind: TokEquals, Text: "=", Pos: start})
+		case r == '\'' || r == '"':
+			quote := advance()
+			var sb strings.Builder
+			closed := false
+			for i < len(runes) {
+				c := advance()
+				if c == quote {
+					closed = true
+					break
+				}
+				sb.WriteRune(c)
+			}
+			if !closed {
+				return nil, errorfAt(start, "unterminated string literal")
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case unicode.IsDigit(r):
+			var sb strings.Builder
+			for i < len(runes) && (unicode.IsDigit(peek()) || peek() == '.') {
+				sb.WriteRune(advance())
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: sb.String(), Pos: start})
+		case unicode.IsLetter(r) || r == '_':
+			var sb strings.Builder
+			for i < len(runes) && (unicode.IsLetter(peek()) || unicode.IsDigit(peek()) || peek() == '_') {
+				sb.WriteRune(advance())
+			}
+			word := sb.String()
+			if k, ok := keywords[strings.ToLower(word)]; ok {
+				toks = append(toks, Token{Kind: k, Text: word, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		default:
+			return nil, errorfAt(start, "unexpected character %q", r)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: pos()})
+	return toks, nil
+}

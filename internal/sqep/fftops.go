@@ -1,0 +1,120 @@
+package sqep
+
+import (
+	"fmt"
+
+	"scsq/internal/fft"
+	"scsq/internal/vtime"
+)
+
+// fftCostPerSample is the virtual CPU cost per sample·log2(n) of an FFT.
+const fftCostPerSample = 8.0
+
+// NewFFT returns the fft(s) operator: each real-valued array element is
+// replaced by its discrete Fourier transform, encoded as an interleaved
+// [re, im, re, im, ...] array.
+func NewFFT(input Operator) *MapFn {
+	return NewMapFn("fft", input, func(v any) (any, vtime.Duration, error) {
+		arr, ok := v.([]float64)
+		if !ok {
+			return nil, 0, typeErrorf("fft", v)
+		}
+		out, err := fft.TransformReal(arr)
+		if err != nil {
+			return nil, 0, err
+		}
+		return fft.ComplexToInterleaved(out), fftCost(len(arr)), nil
+	})
+}
+
+// RadixCombine implements radixcombine(merge({a,b})): it pairs the partial
+// FFT results arriving from the odd-half and even-half stream processes and
+// recombines each pair into the FFT of the full signal (paper §2.4). The
+// merged input interleaves elements from the two producers in arrival
+// order; elements are demultiplexed by their Src tag.
+type RadixCombine struct {
+	Input Operator
+	// OddSrc and EvenSrc are the producer ids of the fft(odd(...)) and
+	// fft(even(...)) streams.
+	OddSrc, EvenSrc string
+
+	ctx        *Ctx
+	oddQ, evnQ []Element
+}
+
+var _ Operator = (*RadixCombine)(nil)
+
+// NewRadixCombine returns a radixcombine operator over the merged input.
+func NewRadixCombine(input Operator, oddSrc, evenSrc string) *RadixCombine {
+	return &RadixCombine{Input: input, OddSrc: oddSrc, EvenSrc: evenSrc}
+}
+
+// Open implements Operator.
+func (r *RadixCombine) Open(ctx *Ctx) error {
+	r.ctx = ctx
+	r.oddQ, r.evnQ = nil, nil
+	return r.Input.Open(ctx)
+}
+
+// Next implements Operator.
+func (r *RadixCombine) Next() (Element, bool, error) {
+	for len(r.oddQ) == 0 || len(r.evnQ) == 0 {
+		el, ok, err := r.Input.Next()
+		if err != nil {
+			return Element{}, false, err
+		}
+		if !ok {
+			if len(r.oddQ) != 0 || len(r.evnQ) != 0 {
+				return Element{}, false, fmt.Errorf("sqep: radixcombine: unpaired partial FFTs at end of stream (odd=%d even=%d)", len(r.oddQ), len(r.evnQ))
+			}
+			return Element{}, false, nil
+		}
+		switch el.Src {
+		case r.OddSrc:
+			r.oddQ = append(r.oddQ, el)
+		case r.EvenSrc:
+			r.evnQ = append(r.evnQ, el)
+		default:
+			return Element{}, false, fmt.Errorf("sqep: radixcombine: element from unexpected source %q", el.Src)
+		}
+	}
+	oddEl, evnEl := r.oddQ[0], r.evnQ[0]
+	r.oddQ, r.evnQ = r.oddQ[1:], r.evnQ[1:]
+
+	odd, err := toComplex(oddEl.Value)
+	if err != nil {
+		return Element{}, false, err
+	}
+	even, err := toComplex(evnEl.Value)
+	if err != nil {
+		return Element{}, false, err
+	}
+	combined, err := fft.Combine(even, odd)
+	if err != nil {
+		return Element{}, false, fmt.Errorf("sqep: radixcombine: %w", err)
+	}
+	at := r.ctx.Charge(vtime.MaxTime(oddEl.At, evnEl.At), fftCost(len(combined)))
+	return Element{Value: fft.ComplexToInterleaved(combined), At: at}, true, nil
+}
+
+// Close implements Operator.
+func (r *RadixCombine) Close() error { return r.Input.Close() }
+
+func toComplex(v any) ([]complex128, error) {
+	arr, ok := v.([]float64)
+	if !ok {
+		return nil, typeErrorf("radixcombine", v)
+	}
+	return fft.InterleavedToComplex(arr)
+}
+
+func fftCost(n int) vtime.Duration {
+	if n <= 1 {
+		return vtime.Duration(fftCostPerSample)
+	}
+	log2 := 0
+	for m := n; m > 1; m >>= 1 {
+		log2++
+	}
+	return vtime.Duration(fftCostPerSample * float64(n) * float64(log2))
+}

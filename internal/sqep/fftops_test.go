@@ -1,0 +1,146 @@
+package sqep
+
+import (
+	"math"
+	"testing"
+
+	"scsq/internal/fft"
+)
+
+// TestFFTOperatorAgainstDirect checks the fft operator against the direct
+// transform.
+func TestFFTOperatorAgainstDirect(t *testing.T) {
+	signal := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	got := drainValues(t, NewFFT(NewSlice(any(signal))), nil)
+	if len(got) != 1 {
+		t.Fatalf("fft produced %d elements, want 1", len(got))
+	}
+	inter, ok := got[0].([]float64)
+	if !ok {
+		t.Fatalf("fft result is %T", got[0])
+	}
+	want, err := fft.TransformReal(signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInter := fft.ComplexToInterleaved(want)
+	if len(inter) != len(wantInter) {
+		t.Fatalf("len = %d, want %d", len(inter), len(wantInter))
+	}
+	for i := range inter {
+		if math.Abs(inter[i]-wantInter[i]) > 1e-9 {
+			t.Fatalf("fft[%d] = %v, want %v", i, inter[i], wantInter[i])
+		}
+	}
+}
+
+func TestFFTOperatorTypeError(t *testing.T) {
+	op := NewFFT(NewSlice("not an array"))
+	if err := op.Open(testCtx()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := op.Next(); err == nil {
+		t.Error("fft of a string should fail")
+	}
+}
+
+// TestRadixCombinePipeline rebuilds the radix2 dataflow by hand: split →
+// two FFTs → tagged merge → radixcombine, and checks the result equals the
+// full FFT.
+func TestRadixCombinePipeline(t *testing.T) {
+	signal := make([]float64, 32)
+	for i := range signal {
+		signal[i] = math.Sin(float64(i)) + 0.3*math.Cos(3*float64(i))
+	}
+	oddHalf := drainValues(t, NewFFT(NewOdd(NewSlice(any(signal)))), nil)
+	evenHalf := drainValues(t, NewFFT(NewEven(NewSlice(any(signal)))), nil)
+
+	merged := &Slice{Elements: []Element{
+		{Value: evenHalf[0], Src: "even-sp"},
+		{Value: oddHalf[0], Src: "odd-sp"},
+	}}
+	rc := NewRadixCombine(merged, "odd-sp", "even-sp")
+	got := drainValues(t, rc, nil)
+	if len(got) != 1 {
+		t.Fatalf("radixcombine produced %d elements, want 1", len(got))
+	}
+	inter := got[0].([]float64)
+
+	want, err := fft.TransformReal(signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInter := fft.ComplexToInterleaved(want)
+	for i := range wantInter {
+		if math.Abs(inter[i]-wantInter[i]) > 1e-9 {
+			t.Fatalf("combined[%d] = %v, want %v", i, inter[i], wantInter[i])
+		}
+	}
+}
+
+func TestRadixCombineMultipleArrays(t *testing.T) {
+	// Two signal arrays pipelined through the same combine operator; pairs
+	// must match up per arrival order within each source.
+	mk := func(seed float64) []float64 {
+		s := make([]float64, 8)
+		for i := range s {
+			s[i] = seed + float64(i)
+		}
+		return s
+	}
+	var elements []Element
+	for _, seed := range []float64{1, 100} {
+		odd := drainValues(t, NewFFT(NewOdd(NewSlice(any(mk(seed))))), nil)
+		even := drainValues(t, NewFFT(NewEven(NewSlice(any(mk(seed))))), nil)
+		elements = append(elements,
+			Element{Value: odd[0], Src: "o"},
+			Element{Value: even[0], Src: "e"},
+		)
+	}
+	rc := NewRadixCombine(&Slice{Elements: elements}, "o", "e")
+	got := drainValues(t, rc, nil)
+	if len(got) != 2 {
+		t.Fatalf("combined %d arrays, want 2", len(got))
+	}
+}
+
+func TestRadixCombineErrors(t *testing.T) {
+	// Unknown source.
+	rc := NewRadixCombine(&Slice{Elements: []Element{{Value: []float64{1, 2}, Src: "zz"}}}, "o", "e")
+	if err := rc.Open(testCtx()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rc.Next(); err == nil {
+		t.Error("unexpected source should fail")
+	}
+	// Unpaired stream at end.
+	rc = NewRadixCombine(&Slice{Elements: []Element{{Value: []float64{1, 2}, Src: "o"}}}, "o", "e")
+	if err := rc.Open(testCtx()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rc.Next(); err == nil {
+		t.Error("unpaired partial FFT should fail")
+	}
+	// Mismatched half lengths.
+	rc = NewRadixCombine(&Slice{Elements: []Element{
+		{Value: []float64{1, 2}, Src: "o"},
+		{Value: []float64{1, 2, 3, 4}, Src: "e"},
+	}}, "o", "e")
+	if err := rc.Open(testCtx()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rc.Next(); err == nil {
+		t.Error("mismatched halves should fail")
+	}
+}
+
+func TestFFTCostGrowsLogLinear(t *testing.T) {
+	small := fftCost(16)
+	big := fftCost(1024)
+	if big <= small {
+		t.Errorf("fftCost(1024)=%v should exceed fftCost(16)=%v", big, small)
+	}
+	if fftCost(1) <= 0 {
+		t.Error("fftCost(1) must be positive")
+	}
+}

@@ -1,0 +1,62 @@
+package sqep
+
+import "fmt"
+
+// Limit implements limit(s, n): the first n elements of a stream. It is a
+// stop condition in the sense of the paper §2.2 — "a stop condition in the
+// query that makes the stream finite" — letting continuous queries over
+// unbounded sources terminate: when the limit is reached the operator's
+// input closes, which propagates termination upstream (producers finish
+// against drained inboxes).
+type Limit struct {
+	Input Operator
+	N     int64
+
+	emitted int64
+	done    bool
+}
+
+var _ Operator = (*Limit)(nil)
+
+// NewLimit returns a limit operator over input.
+func NewLimit(input Operator, n int64) *Limit { return &Limit{Input: input, N: n} }
+
+// Open implements Operator.
+func (l *Limit) Open(ctx *Ctx) error {
+	if l.N < 0 {
+		return fmt.Errorf("sqep: limit: count must be non-negative, got %d", l.N)
+	}
+	l.emitted = 0
+	l.done = false
+	return l.Input.Open(ctx)
+}
+
+// Next implements Operator.
+func (l *Limit) Next() (Element, bool, error) {
+	if l.done || l.emitted >= l.N {
+		if !l.done {
+			l.done = true
+			// Release the input early so upstream producers unblock.
+			if err := l.Input.Close(); err != nil {
+				return Element{}, false, err
+			}
+		}
+		return Element{}, false, nil
+	}
+	el, ok, err := l.Input.Next()
+	if err != nil || !ok {
+		l.done = true
+		return Element{}, false, err
+	}
+	l.emitted++
+	return el, true, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error {
+	if l.done {
+		return nil
+	}
+	l.done = true
+	return l.Input.Close()
+}

@@ -1,0 +1,49 @@
+package sqep
+
+import "fmt"
+
+// Source implements the paper's receiver(name) function: a stream of signal
+// data from a named external source, resolved through the execution
+// context's source registry when the plan opens.
+type Source struct {
+	Name string
+
+	inner Operator
+}
+
+var _ Operator = (*Source)(nil)
+
+// NewSource returns a receiver(name) operator.
+func NewSource(name string) *Source { return &Source{Name: name} }
+
+// Open implements Operator.
+func (s *Source) Open(ctx *Ctx) error {
+	if ctx == nil || ctx.Sources == nil {
+		return fmt.Errorf("sqep: receiver(%q): no sources configured", s.Name)
+	}
+	fn, ok := ctx.Sources[s.Name]
+	if !ok {
+		return fmt.Errorf("sqep: receiver(%q): unknown source", s.Name)
+	}
+	s.inner = fn(ctx)
+	if s.inner == nil {
+		return fmt.Errorf("sqep: receiver(%q): source returned no operator", s.Name)
+	}
+	return s.inner.Open(ctx)
+}
+
+// Next implements Operator.
+func (s *Source) Next() (Element, bool, error) {
+	if s.inner == nil {
+		return Element{}, false, fmt.Errorf("sqep: receiver(%q): not open", s.Name)
+	}
+	return s.inner.Next()
+}
+
+// Close implements Operator.
+func (s *Source) Close() error {
+	if s.inner == nil {
+		return nil
+	}
+	return s.inner.Close()
+}

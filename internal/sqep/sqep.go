@@ -1,0 +1,164 @@
+// Package sqep implements SCSQ's Stream Query Execution Plans. Each running
+// process compiles its continuous subquery into a local SQEP — a tree of
+// stream operators — and interprets it (paper §2.3). Operators are
+// pull-based iterators over timestamped elements; CPU work they perform is
+// charged against the executing node's virtual CPU so that operator cost is
+// part of the measured makespan.
+package sqep
+
+import (
+	"errors"
+	"fmt"
+
+	"scsq/internal/hw"
+	"scsq/internal/vtime"
+)
+
+// Element is one stream item.
+type Element struct {
+	// Value is the stream object: int64, float64, bool, string, []float64
+	// (numerical array) or []any (bag).
+	Value any
+	// At is the virtual instant the element became available.
+	At vtime.Time
+	// Src identifies the producing RP for elements that crossed a carrier;
+	// operators such as radixcombine use it to demultiplex merged streams.
+	Src string
+}
+
+// Operator is a pull-based stream iterator. The contract follows the usual
+// volcano model: Open, then Next until ok is false, then Close. Operators
+// are not safe for concurrent use.
+type Operator interface {
+	// Open prepares the operator and its inputs.
+	Open(ctx *Ctx) error
+	// Next returns the next element. ok is false at end of stream.
+	Next() (el Element, ok bool, err error)
+	// Close releases resources. Close is idempotent.
+	Close() error
+}
+
+// SourceFunc produces the elements of a named external stream source (the
+// paper's receiver() function, which returns a stream of 1D arrays of
+// signal data).
+type SourceFunc func(ctx *Ctx) Operator
+
+// Ctx is the execution context of a SQEP: the executing node's CPU, the
+// cost model, and the engine-provided environment for table and source
+// functions.
+type Ctx struct {
+	// CPU is the executing node's virtual CPU resource.
+	CPU *vtime.Resource
+	// Cost is the environment's cost model.
+	Cost hw.CostModel
+	// Files backs the filename(i) table and grep() of the mapreduce
+	// example.
+	Files FileTable
+	// Sources resolves receiver(name) to external stream sources.
+	Sources map[string]SourceFunc
+}
+
+// Charge charges the context CPU for service time starting no earlier than
+// ready and returns the completion instant. A nil CPU (pure in-process
+// evaluation, used in unit tests) advances time without contention.
+func (c *Ctx) Charge(ready vtime.Time, service vtime.Duration) vtime.Time {
+	if c == nil || c.CPU == nil {
+		return ready.Add(service)
+	}
+	_, end := c.CPU.Use(ready, service)
+	return end
+}
+
+// FileTable maps file names to contents for the distributed-grep example.
+type FileTable interface {
+	// Name returns the i-th file name (1-based, as iota(1,1000) generates).
+	Name(i int64) (string, error)
+	// Read returns the contents of the named file.
+	Read(name string) (string, error)
+}
+
+// ErrNoFileTable is returned by grep/filename when the context has no file
+// table.
+var ErrNoFileTable = errors.New("sqep: no file table configured")
+
+// ValueBytes returns the marshaled payload size of a value as used by the
+// cost accounting (approximating the wire size without encoding).
+func ValueBytes(v any) int {
+	switch x := v.(type) {
+	case nil:
+		return 1
+	case int64, int, float64:
+		return 9
+	case bool:
+		return 2
+	case string:
+		return 5 + len(x)
+	case []float64:
+		return 5 + 8*len(x)
+	case []any:
+		n := 5
+		for _, e := range x {
+			n += ValueBytes(e)
+		}
+		return n
+	default:
+		return 16
+	}
+}
+
+// Slice is an operator over a fixed set of elements, used by tests and as a
+// building block for scalar results.
+type Slice struct {
+	Elements []Element
+	pos      int
+}
+
+var _ Operator = (*Slice)(nil)
+
+// NewSlice returns an operator yielding the given values with zero
+// timestamps.
+func NewSlice(values ...any) *Slice {
+	s := &Slice{}
+	for _, v := range values {
+		s.Elements = append(s.Elements, Element{Value: v})
+	}
+	return s
+}
+
+// Open implements Operator.
+func (s *Slice) Open(*Ctx) error { s.pos = 0; return nil }
+
+// Next implements Operator.
+func (s *Slice) Next() (Element, bool, error) {
+	if s.pos >= len(s.Elements) {
+		return Element{}, false, nil
+	}
+	el := s.Elements[s.pos]
+	s.pos++
+	return el, true, nil
+}
+
+// Close implements Operator.
+func (s *Slice) Close() error { return nil }
+
+// Drain pulls every element from op (which must already be Open) and
+// returns them, closing the operator afterwards.
+func Drain(op Operator) ([]Element, error) {
+	defer op.Close()
+	var out []Element
+	for {
+		el, ok, err := op.Next()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, el)
+	}
+}
+
+// typeErrorf builds a consistent operator type error.
+func typeErrorf(op string, v any) error {
+	return fmt.Errorf("sqep: %s: unsupported value type %T", op, v)
+}

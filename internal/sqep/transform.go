@@ -1,0 +1,121 @@
+package sqep
+
+import (
+	"fmt"
+
+	"scsq/internal/vtime"
+)
+
+// MapFn applies fn to every element; fn returns the replacement value and
+// the CPU cost of producing it.
+type MapFn struct {
+	Name  string
+	Input Operator
+	Fn    func(v any) (any, vtime.Duration, error)
+
+	ctx *Ctx
+}
+
+var _ Operator = (*MapFn)(nil)
+
+// NewMapFn returns a map operator over input.
+func NewMapFn(name string, input Operator, fn func(v any) (any, vtime.Duration, error)) *MapFn {
+	return &MapFn{Name: name, Input: input, Fn: fn}
+}
+
+// Open implements Operator.
+func (m *MapFn) Open(ctx *Ctx) error {
+	m.ctx = ctx
+	return m.Input.Open(ctx)
+}
+
+// Next implements Operator.
+func (m *MapFn) Next() (Element, bool, error) {
+	el, ok, err := m.Input.Next()
+	if err != nil || !ok {
+		return Element{}, false, err
+	}
+	v, cost, err := m.Fn(el.Value)
+	if err != nil {
+		return Element{}, false, fmt.Errorf("sqep: %s: %w", m.Name, err)
+	}
+	el.Value = v
+	el.At = m.ctx.Charge(el.At, cost)
+	return el, true, nil
+}
+
+// Close implements Operator.
+func (m *MapFn) Close() error { return m.Input.Close() }
+
+// Filter keeps the elements for which Pred returns true.
+type Filter struct {
+	Name  string
+	Input Operator
+	Pred  func(v any) (bool, error)
+
+	ctx *Ctx
+}
+
+var _ Operator = (*Filter)(nil)
+
+// NewFilter returns a filter operator over input.
+func NewFilter(name string, input Operator, pred func(v any) (bool, error)) *Filter {
+	return &Filter{Name: name, Input: input, Pred: pred}
+}
+
+// Open implements Operator.
+func (f *Filter) Open(ctx *Ctx) error {
+	f.ctx = ctx
+	return f.Input.Open(ctx)
+}
+
+// Next implements Operator.
+func (f *Filter) Next() (Element, bool, error) {
+	for {
+		el, ok, err := f.Input.Next()
+		if err != nil || !ok {
+			return Element{}, false, err
+		}
+		keep, err := f.Pred(el.Value)
+		if err != nil {
+			return Element{}, false, fmt.Errorf("sqep: %s: %w", f.Name, err)
+		}
+		if keep {
+			return el, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.Input.Close() }
+
+// oddEvenCostPerByte is the CPU cost factor for splitting arrays.
+const oddEvenCostPerByte = 0.5
+
+// NewOdd returns the odd(x) operator: for each array element, the
+// odd-indexed values (paper §2.4, radix-2 FFT parallelization).
+func NewOdd(input Operator) *MapFn {
+	return NewMapFn("odd", input, func(v any) (any, vtime.Duration, error) {
+		return splitArray(v, 1)
+	})
+}
+
+// NewEven returns the even(x) operator: for each array element, the
+// even-indexed values.
+func NewEven(input Operator) *MapFn {
+	return NewMapFn("even", input, func(v any) (any, vtime.Duration, error) {
+		return splitArray(v, 0)
+	})
+}
+
+func splitArray(v any, phase int) (any, vtime.Duration, error) {
+	arr, ok := v.([]float64)
+	if !ok {
+		return nil, 0, typeErrorf("odd/even", v)
+	}
+	out := make([]float64, 0, (len(arr)+1)/2)
+	for i := phase; i < len(arr); i += 2 {
+		out = append(out, arr[i])
+	}
+	return out, vtime.Duration(oddEvenCostPerByte * 8 * float64(len(arr))), nil
+}

@@ -1,0 +1,86 @@
+package sqep
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTumblingWindowSum(t *testing.T) {
+	got := drainValues(t, NewWindow(NewIota(1, 9), WindowSum, 3, 3), nil)
+	want := []any{6.0, 15.0, 24.0}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tumbling sum = %v, want %v", got, want)
+	}
+}
+
+func TestTumblingWindowPartialTail(t *testing.T) {
+	got := drainValues(t, NewWindow(NewIota(1, 7), WindowSum, 3, 3), nil)
+	want := []any{6.0, 15.0, 13.0} // trailing window of {7}... no: {7} sums 7
+	_ = want
+	if len(got) != 3 {
+		t.Fatalf("windows = %v, want 3", got)
+	}
+	if got[2] != 7.0 {
+		t.Errorf("partial tail = %v, want 7", got[2])
+	}
+}
+
+func TestSlidingWindowAvg(t *testing.T) {
+	got := drainValues(t, NewWindow(NewIota(1, 5), WindowAvg, 3, 1), nil)
+	// Windows: {1,2,3} {2,3,4} {3,4,5} then tails {4,5} and {5}.
+	want := []any{2.0, 3.0, 4.0, 4.5, 5.0}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sliding avg = %v, want %v", got, want)
+	}
+}
+
+func TestWindowKinds(t *testing.T) {
+	in := func() Operator { return NewSlice(3.0, 1.0, 2.0) }
+	tests := []struct {
+		kind WindowKind
+		want any
+	}{
+		{WindowCount, int64(3)},
+		{WindowSum, 6.0},
+		{WindowAvg, 2.0},
+		{WindowMin, 1.0},
+		{WindowMax, 3.0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.kind.String(), func(t *testing.T) {
+			got := drainValues(t, NewWindow(in(), tt.kind, 3, 3), nil)
+			if !reflect.DeepEqual(got, []any{tt.want}) {
+				t.Errorf("%v = %v, want [%v]", tt.kind, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestWindowValidation(t *testing.T) {
+	if err := NewWindow(NewIota(1, 3), WindowSum, 0, 1).Open(testCtx()); err == nil {
+		t.Error("size 0 should fail")
+	}
+	if err := NewWindow(NewIota(1, 3), WindowSum, 3, 0).Open(testCtx()); err == nil {
+		t.Error("slide 0 should fail")
+	}
+	bad := NewWindow(NewSlice("x"), WindowSum, 2, 2)
+	if err := bad.Open(testCtx()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bad.Next(); err == nil {
+		t.Error("window over strings should fail")
+	}
+}
+
+func TestWindowEmptyInput(t *testing.T) {
+	got := drainValues(t, NewWindow(NewSlice(), WindowSum, 3, 3), nil)
+	if len(got) != 0 {
+		t.Errorf("window over empty stream = %v, want none", got)
+	}
+}
+
+func TestWindowKindStrings(t *testing.T) {
+	if WindowCount.String() != "count" || WindowKind(99).String() != "unknown" {
+		t.Error("WindowKind.String misbehaves")
+	}
+}

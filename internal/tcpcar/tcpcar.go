@@ -1,0 +1,225 @@
+// Package tcpcar implements the TCP stream carrier used whenever a stream
+// crosses cluster boundaries (paper §2.3: TCP is always used when
+// communicating between clusters; for inbound streaming "we rely on the
+// buffering of the TCP stack").
+//
+// The modeled path for a back-end → BlueGene stream is: back-end node NIC
+// (GbE) → I/O node forwarder (the pset's I/O node runs the TCP↔tree
+// forwarding on its PowerPC 440) → tree network → receiving compute node.
+// The I/O-node stage pays a per-message switching cost when the I/O node
+// forwards several concurrent streams, and a partition-wide coordination
+// penalty proportional to the number of *distinct* back-end nodes currently
+// streaming in — the paper's "coordination problems in the I/O node when
+// communicating with many outside nodes" (observation 3, Figure 15).
+//
+// Streams leaving the BlueGene traverse the same stages outward; streams
+// between Linux nodes use the two NICs.
+package tcpcar
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"scsq/internal/carrier"
+	"scsq/internal/hw"
+	"scsq/internal/vtime"
+)
+
+// Fabric charges TCP transfers against a hardware environment.
+type Fabric struct {
+	env    *hw.Env
+	nextID atomic.Int64
+}
+
+// NewFabric returns a fabric over env.
+func NewFabric(env *hw.Env) *Fabric {
+	return &Fabric{env: env}
+}
+
+// Env returns the underlying hardware environment.
+func (f *Fabric) Env() *hw.Env { return f.env }
+
+// Endpoint names one side of a TCP connection.
+type Endpoint struct {
+	Cluster hw.ClusterName
+	Node    int
+}
+
+func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.Cluster, e.Node) }
+
+// Conn is an open TCP connection between two cluster nodes.
+type Conn struct {
+	fabric   *Fabric
+	src, dst Endpoint
+	inbox    carrier.Inbox
+	streamID string // registered inbound stream, "" if not BG-inbound
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ carrier.Conn = (*Conn)(nil)
+
+// Dial opens a TCP connection from src to dst delivering into inbox.
+// Inbound BlueGene connections are registered with the environment so the
+// coordination penalties can be modeled; Close unregisters them.
+func (f *Fabric) Dial(src, dst Endpoint, inbox carrier.Inbox) (*Conn, error) {
+	if !src.Cluster.Valid() || !dst.Cluster.Valid() {
+		return nil, fmt.Errorf("tcpcar: invalid endpoint clusters %q -> %q", src.Cluster, dst.Cluster)
+	}
+	if src.Cluster == hw.BlueGene && dst.Cluster == hw.BlueGene {
+		return nil, fmt.Errorf("tcpcar: MPI is the only allowed protocol inside the BlueGene (use mpicar)")
+	}
+	if _, err := f.env.Node(src.Cluster, src.Node); err != nil {
+		return nil, fmt.Errorf("tcpcar: %w", err)
+	}
+	if _, err := f.env.Node(dst.Cluster, dst.Node); err != nil {
+		return nil, fmt.Errorf("tcpcar: %w", err)
+	}
+	c := &Conn{fabric: f, src: src, dst: dst, inbox: inbox}
+	if dst.Cluster == hw.BlueGene {
+		ion, err := f.env.IONodeFor(dst.Node)
+		if err != nil {
+			return nil, fmt.Errorf("tcpcar: %w", err)
+		}
+		// Front-end connections (e.g. control results) do not model the
+		// back-end coordination penalty, but still consume I/O-node capacity.
+		if src.Cluster == hw.BackEnd {
+			c.streamID = fmt.Sprintf("in-%d-%s-%s", f.nextID.Add(1), src, dst)
+			f.env.RegisterInbound(c.streamID, src.Node, ion.ID)
+		}
+	}
+	return c, nil
+}
+
+// Send implements carrier.Conn.
+func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return 0, carrier.ErrClosed
+	}
+
+	switch {
+	case c.dst.Cluster == hw.BlueGene:
+		return c.sendIntoBG(fr)
+	case c.src.Cluster == hw.BlueGene:
+		return c.sendOutOfBG(fr)
+	default:
+		return c.sendLinuxToLinux(fr)
+	}
+}
+
+// sendIntoBG charges be/fe NIC → I/O forwarder → tree.
+func (c *Conn) sendIntoBG(fr carrier.Frame) (vtime.Time, error) {
+	env := c.fabric.env
+	m := env.Cost
+	s := len(fr.Payload)
+
+	srcNode, err := env.Node(c.src.Cluster, c.src.Node)
+	if err != nil {
+		return 0, err
+	}
+	nicSvc := m.BeMsgCost + byteDur(m.BeNICByte, s)
+	if c.src.Cluster == hw.FrontEnd {
+		nicSvc = m.BeMsgCost + byteDur(m.FENICByte, s)
+	}
+	_, senderFree := srcNode.NIC.Use(fr.Ready, nicSvc)
+
+	ion, err := env.IONodeFor(c.dst.Node)
+	if err != nil {
+		return 0, err
+	}
+	fwdSvc := byteDur(m.IOByte, s)
+	// Connection-switching penalty when the I/O node forwards several
+	// concurrent streams, charged at the expected alternation rate (p-1)/p
+	// of p symmetric streams.
+	if p := env.StreamsOnIO(ion.ID); p > 1 {
+		fwdSvc += vtime.Duration(float64(m.IOSwitchCost) * float64(p-1) / float64(p))
+	}
+	if c.src.Cluster == hw.BackEnd {
+		if peers := env.DistinctBeNodes(); peers > 1 {
+			fwdSvc += vtime.Duration(peers-1) * m.CiodPeerCost
+		}
+	}
+	_, t := ion.Forwarder.Use(senderFree, fwdSvc)
+	_, arrived := ion.Tree.Use(t, byteDur(m.TreeByte, s))
+
+	c.inbox <- carrier.Delivered{Frame: fr, At: arrived, ViaTCP: true}
+	return senderFree, nil
+}
+
+// sendOutOfBG charges tree → I/O forwarder → destination NIC.
+func (c *Conn) sendOutOfBG(fr carrier.Frame) (vtime.Time, error) {
+	env := c.fabric.env
+	m := env.Cost
+	s := len(fr.Payload)
+
+	ion, err := env.IONodeFor(c.src.Node)
+	if err != nil {
+		return 0, err
+	}
+	_, t := ion.Tree.Use(fr.Ready, byteDur(m.TreeByte, s))
+	senderFree := t
+	_, t = ion.Forwarder.Use(t, byteDur(m.IOByte, s))
+
+	dstNode, err := env.Node(c.dst.Cluster, c.dst.Node)
+	if err != nil {
+		return 0, err
+	}
+	perByte := m.FENICByte
+	if c.dst.Cluster == hw.BackEnd {
+		perByte = m.BeNICByte
+	}
+	_, arrived := dstNode.NIC.Use(t, m.BeMsgCost+byteDur(perByte, s))
+
+	c.inbox <- carrier.Delivered{Frame: fr, At: arrived, ViaTCP: true}
+	return senderFree, nil
+}
+
+// sendLinuxToLinux charges the two NICs (same path within one cluster: the
+// switch fabric itself is not a bottleneck).
+func (c *Conn) sendLinuxToLinux(fr carrier.Frame) (vtime.Time, error) {
+	env := c.fabric.env
+	m := env.Cost
+	s := len(fr.Payload)
+
+	srcNode, err := env.Node(c.src.Cluster, c.src.Node)
+	if err != nil {
+		return 0, err
+	}
+	dstNode, err := env.Node(c.dst.Cluster, c.dst.Node)
+	if err != nil {
+		return 0, err
+	}
+	perByteSrc := m.FENICByte
+	if c.src.Cluster == hw.BackEnd {
+		perByteSrc = m.BeNICByte
+	}
+	perByteDst := m.FENICByte
+	if c.dst.Cluster == hw.BackEnd {
+		perByteDst = m.BeNICByte
+	}
+	_, senderFree := srcNode.NIC.Use(fr.Ready, m.BeMsgCost+byteDur(perByteSrc, s))
+	_, arrived := dstNode.NIC.Use(senderFree, byteDur(perByteDst, s))
+
+	c.inbox <- carrier.Delivered{Frame: fr, At: arrived, ViaTCP: true}
+	return senderFree, nil
+}
+
+// Close implements carrier.Conn. The inbound-stream registration is kept
+// for the rest of the experiment epoch (hw.Env.Reset clears it): the
+// virtual-time coordination penalties must not depend on the wall-clock
+// order in which producers happen to finish.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+func byteDur(perByte float64, n int) vtime.Duration {
+	return vtime.Duration(perByte * float64(n))
+}

@@ -1,0 +1,162 @@
+// Package udpcar implements the UDP stream carrier variant the paper's
+// hardware offers (§2.1: communication with the Linux clusters utilizes
+// I/O nodes that provide TCP or UDP). UDP transport is best-effort:
+// datagrams may be dropped at the overloaded I/O node, so a bandwidth
+// measurement that counts arrays observes the loss directly.
+//
+// The cost model matches the TCP carrier's inbound path (back-end NIC →
+// I/O-node forwarder → tree network), except that a dropped frame consumes
+// the sender-side costs but never reaches the receiver. Loss is
+// deterministic — a hash of the connection id and frame sequence number
+// against the configured loss rate — so experiments are reproducible.
+// End-of-stream frames are always delivered (the engine's termination
+// protocol runs over the reliable control channel the paper's RPs maintain
+// for control messages).
+package udpcar
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"scsq/internal/carrier"
+	"scsq/internal/hw"
+	"scsq/internal/tcpcar"
+	"scsq/internal/vtime"
+)
+
+// Fabric charges UDP transfers against a hardware environment.
+type Fabric struct {
+	env      *hw.Env
+	lossRate float64
+	nextID   atomic.Int64
+}
+
+// NewFabric returns a UDP fabric with the given datagram loss rate in
+// [0, 1).
+func NewFabric(env *hw.Env, lossRate float64) (*Fabric, error) {
+	if lossRate < 0 || lossRate >= 1 {
+		return nil, fmt.Errorf("udpcar: loss rate must be in [0,1), got %v", lossRate)
+	}
+	return &Fabric{env: env, lossRate: lossRate}, nil
+}
+
+// Env returns the underlying hardware environment.
+func (f *Fabric) Env() *hw.Env { return f.env }
+
+// Conn is a UDP stream connection from a back-end node into the BlueGene.
+type Conn struct {
+	fabric   *Fabric
+	id       int64
+	src, dst tcpcar.Endpoint
+	inbox    carrier.Inbox
+
+	mu      sync.Mutex
+	seq     uint64
+	dropped int64
+	sent    int64
+	closed  bool
+}
+
+var _ carrier.Conn = (*Conn)(nil)
+
+// Dial opens a UDP connection from src (a back-end node) to dst (a BG
+// compute node), delivering into inbox.
+func (f *Fabric) Dial(src, dst tcpcar.Endpoint, inbox carrier.Inbox) (*Conn, error) {
+	if src.Cluster != hw.BackEnd || dst.Cluster != hw.BlueGene {
+		return nil, fmt.Errorf("udpcar: only back-end → BlueGene streams use UDP, got %s -> %s", src, dst)
+	}
+	if _, err := f.env.Node(src.Cluster, src.Node); err != nil {
+		return nil, fmt.Errorf("udpcar: %w", err)
+	}
+	ion, err := f.env.IONodeFor(dst.Node)
+	if err != nil {
+		return nil, fmt.Errorf("udpcar: %w", err)
+	}
+	id := f.nextID.Add(1)
+	f.env.RegisterInbound(fmt.Sprintf("udp-%d-%s-%s", id, src, dst), src.Node, ion.ID)
+	return &Conn{fabric: f, id: id, src: src, dst: dst, inbox: inbox}, nil
+}
+
+// Send implements carrier.Conn. Dropped frames consume sender-side costs
+// but are not delivered; Last frames always arrive.
+func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, carrier.ErrClosed
+	}
+	seq := c.seq
+	c.seq++
+	c.sent++
+	c.mu.Unlock()
+
+	env := c.fabric.env
+	m := env.Cost
+	s := len(fr.Payload)
+
+	srcNode, err := env.Node(c.src.Cluster, c.src.Node)
+	if err != nil {
+		return 0, err
+	}
+	// The datagram always leaves the back-end NIC.
+	nicSvc := m.BeMsgCost + vtime.Duration(m.BeNICByte*float64(s))
+	_, senderFree := srcNode.NIC.Use(fr.Ready, nicSvc)
+
+	if !fr.Last && c.fabric.drop(c.id, seq) {
+		c.mu.Lock()
+		c.dropped++
+		c.mu.Unlock()
+		return senderFree, nil
+	}
+
+	ion, err := env.IONodeFor(c.dst.Node)
+	if err != nil {
+		return 0, err
+	}
+	fwdSvc := vtime.Duration(m.IOByte * float64(s))
+	if p := env.StreamsOnIO(ion.ID); p > 1 {
+		fwdSvc += vtime.Duration(float64(m.IOSwitchCost) * float64(p-1) / float64(p))
+	}
+	if peers := env.DistinctBeNodes(); peers > 1 {
+		fwdSvc += vtime.Duration(peers-1) * m.CiodPeerCost
+	}
+	_, t := ion.Forwarder.Use(senderFree, fwdSvc)
+	_, arrived := ion.Tree.Use(t, vtime.Duration(m.TreeByte*float64(s)))
+
+	c.inbox <- carrier.Delivered{Frame: fr, At: arrived, ViaTCP: true}
+	return senderFree, nil
+}
+
+// Close implements carrier.Conn.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+// Stats reports sent and dropped frame counts.
+func (c *Conn) Stats() (sent, dropped int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent, c.dropped
+}
+
+// drop decides deterministically whether frame seq of connection id is
+// lost, by hashing into [0,1) and comparing with the loss rate.
+func (f *Fabric) drop(id int64, seq uint64) bool {
+	if f.lossRate <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(id >> (8 * i))
+		buf[8+i] = byte(seq >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	u := float64(h.Sum64()>>11) / float64(1<<53)
+	return u < f.lossRate
+}

@@ -1,0 +1,125 @@
+package vtime
+
+import (
+	"math"
+	"sync"
+)
+
+// Pacer implements conservative time-window synchronization between the
+// concurrently executing running processes of one query. Goroutines execute
+// at wall-clock speed, but the virtual schedule must reflect simulated
+// time: a process that the Go scheduler happens to run early must not
+// reserve shared virtual resources arbitrarily far ahead of its peers.
+// Each agent publishes its virtual progress — a lower bound on the ready
+// time of anything it will still submit — and blocks whenever it would run
+// more than the horizon ahead of the slowest registered agent.
+//
+// Together with Resource's earliest-fit backfilling this keeps the virtual
+// schedule independent of wall-clock scheduling up to the horizon, which is
+// small against every experiment's makespan.
+type Pacer struct {
+	horizon Duration
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	progress map[int64]Time
+	nextID   int64
+}
+
+// maxTimeSentinel marks a finished agent.
+const maxTimeSentinel = Time(math.MaxInt64)
+
+// NewPacer returns a pacer with the given horizon. A non-positive horizon
+// disables pacing (Wait never blocks).
+func NewPacer(horizon Duration) *Pacer {
+	p := &Pacer{
+		horizon:  horizon,
+		progress: make(map[int64]Time),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Register adds an agent starting at virtual time zero.
+func (p *Pacer) Register() *PacerAgent {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextID++
+	id := p.nextID
+	p.progress[id] = 0
+	// A new agent lowers the minimum; no waiter can be released by this,
+	// so no broadcast is needed.
+	return &PacerAgent{pacer: p, id: id}
+}
+
+// minLocked returns the minimum progress over all registered agents.
+func (p *Pacer) minLocked() Time {
+	minT := maxTimeSentinel
+	for _, t := range p.progress {
+		if t < minT {
+			minT = t
+		}
+	}
+	return minT
+}
+
+// PacerAgent is one registered process. A nil agent is valid and performs
+// no pacing.
+type PacerAgent struct {
+	pacer *Pacer
+	id    int64
+}
+
+// Advance publishes that the agent has progressed to virtual time t (it
+// will never submit work with an earlier ready time). Regressions are
+// ignored.
+func (a *PacerAgent) Advance(t Time) {
+	if a == nil {
+		return
+	}
+	p := a.pacer
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if t > p.progress[a.id] {
+		p.progress[a.id] = t
+		p.cond.Broadcast()
+	}
+}
+
+// Wait publishes progress t and blocks until the slowest agent is within
+// the pacer's horizon of t. The slowest agent itself never blocks, so
+// progress is always possible.
+func (a *PacerAgent) Wait(t Time) {
+	if a == nil {
+		return
+	}
+	a.Advance(t)
+	p := a.pacer
+	if p.horizon <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		minT := p.minLocked()
+		if minT >= p.progress[a.id] || t <= minT.Add(p.horizon) {
+			return
+		}
+		p.cond.Wait()
+	}
+}
+
+// Done marks the agent finished: it no longer constrains anyone.
+func (a *PacerAgent) Done() {
+	if a == nil {
+		return
+	}
+	p := a.pacer
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.progress[a.id] = maxTimeSentinel
+	p.cond.Broadcast()
+}

@@ -1,0 +1,209 @@
+// Package vtime provides virtual-time accounting for the simulated LOFAR
+// hardware environment.
+//
+// SCSQ's engine runs for real — goroutines, channels, marshaled bytes — but
+// the *time* each communication step takes is charged against virtual
+// resources (CPUs, communication co-processors, NICs, I/O-node forwarders).
+// A resource is serially reusable: a request that becomes ready at virtual
+// time t and needs s nanoseconds of service starts at max(t, resource free
+// time), and the resource is busy until start+s. Timestamps propagate along
+// streams, so the virtual completion time of a finite stream query equals
+// the makespan the modeled hardware would have exhibited.
+//
+// Bandwidth reported by the experiment harness is payload bytes divided by
+// virtual elapsed time.
+package vtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Time is a virtual instant, in nanoseconds since the start of the
+// experiment. Virtual time is unrelated to the wall clock.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common virtual durations, mirroring the time package.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the duration in (fractional) seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Std converts a virtual duration to a time.Duration of equal magnitude.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+func (t Time) String() string { return fmt.Sprintf("vt+%s", time.Duration(t)) }
+
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// MaxTime returns the later of two instants.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Resource is a serially reusable virtual device (a CPU, a communication
+// co-processor, a NIC, ...). The zero value is a resource that is free at
+// virtual time zero. A Resource must not be copied after first use.
+//
+// Reservations are granted earliest-fit with backfilling: a request that
+// becomes ready at time t is placed in the earliest free gap of sufficient
+// length at or after t, even if later intervals were already granted. This
+// makes the virtual schedule (nearly) independent of the wall-clock order
+// in which concurrent goroutines happen to issue their requests — a
+// goroutine that the Go scheduler ran late must not be pushed behind work
+// that, in simulated time, came after it.
+type Resource struct {
+	mu   sync.Mutex
+	name string
+	busy []interval // sorted, non-overlapping, merged reservations
+	used Duration   // total busy time, for utilization reporting
+}
+
+type interval struct {
+	start, end Time
+}
+
+// NewResource returns a named resource that is free at virtual time zero.
+func NewResource(name string) *Resource {
+	return &Resource{name: name}
+}
+
+// Name returns the resource's name ("" for the zero value).
+func (r *Resource) Name() string { return r.name }
+
+// Use reserves the resource for service virtual nanoseconds, starting no
+// earlier than ready. It returns the granted interval [start, end).
+func (r *Resource) Use(ready Time, service Duration) (start, end Time) {
+	if ready < 0 {
+		ready = 0
+	}
+	if service <= 0 {
+		return ready, ready
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.used += service
+
+	// Find the first reservation that ends after ready; earlier ones cannot
+	// constrain the placement.
+	lo, hi := 0, len(r.busy)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.busy[mid].end <= ready {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	cand := ready
+	i := lo
+	for ; i < len(r.busy); i++ {
+		if r.busy[i].start >= cand.Add(service) {
+			break // the gap before reservation i fits
+		}
+		if r.busy[i].end > cand {
+			cand = r.busy[i].end
+		}
+	}
+	start = cand
+	end = start.Add(service)
+	r.insert(i, interval{start: start, end: end})
+	return start, end
+}
+
+// insert places iv before index i, merging with contiguous neighbors.
+func (r *Resource) insert(i int, iv interval) {
+	mergePrev := i > 0 && r.busy[i-1].end == iv.start
+	mergeNext := i < len(r.busy) && r.busy[i].start == iv.end
+	switch {
+	case mergePrev && mergeNext:
+		r.busy[i-1].end = r.busy[i].end
+		r.busy = append(r.busy[:i], r.busy[i+1:]...)
+	case mergePrev:
+		r.busy[i-1].end = iv.end
+	case mergeNext:
+		r.busy[i].start = iv.start
+	default:
+		r.busy = append(r.busy, interval{})
+		copy(r.busy[i+1:], r.busy[i:])
+		r.busy[i] = iv
+	}
+}
+
+// FreeAt reports the end of the last reservation (the earliest instant at
+// which the resource is certainly available).
+func (r *Resource) FreeAt() Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.busy) == 0 {
+		return 0
+	}
+	return r.busy[len(r.busy)-1].end
+}
+
+// BusyTime reports the total virtual time the resource has been in use.
+func (r *Resource) BusyTime() Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.used
+}
+
+// Reset returns the resource to the free-at-zero state. Used between
+// experiment repetitions.
+func (r *Resource) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.busy = nil
+	r.used = 0
+}
+
+// Clock tracks the high-water mark of virtual time observed by an
+// experiment. RPs report the timestamps of delivered elements; the clock's
+// Now is the makespan so far. The zero value is ready to use.
+type Clock struct {
+	mu  sync.Mutex
+	now Time
+}
+
+// Observe advances the clock to t if t is later than the current high-water
+// mark, and returns the (possibly unchanged) current time.
+func (c *Clock) Observe(t Time) Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Now returns the current high-water mark.
+func (c *Clock) Now() Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Reset rewinds the clock to zero.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = 0
+}

@@ -1,0 +1,358 @@
+// Package scsq is a Go reproduction of SCSQ — the Super Computer Stream
+// Query processor of Zeitler & Risch (ICDCS 2007, "Using stream queries to
+// measure communication performance of a parallel computing environment").
+//
+// SCSQ executes continuous queries written in SCSQL, a SQL-like language
+// with streams and stream processes as first-class objects: sp(s, c)
+// assigns a subquery to a new stream process in cluster c, spv(s, c) does
+// so for a whole set of subqueries, extract(p) streams a process's output,
+// and merge(p) combines the streams of a set of processes. Optional
+// allocation sequences (explicit node ids, urr(), inPset(), psetrr())
+// constrain the node-selection algorithm, which is how the paper sets up
+// different communication topologies to measure.
+//
+// The engine runs over a simulated LOFAR hardware environment — an IBM
+// BlueGene/L partition (3D torus, communication co-processors, psets with
+// I/O nodes, CNK's one-process-per-node restriction) plus Linux front-end
+// and back-end clusters — in which real goroutines stream real marshaled
+// bytes while virtual-time resources account for what the modeled hardware
+// would have spent. See DESIGN.md for the substitution rationale and
+// EXPERIMENTS.md for the regenerated figures.
+//
+// Quickstart:
+//
+//	eng, err := scsq.New()
+//	if err != nil { ... }
+//	defer eng.Close()
+//	stream, err := eng.Query(`
+//	    select extract(b)
+//	    from sp a, sp b
+//	    where b=sp(streamof(count(extract(a))), 'bg', 0)
+//	    and   a=sp(gen_array(3000000,100), 'bg', 1);`)
+//	if err != nil { ... }
+//	v, err := stream.One() // int64(100)
+package scsq
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"scsq/internal/carrier"
+	"scsq/internal/core"
+	"scsq/internal/hw"
+	"scsq/internal/scsql"
+	"scsq/internal/sqep"
+)
+
+// Engine is a SCSQ instance: a client manager, three cluster coordinators
+// and a simulated LOFAR hardware environment. An engine runs one continuous
+// query at a time; Reset prepares it for the next one.
+type Engine struct {
+	core *core.Engine
+	ev   *scsql.Evaluator
+}
+
+// Option configures New.
+type Option interface{ apply(*config) error }
+
+type config struct {
+	envOpts  []hw.Option
+	coreOpts []core.Option
+}
+
+type optionFunc func(*config) error
+
+func (f optionFunc) apply(c *config) error { return f(c) }
+
+// WithTorus sets the BlueGene partition's 3D torus dimensions (default
+// 4×4×2: 32 compute nodes, four psets, four I/O nodes — the partition of
+// the paper's experiments).
+func WithTorus(x, y, z int) Option {
+	return optionFunc(func(c *config) error {
+		c.envOpts = append(c.envOpts, hw.WithTorusDims(x, y, z))
+		return nil
+	})
+}
+
+// WithBackEndNodes sets the back-end Linux cluster size (default 4).
+func WithBackEndNodes(n int) Option {
+	return optionFunc(func(c *config) error {
+		c.envOpts = append(c.envOpts, hw.WithBackEndNodes(n))
+		return nil
+	})
+}
+
+// WithMPIBufferBytes sets the MPI stream drivers' send-buffer size — the
+// knob the paper sweeps in Figures 6 and 8 (default 64 KiB).
+func WithMPIBufferBytes(n int) Option {
+	return optionFunc(func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("scsq: MPI buffer size must be positive, got %d", n)
+		}
+		c.coreOpts = append(c.coreOpts, core.WithMPIBufferBytes(n))
+		return nil
+	})
+}
+
+// WithSingleBuffering uses single-buffered MPI drivers (the default is
+// double buffering, as in the paper's SCSQ).
+func WithSingleBuffering() Option {
+	return optionFunc(func(c *config) error {
+		c.coreOpts = append(c.coreOpts, core.WithBuffering(carrier.SingleBuffered))
+		return nil
+	})
+}
+
+// WithDoubleBuffering uses double-buffered MPI drivers (one buffer is
+// processed while the other is read or written).
+func WithDoubleBuffering() Option {
+	return optionFunc(func(c *config) error {
+		c.coreOpts = append(c.coreOpts, core.WithBuffering(carrier.DoubleBuffered))
+		return nil
+	})
+}
+
+// WithRealTCP carries cross-cluster streams over real loopback TCP sockets
+// instead of in-process channels. Virtual-time results are identical; the
+// mode exercises the actual network stack (framing, partial reads,
+// connection lifecycle).
+func WithRealTCP() Option {
+	return optionFunc(func(c *config) error {
+		c.coreOpts = append(c.coreOpts, core.WithRealTCP())
+		return nil
+	})
+}
+
+// WithUDPInbound carries back-end → BlueGene streams over the I/O nodes'
+// UDP service instead of TCP (the paper's hardware offers both). UDP is
+// best-effort: datagrams drop at the given deterministic rate, and a
+// counting query observes the loss; end-of-stream control frames are
+// always delivered.
+func WithUDPInbound(lossRate float64) Option {
+	return optionFunc(func(c *config) error {
+		if lossRate < 0 || lossRate >= 1 {
+			return fmt.Errorf("scsq: UDP loss rate must be in [0,1), got %v", lossRate)
+		}
+		c.coreOpts = append(c.coreOpts, core.WithUDPInbound(lossRate))
+		return nil
+	})
+}
+
+// WithFiles provides the file table behind the filename(i) function and
+// grep() of the mapreduce example: names[i-1] is returned by filename(i),
+// and contents maps names to file bodies.
+func WithFiles(names []string, contents map[string]string) Option {
+	return optionFunc(func(c *config) error {
+		c.coreOpts = append(c.coreOpts, core.WithFileTable(sqep.NewMapFileTable(names, contents)))
+		return nil
+	})
+}
+
+// WithArraySource registers a named external stream source for
+// receiver(name): a finite stream delivering the given arrays in order.
+func WithArraySource(name string, arrays ...[]float64) Option {
+	cp := make([][]float64, len(arrays))
+	for i, a := range arrays {
+		cp[i] = append([]float64(nil), a...)
+	}
+	return optionFunc(func(c *config) error {
+		c.coreOpts = append(c.coreOpts, core.WithSource(name, func(*sqep.Ctx) sqep.Operator {
+			vals := make([]any, len(cp))
+			for i, a := range cp {
+				vals[i] = append([]float64(nil), a...)
+			}
+			return sqep.NewSlice(vals...)
+		}))
+		return nil
+	})
+}
+
+// New builds an engine over a freshly simulated LOFAR environment.
+func New(opts ...Option) (*Engine, error) {
+	var cfg config
+	for _, o := range opts {
+		if err := o.apply(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	env, err := hw.NewLOFAR(cfg.envOpts...)
+	if err != nil {
+		return nil, err
+	}
+	coreOpts := append([]core.Option{core.WithEnv(env)}, cfg.coreOpts...)
+	c, err := core.NewEngine(coreOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{core: c, ev: scsql.NewEvaluator(c, nil)}, nil
+}
+
+// Close shuts the engine down. Pending queries must be drained first.
+func (e *Engine) Close() error { return e.core.Close() }
+
+// Reset prepares the engine for an independent query run: node allocations
+// are released and every virtual resource rewinds to time zero. Function
+// definitions are kept.
+func (e *Engine) Reset() { e.core.Reset() }
+
+// Result is the outcome of one SCSQL statement.
+type Result struct {
+	// Defined is the function name for create-function statements.
+	Defined string
+	// Stream is the result stream for query statements.
+	Stream *Stream
+}
+
+// Exec executes one SCSQL statement: a query (returning a stream the caller
+// must drain) or a create-function definition.
+func (e *Engine) Exec(statement string) (*Result, error) {
+	res, err := e.ev.Exec(statement)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Defined: res.Defined}
+	if res.Stream != nil {
+		out.Stream = &Stream{cs: res.Stream}
+	}
+	return out, nil
+}
+
+// Query executes a SCSQL query statement and returns its result stream.
+func (e *Engine) Query(query string) (*Stream, error) {
+	res, err := e.Exec(query)
+	if err != nil {
+		return nil, err
+	}
+	if res.Stream == nil {
+		return nil, errors.New("scsq: statement defined a function; use Exec for definitions")
+	}
+	return res.Stream, nil
+}
+
+// Element is one result-stream item.
+type Element struct {
+	// Value is the stream object: int64, float64, bool, string, []float64
+	// or []any.
+	Value any
+	// At is the virtual instant the element reached the client manager.
+	At time.Duration
+	// Source identifies the stream process that produced the element, when
+	// it crossed a merge.
+	Source string
+}
+
+// Stream is a continuous query's result, consumed at the client manager on
+// the front-end cluster.
+type Stream struct {
+	cs       *core.ClientStream
+	elements []Element
+}
+
+// Drain starts the query's stream processes, consumes the result stream to
+// completion, waits for every RP to terminate and releases their nodes.
+// Drain is idempotent.
+func (s *Stream) Drain() ([]Element, error) {
+	els, err := s.cs.Drain()
+	if err != nil {
+		return nil, err
+	}
+	if s.elements == nil {
+		s.elements = make([]Element, 0, len(els))
+		for _, el := range els {
+			s.elements = append(s.elements, Element{
+				Value:  el.Value,
+				At:     el.At.Sub(0).Std(),
+				Source: el.Src,
+			})
+		}
+	}
+	return s.elements, nil
+}
+
+// One drains the stream and asserts a single result element — the shape of
+// the paper's measurement queries, whose output is one integer.
+func (s *Stream) One() (any, error) {
+	if _, err := s.Drain(); err != nil {
+		return nil, err
+	}
+	return s.cs.One()
+}
+
+// Makespan returns the query's virtual completion time (only meaningful
+// after Drain).
+func (s *Stream) Makespan() time.Duration {
+	return s.cs.Makespan().Sub(0).Std()
+}
+
+// BandwidthMbps computes the streaming bandwidth the query measured:
+// payloadBytes communicated during the virtual makespan, in megabits per
+// second. This is the paper's bandwidth metric.
+func (s *Stream) BandwidthMbps(payloadBytes int64) float64 {
+	mk := s.Makespan()
+	if mk <= 0 {
+		return 0
+	}
+	return float64(payloadBytes) * 8 / mk.Seconds() / 1e6
+}
+
+// ResourceUsage reports one simulated device's busy time over the last
+// query and its share of the query's makespan — the tool behind the
+// paper's bottleneck analyses ("the BlueGene I/O is a bottleneck", "the
+// single-threaded co-processor must handle both streams").
+type ResourceUsage struct {
+	// Resource names the device, e.g. "bg0.coproc", "io1.fwd", "be1.nic".
+	Resource string
+	// Busy is the virtual time the device served work.
+	Busy time.Duration
+	// Share is Busy divided by the query's makespan.
+	Share float64
+}
+
+// TopologyEdge describes one carrier connection of the last query's
+// process graph: which stream process streams to which consumer, over
+// which nodes and carrier. This is the physical communication topology the
+// allocation sequences shaped.
+type TopologyEdge struct {
+	Producer string // producer process id
+	Consumer string // consumer process id, or "client"
+	From     string // producer placement, e.g. "bg:1"
+	To       string // consumer placement, e.g. "bg:0"
+	Carrier  string // "mpi" or "tcp"
+}
+
+// Topology returns the carrier connections wired for the current query (up
+// to the last Reset) — what the paper's Figures 5, 7 and 9-14 draw.
+func (e *Engine) Topology() []TopologyEdge {
+	edges := e.core.Edges()
+	out := make([]TopologyEdge, len(edges))
+	for i, ed := range edges {
+		out[i] = TopologyEdge{
+			Producer: ed.Producer,
+			Consumer: ed.Consumer,
+			From:     fmt.Sprintf("%s:%d", ed.FromCluster, ed.FromNode),
+			To:       fmt.Sprintf("%s:%d", ed.ToCluster, ed.ToNode),
+			Carrier:  ed.Carrier,
+		}
+	}
+	return out
+}
+
+// Utilization returns the busiest simulated resources of the drained query
+// s, sorted descending (at most top entries; top <= 0 returns all). Call
+// between Drain and Reset.
+func (e *Engine) Utilization(s *Stream, top int) []ResourceUsage {
+	report := e.core.Env().UtilizationReport(s.cs.Makespan().Sub(0))
+	if top > 0 && top < len(report) {
+		report = report[:top]
+	}
+	out := make([]ResourceUsage, len(report))
+	for i, u := range report {
+		out[i] = ResourceUsage{
+			Resource: u.Resource,
+			Busy:     u.Busy.Std(),
+			Share:    u.Share,
+		}
+	}
+	return out
+}

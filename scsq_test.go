@@ -1,0 +1,301 @@
+package scsq
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func newEngine(t *testing.T, opts ...Option) *Engine {
+	t.Helper()
+	eng, err := New(opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+func TestQuickstartQuery(t *testing.T) {
+	eng := newEngine(t)
+	stream, err := eng.Query(`
+select extract(b)
+from sp a, sp b
+where b=sp(streamof(count(extract(a))), 'bg', 0)
+and   a=sp(gen_array(30000,10), 'bg', 1);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := stream.One()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(10) {
+		t.Errorf("count = %v, want 10", v)
+	}
+	if stream.Makespan() <= 0 {
+		t.Errorf("makespan = %v, want > 0", stream.Makespan())
+	}
+	if bw := stream.BandwidthMbps(300_000); bw <= 0 {
+		t.Errorf("bandwidth = %v, want > 0", bw)
+	}
+}
+
+func TestExecDefinesFunctions(t *testing.T) {
+	eng := newEngine(t)
+	res, err := eng.Exec(`create function f(integer n) -> stream as select extract(a) from sp a where a=sp(iota(1,n), 'be');`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Defined != "f" || res.Stream != nil {
+		t.Fatalf("res = %+v, want Defined=f", res)
+	}
+	if _, err := eng.Query(`create function g() -> stream as select extract(a) from sp a where a=sp(iota(1,1), 'be');`); err == nil {
+		t.Error("Query of a definition should fail")
+	}
+	stream, err := eng.Query(`select f(3);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	els, err := stream.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(els) != 3 {
+		t.Errorf("elements = %d, want 3", len(els))
+	}
+}
+
+func TestDrainIdempotent(t *testing.T) {
+	eng := newEngine(t)
+	stream, err := eng.Query(`select extract(a) from sp a where a=sp(iota(1,4), 'be');`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := stream.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := stream.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 4 || len(second) != 4 {
+		t.Errorf("drains = %d/%d elements, want 4/4", len(first), len(second))
+	}
+}
+
+func TestResetAllowsSequentialQueries(t *testing.T) {
+	eng := newEngine(t)
+	for i := 0; i < 3; i++ {
+		stream, err := eng.Query(`
+select extract(b)
+from sp a, sp b
+where b=sp(streamof(count(extract(a))), 'bg', 0)
+and   a=sp(gen_array(10000,3), 'bg', 1);`)
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if v, err := stream.One(); err != nil || v != int64(3) {
+			t.Fatalf("round %d: v=%v err=%v", i, v, err)
+		}
+		eng.Reset()
+	}
+}
+
+func TestWithFilesAndGrep(t *testing.T) {
+	eng := newEngine(t, WithFiles(
+		[]string{"log.txt"},
+		map[string]string{"log.txt": "alpha\nmatch me\nbeta"},
+	))
+	stream, err := eng.Query(`merge(spv((select grep('match', filename(i)) from integer i where i in iota(1,1)), 'be'));`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	els, err := stream.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(els) != 1 || els[0].Value != "match me" {
+		t.Errorf("grep = %v", els)
+	}
+	if els[0].Source == "" {
+		t.Error("merged elements must carry their source process")
+	}
+}
+
+func TestWithArraySource(t *testing.T) {
+	eng := newEngine(t, WithArraySource("sig", []float64{1, 2, 3, 4}))
+	stream, err := eng.Query(`select extract(c) from sp c where c=sp(receiver('sig'), 'be');`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	els, err := stream.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(els) != 1 {
+		t.Fatalf("elements = %d, want 1", len(els))
+	}
+	arr, ok := els[0].Value.([]float64)
+	if !ok || len(arr) != 4 || arr[3] != 4 {
+		t.Errorf("array = %v", els[0].Value)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := New(WithMPIBufferBytes(0)); err == nil {
+		t.Error("zero MPI buffer should fail")
+	}
+	if _, err := New(WithTorus(0, 1, 1)); err == nil {
+		t.Error("bad torus should fail")
+	}
+	if _, err := New(WithBackEndNodes(-1)); err == nil {
+		t.Error("negative back-end nodes should fail")
+	}
+}
+
+func TestBufferingOptionsChangeBandwidth(t *testing.T) {
+	run := func(opts ...Option) time.Duration {
+		eng := newEngine(t, append(opts, WithMPIBufferBytes(100_000))...)
+		stream, err := eng.Query(`
+select extract(b)
+from sp a, sp b
+where b=sp(streamof(count(extract(a))), 'bg', 0)
+and   a=sp(gen_array(300000,10), 'bg', 1);`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := stream.One(); err != nil {
+			t.Fatal(err)
+		}
+		return stream.Makespan()
+	}
+	single := run(WithSingleBuffering())
+	double := run(WithDoubleBuffering())
+	if double >= single {
+		t.Errorf("double buffering (%v) should beat single (%v) at 100 KB buffers", double, single)
+	}
+}
+
+func TestSyntaxErrorSurfaces(t *testing.T) {
+	eng := newEngine(t)
+	_, err := eng.Query(`selec nonsense`)
+	if err == nil || !strings.Contains(err.Error(), "scsql") {
+		t.Errorf("err = %v, want scsql syntax error", err)
+	}
+}
+
+func TestUtilizationPublicAPI(t *testing.T) {
+	eng := newEngine(t)
+	stream, err := eng.Query(`
+select extract(b)
+from sp a, sp b
+where b=sp(streamof(count(extract(a))), 'bg', 0)
+and   a=sp(gen_array(100000,5), 'bg', 1);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stream.One(); err != nil {
+		t.Fatal(err)
+	}
+	usage := eng.Utilization(stream, 3)
+	if len(usage) == 0 || len(usage) > 3 {
+		t.Fatalf("usage = %v", usage)
+	}
+	// The point-to-point sender's co-processor is the busiest device.
+	if usage[0].Resource != "bg1.coproc" {
+		t.Errorf("bottleneck = %q, want bg1.coproc", usage[0].Resource)
+	}
+	if usage[0].Share <= 0 || usage[0].Share > 1.01 {
+		t.Errorf("share = %v", usage[0].Share)
+	}
+	if all := eng.Utilization(stream, 0); len(all) < len(usage) {
+		t.Errorf("top=0 should return every busy resource")
+	}
+}
+
+func TestRealTCPModePublicAPI(t *testing.T) {
+	eng := newEngine(t, WithRealTCP())
+	stream, err := eng.Query(`
+select extract(b)
+from bag of sp a, sp b, integer n
+where b=sp(count(merge(a)), 'bg')
+and   a=spv((select gen_array(20000,4) from integer i where i in iota(1,n)), 'be', 1)
+and   n=3;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := stream.One()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(12) {
+		t.Errorf("count over real sockets = %v, want 12", v)
+	}
+}
+
+func TestUDPInboundPublicAPI(t *testing.T) {
+	eng := newEngine(t, WithUDPInbound(0.3))
+	stream, err := eng.Query(`
+select extract(b)
+from bag of sp a, sp b, integer n
+where b=sp(count(merge(a)), 'bg')
+and   a=spv((select gen_array(2000,100) from integer i where i in iota(1,n)), 'be', 1)
+and   n=2;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := stream.One()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, ok := v.(int64)
+	if !ok {
+		t.Fatalf("count = %T", v)
+	}
+	if count >= 200 || count < 80 {
+		t.Errorf("lossy count = %d, want (80,200) at 30%% loss", count)
+	}
+	if _, err := New(WithUDPInbound(-0.1)); err == nil {
+		t.Error("negative loss rate should be rejected")
+	}
+}
+
+func TestTopologyPublicAPI(t *testing.T) {
+	eng := newEngine(t)
+	stream, err := eng.Query(`
+select extract(b)
+from sp a, sp b
+where b=sp(streamof(count(extract(a))), 'bg', 0)
+and   a=sp(gen_array(10000,2), 'bg', 1);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stream.One(); err != nil {
+		t.Fatal(err)
+	}
+	edges := eng.Topology()
+	if len(edges) != 2 {
+		t.Fatalf("topology edges = %d, want 2", len(edges))
+	}
+	if edges[0].Carrier != "mpi" || edges[0].From != "bg:1" || edges[0].To != "bg:0" {
+		t.Errorf("mpi edge = %+v", edges[0])
+	}
+	if edges[1].Consumer != "client" {
+		t.Errorf("client edge = %+v", edges[1])
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	eng, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
