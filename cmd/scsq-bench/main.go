@@ -11,6 +11,7 @@
 //	scsq-bench -fig udp               # extension: inbound streaming over lossy UDP
 //	scsq-bench -fig all -csv          # everything, machine readable
 //	scsq-bench -fig 15 -paper-scale   # the paper's 100 × 3 MB arrays
+//	scsq-bench -perf                  # data-plane microbenchmarks → BENCH_dataplane.json
 //
 // By default a scaled workload is used that preserves the paper's curve
 // shapes while running in seconds; -paper-scale switches to the original
@@ -38,10 +39,34 @@ func run() error {
 		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
 		paperScale = flag.Bool("paper-scale", false, "use the paper's 100 × 3 MB arrays (slow)")
 		repeats    = flag.Int("repeats", 5, "measurement repetitions per point")
+		perf       = flag.Bool("perf", false, "run the data-plane microbenchmarks instead of the figures")
+		perfOut    = flag.String("perf-out", "BENCH_dataplane.json", "file the -perf report is written to")
 	)
 	flag.Parse()
 
 	out := os.Stdout
+	if *perf {
+		report, err := bench.RunPerf()
+		if err != nil {
+			return err
+		}
+		if err := bench.WritePerf(out, report); err != nil {
+			return err
+		}
+		f, err := os.Create(*perfOut)
+		if err != nil {
+			return err
+		}
+		if err := bench.WritePerfJSON(f, report); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %s\n", *perfOut)
+		return nil
+	}
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 
 	if want("6") {

@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"scsq/internal/carrier"
+	"scsq/internal/marshal"
+	"scsq/internal/rp"
+	"scsq/internal/sqep"
+	"scsq/internal/vtime"
+)
+
+// This file is the data-plane performance harness: microbenchmarks of the
+// real code paths that dominate engine wall-clock — the marshal → flush →
+// carrier byte path and vtime reservation bookkeeping. `cmd/scsq-bench
+// -perf` runs them and emits BENCH_dataplane.json so the allocation and
+// throughput trajectory is tracked across PRs. The same workloads are
+// exposed as `go test -bench` benchmarks in dataplane_bench_test.go.
+
+// PerfResult is one measured data-plane microbenchmark.
+type PerfResult struct {
+	Name string `json:"name"`
+	// Iterations is the benchmark's op count (testing.B.N).
+	Iterations int `json:"iterations"`
+	// NsPerOp is wall-clock nanoseconds per operation. For the
+	// vtime/resource-use entries an operation is a single reservation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are heap allocations per operation.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// MBPerSec is payload throughput, where the workload has a byte volume.
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+}
+
+// PerfReport is the BENCH_dataplane.json document.
+type PerfReport struct {
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	Results   []PerfResult `json:"results"`
+}
+
+// perfArrayElems is the array workload of the data-plane benchmarks:
+// 16 Ki float64 = 128 KiB per element, two MPI buffers' worth at the
+// engine's default 64 KiB.
+const perfArrayElems = 16 << 10
+
+// discardConn is a carrier that consumes frames like a receiver driver
+// (recycling pooled payloads) without charging a hardware model.
+type discardConn struct {
+	free vtime.Time
+}
+
+var _ carrier.Conn = (*discardConn)(nil)
+
+func (c *discardConn) Send(f carrier.Frame) (vtime.Time, error) {
+	carrier.Recycle(f)
+	c.free = f.Ready
+	return c.free, nil
+}
+
+func (c *discardConn) Close() error { return nil }
+
+// result converts a testing.BenchmarkResult, normalizing per-op figures by
+// opsPerIter inner operations per measured iteration.
+func result(name string, r testing.BenchmarkResult, opsPerIter int, bytesPerOp int64) PerfResult {
+	ops := float64(r.N) * float64(opsPerIter)
+	pr := PerfResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / ops,
+		AllocsPerOp: float64(r.MemAllocs) / ops,
+		BytesPerOp:  float64(r.MemBytes) / ops,
+	}
+	if bytesPerOp > 0 && r.T > 0 {
+		pr.MBPerSec = float64(bytesPerOp) * ops / r.T.Seconds() / 1e6
+	}
+	return pr
+}
+
+// MarshalArrayLoop encodes arr into a reused buffer n times; the shared
+// body of BenchmarkMarshalArray and RunPerf.
+func MarshalArrayLoop(arr []float64, n int) error {
+	var v any = arr // box once; Append(..., arr) would allocate per call
+	size, err := marshal.Size(v)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, size)
+	for i := 0; i < n; i++ {
+		buf = buf[:0]
+		if buf, err = marshal.Append(buf, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EncodeAligned marshals arr so the element bytes after the 1-byte tag and
+// 4-byte length land 8-byte aligned, the layout DecodeBorrowed can alias.
+// (A value at offset 0 of an allocation has a misaligned payload, so
+// borrowing there falls back to a copy.)
+func EncodeAligned(arr []float64) ([]byte, error) {
+	size, err := marshal.Size(arr)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := marshal.Append(make([]byte, 3, 3+size), arr)
+	if err != nil {
+		return nil, err
+	}
+	return buf[3:], nil
+}
+
+// DecodeArrayLoop decodes the encoding of an array n times, either
+// materializing or borrowing.
+func DecodeArrayLoop(encoded []byte, n int, borrowed bool) error {
+	for i := 0; i < n; i++ {
+		var err error
+		if borrowed {
+			_, _, err = marshal.DecodeBorrowed(encoded)
+		} else {
+			_, _, err = marshal.Decode(encoded)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SenderFlushLoop pushes n array elements through a sender driver into a
+// discarding carrier; the shared body of BenchmarkSenderFlush and RunPerf.
+func SenderFlushLoop(arr []float64, bufBytes, n int) error {
+	cfg := rp.SenderConfig{
+		BufBytes:       bufBytes,
+		Mode:           carrier.DoubleBuffered,
+		MarshalPerByte: 0.001,
+	}
+	_, _, err := rp.PushElements("perf", &discardConn{}, cfg, sqep.Element{Value: arr}, n)
+	return err
+}
+
+// ResourceUseLoop issues n reservations against a fresh resource in the
+// pattern that made the pre-pruning busy list quadratic: a front that
+// advances leaving small unusable gaps, plus a fully lagged straggler
+// (ready=0) every 16th request, which — without a prune floor — linearly
+// scans every consumed gap since virtual time zero.
+func ResourceUseLoop(n int) {
+	r := vtime.NewResource("perf")
+	const (
+		step    = 100 * vtime.Microsecond
+		service = 50 * vtime.Microsecond
+		probe   = 60 * vtime.Microsecond // > the 50 µs gaps: never backfills
+	)
+	t := vtime.Time(0)
+	for i := 0; i < n; i++ {
+		if i%16 == 15 {
+			r.Use(0, probe)
+		} else {
+			t = t.Add(step)
+			r.Use(t, service)
+		}
+	}
+}
+
+// RunPerf measures the data-plane microbenchmarks and returns the report
+// written to BENCH_dataplane.json by `cmd/scsq-bench -perf`.
+func RunPerf() (PerfReport, error) {
+	arr := make([]float64, perfArrayElems)
+	for i := range arr {
+		arr[i] = float64(i)
+	}
+	arrBytes := int64(8 * len(arr))
+	encoded, err := EncodeAligned(arr)
+	if err != nil {
+		return PerfReport{}, err
+	}
+
+	report := PerfReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	var benchErr error
+	bench := func(name string, opsPerIter int, bytesPerOp int64, fn func(b *testing.B)) {
+		if benchErr != nil {
+			return
+		}
+		r := testing.Benchmark(fn)
+		report.Results = append(report.Results, result(name, r, opsPerIter, bytesPerOp))
+	}
+
+	bench("marshal/encode-array-128k", 1, arrBytes, func(b *testing.B) {
+		b.ReportAllocs()
+		if err := MarshalArrayLoop(arr, b.N); err != nil {
+			benchErr = err
+		}
+	})
+	bench("marshal/decode-array-128k", 1, arrBytes, func(b *testing.B) {
+		b.ReportAllocs()
+		if err := DecodeArrayLoop(encoded, b.N, false); err != nil {
+			benchErr = err
+		}
+	})
+	bench("marshal/decode-array-128k-borrowed", 1, arrBytes, func(b *testing.B) {
+		b.ReportAllocs()
+		if err := DecodeArrayLoop(encoded, b.N, true); err != nil {
+			benchErr = err
+		}
+	})
+	bench("rp/sender-flush-64k-buffers", 1, arrBytes, func(b *testing.B) {
+		b.ReportAllocs()
+		if err := SenderFlushLoop(arr, 64<<10, b.N); err != nil {
+			benchErr = err
+		}
+	})
+	for _, n := range []int{10_000, 100_000} {
+		n := n
+		bench(fmt.Sprintf("vtime/resource-use/n=%d", n), n, 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ResourceUseLoop(n)
+			}
+		})
+	}
+	if benchErr != nil {
+		return PerfReport{}, benchErr
+	}
+	return report, nil
+}
+
+// WritePerfJSON emits the report as indented JSON (BENCH_dataplane.json).
+func WritePerfJSON(w io.Writer, r PerfReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WritePerf renders the report as a text table.
+func WritePerf(w io.Writer, r PerfReport) error {
+	if _, err := fmt.Fprintf(w, "Data-plane microbenchmarks (%s %s/%s)\n", r.GoVersion, r.GOOS, r.GOARCH); err != nil {
+		return err
+	}
+	for _, res := range r.Results {
+		line := fmt.Sprintf("%-36s %12.1f ns/op %10.2f allocs/op %12.1f B/op",
+			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+		if res.MBPerSec > 0 {
+			line += fmt.Sprintf(" %10.0f MB/s", res.MBPerSec)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -49,6 +49,11 @@ type Frame struct {
 	Ready vtime.Time
 	// Last marks the final frame of the stream; its payload may be empty.
 	Last bool
+	// Pooled marks a payload drawn from the shared frame-buffer pool (see
+	// pool.go). Whoever consumes the frame's bytes last must hand the
+	// payload back via Recycle; a frame whose payload outlives the consumer
+	// must be sent with Pooled false.
+	Pooled bool
 }
 
 // Delivered is a frame annotated with its virtual arrival time at the

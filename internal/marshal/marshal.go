@@ -16,7 +16,11 @@
 //	bool    := one byte, 0 or 1
 //
 // Numerical arrays — the dominant payload in the paper's experiments — are
-// encoded as raw IEEE-754 bits so marshaling cost is a single copy.
+// encoded as raw IEEE-754 bits so marshaling cost is a single copy: on
+// little-endian hosts the encoder and decoder move the raw bits with one
+// bulk copy instead of a per-element load/store loop. DecodeBorrowed goes
+// one step further and returns arrays that alias the input buffer, for
+// callers that control the buffer's lifetime.
 package marshal
 
 import (
@@ -24,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"unsafe"
 )
 
 // Value tags of the wire format.
@@ -37,11 +42,34 @@ const (
 	TagBool   byte = 7
 )
 
-// Errors returned by the decoder.
+// Errors returned by the codec.
 var (
 	ErrTruncated  = errors.New("marshal: truncated value")
 	ErrUnknownTag = errors.New("marshal: unknown tag")
+	// ErrTooLarge is returned when a string, array or bag has more elements
+	// than the wire format's u32 length field can represent; encoding it
+	// would silently truncate the count and corrupt the frame.
+	ErrTooLarge = errors.New("marshal: value exceeds the u32 element limit of the wire format")
 )
+
+// maxElems is the largest element count the u32 length field can carry.
+// It is a variable only so tests can lower it: real >4Gi-element values
+// would not fit in memory on test machines.
+var maxElems int64 = math.MaxUint32
+
+// hostLittleEndian reports whether the host stores multi-byte words
+// little-endian, in which case float64 slices can be copied to and from the
+// wire format as raw bytes.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// float64Bytes views a non-empty float64 slice as its raw bytes. Only valid
+// on little-endian hosts, where the in-memory layout equals the wire format.
+func float64Bytes(x []float64) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(&x[0])), 8*len(x))
+}
 
 // Size returns the encoded size in bytes of v, or an error for an
 // unsupported type. Supported types: nil, int64, int, float64, bool,
@@ -55,10 +83,19 @@ func Size(v any) (int, error) {
 	case bool:
 		return 2, nil
 	case string:
+		if int64(len(x)) > maxElems {
+			return 0, fmt.Errorf("%w: string of %d bytes", ErrTooLarge, len(x))
+		}
 		return 5 + len(x), nil
 	case []float64:
+		if int64(len(x)) > maxElems {
+			return 0, fmt.Errorf("%w: array of %d elements", ErrTooLarge, len(x))
+		}
 		return 5 + 8*len(x), nil
 	case []any:
+		if int64(len(x)) > maxElems {
+			return 0, fmt.Errorf("%w: bag of %d elements", ErrTooLarge, len(x))
+		}
 		n := 5
 		for _, e := range x {
 			s, err := Size(e)
@@ -92,17 +129,18 @@ func Append(buf []byte, v any) ([]byte, error) {
 		}
 		return append(buf, TagBool, b), nil
 	case string:
+		if int64(len(x)) > maxElems {
+			return nil, fmt.Errorf("%w: string of %d bytes", ErrTooLarge, len(x))
+		}
 		buf = append(buf, TagString)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x)))
 		return append(buf, x...), nil
 	case []float64:
-		buf = append(buf, TagArray)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x)))
-		for _, f := range x {
-			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
-		}
-		return buf, nil
+		return AppendArray(buf, x)
 	case []any:
+		if int64(len(x)) > maxElems {
+			return nil, fmt.Errorf("%w: bag of %d elements", ErrTooLarge, len(x))
+		}
 		buf = append(buf, TagBag)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x)))
 		var err error
@@ -117,14 +155,50 @@ func Append(buf []byte, v any) ([]byte, error) {
 	}
 }
 
+// AppendArray encodes a numerical array onto buf. On little-endian hosts the
+// element bits are moved with a single bulk copy — the zero-copy fast path
+// of the paper's dominant payload.
+func AppendArray(buf []byte, x []float64) ([]byte, error) {
+	if int64(len(x)) > maxElems {
+		return nil, fmt.Errorf("%w: array of %d elements", ErrTooLarge, len(x))
+	}
+	buf = append(buf, TagArray)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x)))
+	if len(x) == 0 {
+		return buf, nil
+	}
+	if hostLittleEndian {
+		return append(buf, float64Bytes(x)...), nil
+	}
+	for _, f := range x {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+	}
+	return buf, nil
+}
+
 func appendInt(buf []byte, x int64) []byte {
 	buf = append(buf, TagInt)
 	return binary.LittleEndian.AppendUint64(buf, uint64(x))
 }
 
 // Decode decodes one value from the front of buf, returning the value and
-// the number of bytes consumed.
+// the number of bytes consumed. Decoded values never alias buf.
 func Decode(buf []byte) (any, int, error) {
+	return decode(buf, false)
+}
+
+// DecodeBorrowed decodes like Decode but, where the host's memory layout
+// allows it, returns []float64 values that alias buf instead of copying
+// them out. A borrowed value is only valid while buf is neither modified
+// nor recycled; callers that hand buffers back to a pool (see
+// internal/carrier) must materialize with Decode instead. Values for which
+// aliasing is impossible (misaligned payload, big-endian host, scalars,
+// strings) are materialized exactly as by Decode.
+func DecodeBorrowed(buf []byte) (any, int, error) {
+	return decode(buf, true)
+}
+
+func decode(buf []byte, borrow bool) (any, int, error) {
 	if len(buf) == 0 {
 		return nil, 0, ErrTruncated
 	}
@@ -163,20 +237,24 @@ func Decode(buf []byte) (any, int, error) {
 		if len(buf) < 5+8*n {
 			return nil, 0, ErrTruncated
 		}
-		arr := make([]float64, n)
-		for i := 0; i < n; i++ {
-			arr[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[5+8*i:]))
-		}
-		return arr, 5 + 8*n, nil
+		return decodeArray(buf[5:5+8*n], n, borrow), 5 + 8*n, nil
 	case TagBag:
 		if len(buf) < 5 {
 			return nil, 0, ErrTruncated
 		}
 		n := int(binary.LittleEndian.Uint32(buf[1:5]))
 		off := 5
-		bag := make([]any, 0, n)
+		// Cap the initial allocation by what the buffer could possibly
+		// hold (every element is at least one byte): a crafted length
+		// prefix must not force a giant allocation before the element
+		// bytes are checked.
+		capHint := n
+		if rest := len(buf) - 5; capHint > rest {
+			capHint = rest
+		}
+		bag := make([]any, 0, capHint)
 		for i := 0; i < n; i++ {
-			v, used, err := Decode(buf[off:])
+			v, used, err := decode(buf[off:], borrow)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -187,6 +265,27 @@ func Decode(buf []byte) (any, int, error) {
 	default:
 		return nil, 0, fmt.Errorf("%w: 0x%02x", ErrUnknownTag, buf[0])
 	}
+}
+
+// decodeArray materializes (or borrows) n float64 elements from their raw
+// little-endian wire bytes.
+func decodeArray(raw []byte, n int, borrow bool) []float64 {
+	if n == 0 {
+		return []float64{}
+	}
+	if hostLittleEndian {
+		if borrow && uintptr(unsafe.Pointer(&raw[0]))%unsafe.Alignof(float64(0)) == 0 {
+			return unsafe.Slice((*float64)(unsafe.Pointer(&raw[0])), n)
+		}
+		arr := make([]float64, n)
+		copy(float64Bytes(arr), raw)
+		return arr
+	}
+	arr := make([]float64, n)
+	for i := range arr {
+		arr[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return arr
 }
 
 // DecodeAll decodes every value in buf, which must contain a whole number

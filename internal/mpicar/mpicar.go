@@ -72,8 +72,13 @@ type Conn struct {
 	mode   carrier.Buffering
 	src    int
 	dst    int
-	route  []int // intermediate + destination node ids
 	inbox  carrier.Inbox
+
+	// Node resources are resolved once at Dial so the per-frame hot path
+	// charges them without repeated environment lookups.
+	srcNode *hw.Node
+	dstNode *hw.Node
+	fwdHops []*hw.Node // intermediate nodes of the dimension-ordered route
 
 	mu     sync.Mutex
 	closed bool
@@ -95,17 +100,33 @@ func (f *Fabric) Dial(src, dst int, mode carrier.Buffering, inbox carrier.Inbox)
 	if err != nil {
 		return nil, fmt.Errorf("mpicar: %w", err)
 	}
-	if _, err := f.env.Node(hw.BlueGene, src); err != nil {
+	srcNode, err := f.env.Node(hw.BlueGene, src)
+	if err != nil {
 		return nil, fmt.Errorf("mpicar: %w", err)
+	}
+	dstNode, err := f.env.Node(hw.BlueGene, dst)
+	if err != nil {
+		return nil, fmt.Errorf("mpicar: %w", err)
+	}
+	// route lists the intermediate nodes followed by the destination.
+	fwdHops := make([]*hw.Node, 0, max(0, len(route)-1))
+	for _, mid := range route[:max(0, len(route)-1)] {
+		node, err := f.env.Node(hw.BlueGene, mid)
+		if err != nil {
+			return nil, fmt.Errorf("mpicar: %w", err)
+		}
+		fwdHops = append(fwdHops, node)
 	}
 	f.addProducer(dst)
 	return &Conn{
-		fabric: f,
-		mode:   mode,
-		src:    src,
-		dst:    dst,
-		route:  route,
-		inbox:  inbox,
+		fabric:  f,
+		mode:    mode,
+		src:     src,
+		dst:     dst,
+		inbox:   inbox,
+		srcNode: srcNode,
+		dstNode: dstNode,
+		fwdHops: fwdHops,
 	}, nil
 }
 
@@ -135,19 +156,11 @@ func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 			sendSvc += m.OddPacketStall
 		}
 	}
-	srcNode, err := c.fabric.env.Node(hw.BlueGene, c.src)
-	if err != nil {
-		return 0, err
-	}
-	_, senderFree := srcNode.Coproc.Use(fr.Ready, sendSvc)
+	_, senderFree := c.srcNode.Coproc.Use(fr.Ready, sendSvc)
 
 	// Intermediate co-processors forward the packets in order.
 	t := senderFree
-	for _, mid := range c.route[:max(0, len(c.route)-1)] {
-		node, err := c.fabric.env.Node(hw.BlueGene, mid)
-		if err != nil {
-			return 0, err
-		}
+	for _, node := range c.fwdHops {
 		fwdSvc := scaleDur(scaleDur(vtime.Duration(k)*m.PacketCost, m.FwdFactor), cf)
 		_, t = node.Coproc.Use(t, fwdSvc)
 	}
@@ -155,15 +168,11 @@ func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 	// Receiver co-processor, with the merge switching penalty: the
 	// single-threaded co-processor switches between its p producers at the
 	// expected alternation rate (p-1)/p.
-	dstNode, err := c.fabric.env.Node(hw.BlueGene, c.dst)
-	if err != nil {
-		return 0, err
-	}
 	recvSvc := scaleDur(scaleDur(vtime.Duration(k)*m.PacketCost, m.RecvFactor), cf)
 	if p := c.fabric.producerCount(c.dst); p > 1 {
 		recvSvc += scaleDur(m.CoprocSwitchCost, float64(p-1)/float64(p))
 	}
-	_, arrived := dstNode.Coproc.Use(t, recvSvc)
+	_, arrived := c.dstNode.Coproc.Use(t, recvSvc)
 
 	c.inbox <- carrier.Delivered{Frame: fr, At: arrived}
 	return senderFree, nil

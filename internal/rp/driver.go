@@ -123,15 +123,27 @@ func (d *senderDriver) finish() error {
 }
 
 func (d *senderDriver) flushFrame(n int, last bool) error {
-	payload := make([]byte, n)
-	copy(payload, d.pending[:n])
-	d.pending = d.pending[n:]
+	// The payload is a pooled buffer: the receiver driver (or the carrier,
+	// for frames that never arrive) recycles it after materializing the
+	// bytes, so the steady-state flush path allocates nothing.
+	var payload []byte
+	if n > 0 {
+		payload = carrier.GetBuf(n)
+		copy(payload, d.pending[:n])
+	}
+	// Shift the unflushed tail to the front of pending instead of
+	// re-slicing: pending = pending[n:] would retain the flushed head of
+	// the backing array for the stream's lifetime and force the next
+	// element's append to grow a fresh array every flush.
+	rest := copy(d.pending, d.pending[n:])
+	d.pending = d.pending[:rest]
 
 	free, err := d.conn.Send(carrier.Frame{
 		Source:  d.source,
 		Payload: payload,
 		Ready:   d.pendReady,
 		Last:    last,
+		Pooled:  payload != nil,
 	})
 	if err != nil {
 		return err
@@ -179,10 +191,16 @@ type Receiver struct {
 
 	// bufs holds per-producer reassembly buffers: objects split across
 	// frames continue within one producer's byte stream even when frames
-	// from several producers interleave (merge).
-	bufs      map[string][]byte
-	cpuAt     vtime.Time
+	// from several producers interleave (merge). The buffers' backing
+	// arrays are reused across frames.
+	bufs  map[string][]byte
+	cpuAt vtime.Time
+	// queue is a ring buffer of decoded elements awaiting Next: qhead is
+	// the index of the oldest element, qlen the number queued. len(queue)
+	// is always a power of two so the wrap is a mask.
 	queue     []sqep.Element
+	qhead     int
+	qlen      int
 	lastsSeen int
 	done      bool
 
@@ -207,10 +225,8 @@ func (r *Receiver) Open(*sqep.Ctx) error { return nil }
 // the stream ends (all producers sent their Last frame).
 func (r *Receiver) Next() (sqep.Element, bool, error) {
 	for {
-		if len(r.queue) > 0 {
-			el := r.queue[0]
-			r.queue = r.queue[1:]
-			return el, true, nil
+		if r.qlen > 0 {
+			return r.popQueue(), true, nil
 		}
 		if r.done {
 			return sqep.Element{}, false, nil
@@ -223,6 +239,30 @@ func (r *Receiver) Next() (sqep.Element, bool, error) {
 			return sqep.Element{}, false, err
 		}
 	}
+}
+
+// pushQueue appends an element to the ring buffer, growing it as needed.
+func (r *Receiver) pushQueue(el sqep.Element) {
+	if r.qlen == len(r.queue) {
+		grown := make([]sqep.Element, max(16, 2*len(r.queue)))
+		for i := 0; i < r.qlen; i++ {
+			grown[i] = r.queue[(r.qhead+i)&(len(r.queue)-1)]
+		}
+		r.queue = grown
+		r.qhead = 0
+	}
+	r.queue[(r.qhead+r.qlen)&(len(r.queue)-1)] = el
+	r.qlen++
+}
+
+// popQueue removes and returns the oldest queued element. The vacated slot
+// is zeroed so the decoded value does not outlive its consumption.
+func (r *Receiver) popQueue() sqep.Element {
+	el := r.queue[r.qhead]
+	r.queue[r.qhead] = sqep.Element{}
+	r.qhead = (r.qhead + 1) & (len(r.queue) - 1)
+	r.qlen--
+	return el
 }
 
 // ingest charges the de-marshal work for one frame and decodes any
@@ -253,20 +293,40 @@ func (r *Receiver) ingest(fr carrier.Delivered) error {
 	r.cpuAt = done
 
 	if len(fr.Payload) > 0 {
-		buf := append(r.bufs[fr.Source], fr.Payload...)
-		for len(buf) > 0 {
-			v, n, err := marshal.Decode(buf)
+		// Fast path: with no partial object pending from this producer,
+		// decode straight out of the frame payload and copy only the
+		// undecoded remainder (if any) into the reassembly buffer. Decode
+		// materializes every value, so the payload can be recycled below.
+		pend := r.bufs[fr.Source]
+		data := fr.Payload
+		if len(pend) > 0 {
+			pend = append(pend, fr.Payload...)
+			data = pend
+		}
+		off := 0
+		for off < len(data) {
+			v, n, err := marshal.Decode(data[off:])
 			if err == marshal.ErrTruncated {
 				break
 			}
 			if err != nil {
 				return err
 			}
-			buf = buf[n:]
-			r.queue = append(r.queue, sqep.Element{Value: v, At: done, Src: fr.Source})
+			off += n
+			r.pushQueue(sqep.Element{Value: v, At: done, Src: fr.Source})
 		}
-		r.bufs[fr.Source] = buf
+		rest := data[off:]
+		if len(pend) > 0 {
+			// data aliases pend: slide the remainder to the front so the
+			// backing array is reused instead of growing every frame.
+			r.bufs[fr.Source] = pend[:copy(pend, rest)]
+		} else if len(rest) > 0 {
+			// Copy out of the (possibly pooled) payload before it is
+			// recycled, reusing the stale reassembly capacity.
+			r.bufs[fr.Source] = append(r.bufs[fr.Source][:0], rest...)
+		}
 	}
+	carrier.Recycle(fr.Frame)
 	if fr.Last {
 		if n := len(r.bufs[fr.Source]); n > 0 {
 			return fmt.Errorf("rp: stream from %q ended with %d undecoded bytes", fr.Source, n)
@@ -287,8 +347,9 @@ func (r *Receiver) Close() error {
 	}
 	r.done = true
 	go func() {
-		for range r.inbox {
-			// Discard: consumer stopped.
+		for fr := range r.inbox {
+			// Discard: consumer stopped. Pooled payloads still go back.
+			carrier.Recycle(fr.Frame)
 		}
 	}()
 	return nil

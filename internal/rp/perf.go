@@ -1,0 +1,27 @@
+package rp
+
+import (
+	"scsq/internal/carrier"
+	"scsq/internal/sqep"
+)
+
+// PushElements drives a fresh sender driver with n copies of el over conn
+// and terminates the stream. It exists so benchmarks and the perf harness
+// (cmd/scsq-bench -perf) can exercise the marshal → flush → carrier path
+// without assembling a full engine; production code wires sender drivers
+// through RP.Subscribe.
+func PushElements(source string, conn carrier.Conn, cfg SenderConfig, el sqep.Element, n int) (frames, bytes int64, err error) {
+	d, err := newSenderDriver(source, conn, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < n; i++ {
+		if err := d.push(el); err != nil {
+			return d.framesOut, d.bytesOut, err
+		}
+	}
+	if err := d.finish(); err != nil {
+		return d.framesOut, d.bytesOut, err
+	}
+	return d.framesOut, d.bytesOut, nil
+}

@@ -239,6 +239,9 @@ func (c *NetConn) Send(fr carrier.Frame) (vtime.Time, error) {
 	if err := c.w.Flush(); err != nil {
 		return 0, fmt.Errorf("tcpcar: flush: %w", err)
 	}
+	// The payload bytes are on the wire; a pooled buffer goes back now —
+	// the read side re-materializes the frame into its own pooled buffer.
+	carrier.Recycle(d.Frame)
 	return senderFree, nil
 }
 
@@ -318,9 +321,14 @@ func readFrame(r io.Reader) (carrier.Delivered, error) {
 	if payloadLen > 1<<30 {
 		return d, fmt.Errorf("tcpcar: implausible payload length %d", payloadLen)
 	}
-	d.Payload = make([]byte, payloadLen)
-	if _, err := io.ReadFull(r, d.Payload); err != nil {
-		return d, err
+	if payloadLen > 0 {
+		// Pooled: the receiver driver recycles the buffer once the frame's
+		// bytes have been materialized.
+		d.Payload = carrier.GetBuf(int(payloadLen))
+		d.Pooled = true
+		if _, err := io.ReadFull(r, d.Payload); err != nil {
+			return d, err
+		}
 	}
 	return d, nil
 }

@@ -55,6 +55,12 @@ type Conn struct {
 	inbox    carrier.Inbox
 	streamID string // registered inbound stream, "" if not BG-inbound
 
+	// Endpoint resources are resolved once at Dial so the per-frame hot
+	// path charges them without repeated environment lookups.
+	srcNode *hw.Node
+	dstNode *hw.Node
+	ion     *hw.IONode // I/O node of the BG side, nil for Linux↔Linux
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -71,24 +77,34 @@ func (f *Fabric) Dial(src, dst Endpoint, inbox carrier.Inbox) (*Conn, error) {
 	if src.Cluster == hw.BlueGene && dst.Cluster == hw.BlueGene {
 		return nil, fmt.Errorf("tcpcar: MPI is the only allowed protocol inside the BlueGene (use mpicar)")
 	}
-	if _, err := f.env.Node(src.Cluster, src.Node); err != nil {
+	srcNode, err := f.env.Node(src.Cluster, src.Node)
+	if err != nil {
 		return nil, fmt.Errorf("tcpcar: %w", err)
 	}
-	if _, err := f.env.Node(dst.Cluster, dst.Node); err != nil {
+	dstNode, err := f.env.Node(dst.Cluster, dst.Node)
+	if err != nil {
 		return nil, fmt.Errorf("tcpcar: %w", err)
 	}
-	c := &Conn{fabric: f, src: src, dst: dst, inbox: inbox}
+	c := &Conn{fabric: f, src: src, dst: dst, inbox: inbox, srcNode: srcNode, dstNode: dstNode}
 	if dst.Cluster == hw.BlueGene {
 		ion, err := f.env.IONodeFor(dst.Node)
 		if err != nil {
 			return nil, fmt.Errorf("tcpcar: %w", err)
 		}
+		c.ion = ion
 		// Front-end connections (e.g. control results) do not model the
 		// back-end coordination penalty, but still consume I/O-node capacity.
 		if src.Cluster == hw.BackEnd {
 			c.streamID = fmt.Sprintf("in-%d-%s-%s", f.nextID.Add(1), src, dst)
 			f.env.RegisterInbound(c.streamID, src.Node, ion.ID)
 		}
+	}
+	if src.Cluster == hw.BlueGene {
+		ion, err := f.env.IONodeFor(src.Node)
+		if err != nil {
+			return nil, fmt.Errorf("tcpcar: %w", err)
+		}
+		c.ion = ion
 	}
 	return c, nil
 }
@@ -118,25 +134,17 @@ func (c *Conn) sendIntoBG(fr carrier.Frame) (vtime.Time, error) {
 	m := env.Cost
 	s := len(fr.Payload)
 
-	srcNode, err := env.Node(c.src.Cluster, c.src.Node)
-	if err != nil {
-		return 0, err
-	}
 	nicSvc := m.BeMsgCost + byteDur(m.BeNICByte, s)
 	if c.src.Cluster == hw.FrontEnd {
 		nicSvc = m.BeMsgCost + byteDur(m.FENICByte, s)
 	}
-	_, senderFree := srcNode.NIC.Use(fr.Ready, nicSvc)
+	_, senderFree := c.srcNode.NIC.Use(fr.Ready, nicSvc)
 
-	ion, err := env.IONodeFor(c.dst.Node)
-	if err != nil {
-		return 0, err
-	}
 	fwdSvc := byteDur(m.IOByte, s)
 	// Connection-switching penalty when the I/O node forwards several
 	// concurrent streams, charged at the expected alternation rate (p-1)/p
 	// of p symmetric streams.
-	if p := env.StreamsOnIO(ion.ID); p > 1 {
+	if p := env.StreamsOnIO(c.ion.ID); p > 1 {
 		fwdSvc += vtime.Duration(float64(m.IOSwitchCost) * float64(p-1) / float64(p))
 	}
 	if c.src.Cluster == hw.BackEnd {
@@ -144,8 +152,8 @@ func (c *Conn) sendIntoBG(fr carrier.Frame) (vtime.Time, error) {
 			fwdSvc += vtime.Duration(peers-1) * m.CiodPeerCost
 		}
 	}
-	_, t := ion.Forwarder.Use(senderFree, fwdSvc)
-	_, arrived := ion.Tree.Use(t, byteDur(m.TreeByte, s))
+	_, t := c.ion.Forwarder.Use(senderFree, fwdSvc)
+	_, arrived := c.ion.Tree.Use(t, byteDur(m.TreeByte, s))
 
 	c.inbox <- carrier.Delivered{Frame: fr, At: arrived, ViaTCP: true}
 	return senderFree, nil
@@ -157,23 +165,15 @@ func (c *Conn) sendOutOfBG(fr carrier.Frame) (vtime.Time, error) {
 	m := env.Cost
 	s := len(fr.Payload)
 
-	ion, err := env.IONodeFor(c.src.Node)
-	if err != nil {
-		return 0, err
-	}
-	_, t := ion.Tree.Use(fr.Ready, byteDur(m.TreeByte, s))
+	_, t := c.ion.Tree.Use(fr.Ready, byteDur(m.TreeByte, s))
 	senderFree := t
-	_, t = ion.Forwarder.Use(t, byteDur(m.IOByte, s))
+	_, t = c.ion.Forwarder.Use(t, byteDur(m.IOByte, s))
 
-	dstNode, err := env.Node(c.dst.Cluster, c.dst.Node)
-	if err != nil {
-		return 0, err
-	}
 	perByte := m.FENICByte
 	if c.dst.Cluster == hw.BackEnd {
 		perByte = m.BeNICByte
 	}
-	_, arrived := dstNode.NIC.Use(t, m.BeMsgCost+byteDur(perByte, s))
+	_, arrived := c.dstNode.NIC.Use(t, m.BeMsgCost+byteDur(perByte, s))
 
 	c.inbox <- carrier.Delivered{Frame: fr, At: arrived, ViaTCP: true}
 	return senderFree, nil
@@ -186,14 +186,6 @@ func (c *Conn) sendLinuxToLinux(fr carrier.Frame) (vtime.Time, error) {
 	m := env.Cost
 	s := len(fr.Payload)
 
-	srcNode, err := env.Node(c.src.Cluster, c.src.Node)
-	if err != nil {
-		return 0, err
-	}
-	dstNode, err := env.Node(c.dst.Cluster, c.dst.Node)
-	if err != nil {
-		return 0, err
-	}
 	perByteSrc := m.FENICByte
 	if c.src.Cluster == hw.BackEnd {
 		perByteSrc = m.BeNICByte
@@ -202,8 +194,8 @@ func (c *Conn) sendLinuxToLinux(fr carrier.Frame) (vtime.Time, error) {
 	if c.dst.Cluster == hw.BackEnd {
 		perByteDst = m.BeNICByte
 	}
-	_, senderFree := srcNode.NIC.Use(fr.Ready, m.BeMsgCost+byteDur(perByteSrc, s))
-	_, arrived := dstNode.NIC.Use(senderFree, byteDur(perByteDst, s))
+	_, senderFree := c.srcNode.NIC.Use(fr.Ready, m.BeMsgCost+byteDur(perByteSrc, s))
+	_, arrived := c.dstNode.NIC.Use(senderFree, byteDur(perByteDst, s))
 
 	c.inbox <- carrier.Delivered{Frame: fr, At: arrived, ViaTCP: true}
 	return senderFree, nil

@@ -52,6 +52,10 @@ type Conn struct {
 	src, dst tcpcar.Endpoint
 	inbox    carrier.Inbox
 
+	// Resolved once at Dial; the per-datagram path charges them directly.
+	srcNode *hw.Node
+	ion     *hw.IONode
+
 	mu      sync.Mutex
 	seq     uint64
 	dropped int64
@@ -67,7 +71,8 @@ func (f *Fabric) Dial(src, dst tcpcar.Endpoint, inbox carrier.Inbox) (*Conn, err
 	if src.Cluster != hw.BackEnd || dst.Cluster != hw.BlueGene {
 		return nil, fmt.Errorf("udpcar: only back-end → BlueGene streams use UDP, got %s -> %s", src, dst)
 	}
-	if _, err := f.env.Node(src.Cluster, src.Node); err != nil {
+	srcNode, err := f.env.Node(src.Cluster, src.Node)
+	if err != nil {
 		return nil, fmt.Errorf("udpcar: %w", err)
 	}
 	ion, err := f.env.IONodeFor(dst.Node)
@@ -76,7 +81,7 @@ func (f *Fabric) Dial(src, dst tcpcar.Endpoint, inbox carrier.Inbox) (*Conn, err
 	}
 	id := f.nextID.Add(1)
 	f.env.RegisterInbound(fmt.Sprintf("udp-%d-%s-%s", id, src, dst), src.Node, ion.ID)
-	return &Conn{fabric: f, id: id, src: src, dst: dst, inbox: inbox}, nil
+	return &Conn{fabric: f, id: id, src: src, dst: dst, inbox: inbox, srcNode: srcNode, ion: ion}, nil
 }
 
 // Send implements carrier.Conn. Dropped frames consume sender-side costs
@@ -96,34 +101,29 @@ func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 	m := env.Cost
 	s := len(fr.Payload)
 
-	srcNode, err := env.Node(c.src.Cluster, c.src.Node)
-	if err != nil {
-		return 0, err
-	}
 	// The datagram always leaves the back-end NIC.
 	nicSvc := m.BeMsgCost + vtime.Duration(m.BeNICByte*float64(s))
-	_, senderFree := srcNode.NIC.Use(fr.Ready, nicSvc)
+	_, senderFree := c.srcNode.NIC.Use(fr.Ready, nicSvc)
 
 	if !fr.Last && c.fabric.drop(c.id, seq) {
 		c.mu.Lock()
 		c.dropped++
 		c.mu.Unlock()
+		// The frame never reaches a receiver driver, so its pooled payload
+		// must be recycled here.
+		carrier.Recycle(fr)
 		return senderFree, nil
 	}
 
-	ion, err := env.IONodeFor(c.dst.Node)
-	if err != nil {
-		return 0, err
-	}
 	fwdSvc := vtime.Duration(m.IOByte * float64(s))
-	if p := env.StreamsOnIO(ion.ID); p > 1 {
+	if p := env.StreamsOnIO(c.ion.ID); p > 1 {
 		fwdSvc += vtime.Duration(float64(m.IOSwitchCost) * float64(p-1) / float64(p))
 	}
 	if peers := env.DistinctBeNodes(); peers > 1 {
 		fwdSvc += vtime.Duration(peers-1) * m.CiodPeerCost
 	}
-	_, t := ion.Forwarder.Use(senderFree, fwdSvc)
-	_, arrived := ion.Tree.Use(t, vtime.Duration(m.TreeByte*float64(s)))
+	_, t := c.ion.Forwarder.Use(senderFree, fwdSvc)
+	_, arrived := c.ion.Tree.Use(t, vtime.Duration(m.TreeByte*float64(s)))
 
 	c.inbox <- carrier.Delivered{Frame: fr, At: arrived, ViaTCP: true}
 	return senderFree, nil

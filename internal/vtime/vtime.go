@@ -59,6 +59,16 @@ func MaxTime(a, b Time) Time {
 	return b
 }
 
+// DefaultBackfillHorizon is how far behind a resource's ready high-water
+// mark reservations are kept for backfilling (see Resource). Requests from
+// concurrent RPs of one query skew by at most the engine's pacing horizon
+// (1 ms by default) plus queueing; 100 ms of virtual time is five orders of
+// magnitude of slack, so pruning never changes a granted schedule in
+// practice while keeping the busy list (and every insert's memmove) bounded
+// instead of growing with the hundreds of thousands of reservations of a
+// paper-scale run.
+const DefaultBackfillHorizon = 100 * Millisecond
+
 // Resource is a serially reusable virtual device (a CPU, a communication
 // co-processor, a NIC, ...). The zero value is a resource that is free at
 // virtual time zero. A Resource must not be copied after first use.
@@ -70,11 +80,23 @@ func MaxTime(a, b Time) Time {
 // in which concurrent goroutines happen to issue their requests — a
 // goroutine that the Go scheduler ran late must not be pushed behind work
 // that, in simulated time, came after it.
+//
+// Reservations older than the backfill horizon behind the ready high-water
+// mark are pruned: the pruned prefix is treated as solid busy time, so a
+// straggler request from before the horizon is clamped forward to the
+// prune floor rather than backfilled. This bounds the busy list by the
+// horizon's content instead of the experiment's total reservation count.
 type Resource struct {
 	mu   sync.Mutex
 	name string
-	busy []interval // sorted, non-overlapping, merged reservations
+	busy []interval // busy[head:] = live sorted, non-overlapping, merged reservations
+	head int        // busy[:head] are dead (pruned or vacated) slots
 	used Duration   // total busy time, for utilization reporting
+
+	lastEnd Time     // latest granted end, kept exact across pruning (FreeAt)
+	hwm     Time     // ready high-water mark
+	floor   Time     // prune floor: everything before it is treated as busy
+	horizon Duration // 0 = DefaultBackfillHorizon, < 0 = never prune
 }
 
 type interval struct {
@@ -89,6 +111,15 @@ func NewResource(name string) *Resource {
 // Name returns the resource's name ("" for the zero value).
 func (r *Resource) Name() string { return r.name }
 
+// SetBackfillHorizon overrides how far behind the ready high-water mark
+// reservations are kept for backfilling. Zero restores the default
+// (DefaultBackfillHorizon); a negative value disables pruning entirely.
+func (r *Resource) SetBackfillHorizon(d Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.horizon = d
+}
+
 // Use reserves the resource for service virtual nanoseconds, starting no
 // earlier than ready. It returns the granted interval [start, end).
 func (r *Resource) Use(ready Time, service Duration) (start, end Time) {
@@ -101,12 +132,19 @@ func (r *Resource) Use(ready Time, service Duration) (start, end Time) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.used += service
+	if ready < r.floor {
+		// The gaps before the prune floor are gone: treat them as busy.
+		ready = r.floor
+	}
+	if ready > r.hwm {
+		r.hwm = ready
+	}
 
-	// Find the first reservation that ends after ready; earlier ones cannot
-	// constrain the placement.
-	lo, hi := 0, len(r.busy)
+	// Find the first live reservation that ends after ready; earlier ones
+	// cannot constrain the placement.
+	lo, hi := r.head, len(r.busy)
 	for lo < hi {
-		mid := (lo + hi) / 2
+		mid := int(uint(lo+hi) >> 1)
 		if r.busy[mid].end <= ready {
 			lo = mid + 1
 		} else {
@@ -126,12 +164,17 @@ func (r *Resource) Use(ready Time, service Duration) (start, end Time) {
 	start = cand
 	end = start.Add(service)
 	r.insert(i, interval{start: start, end: end})
+	if end > r.lastEnd {
+		r.lastEnd = end
+	}
+	r.prune()
 	return start, end
 }
 
-// insert places iv before index i, merging with contiguous neighbors.
+// insert places iv before index i (i >= r.head), merging with contiguous
+// live neighbors.
 func (r *Resource) insert(i int, iv interval) {
-	mergePrev := i > 0 && r.busy[i-1].end == iv.start
+	mergePrev := i > r.head && r.busy[i-1].end == iv.start
 	mergeNext := i < len(r.busy) && r.busy[i].start == iv.end
 	switch {
 	case mergePrev && mergeNext:
@@ -141,10 +184,42 @@ func (r *Resource) insert(i int, iv interval) {
 		r.busy[i-1].end = iv.end
 	case mergeNext:
 		r.busy[i].start = iv.start
+	case i == r.head && r.head > 0:
+		// Reuse the vacant slot in front of the live window: common for
+		// requests landing just behind every live reservation.
+		r.head--
+		r.busy[r.head] = iv
 	default:
 		r.busy = append(r.busy, interval{})
 		copy(r.busy[i+1:], r.busy[i:])
 		r.busy[i] = iv
+	}
+}
+
+// prune advances the prune floor to hwm - horizon and drops reservations
+// wholly before it. Dropping is an index advance; the dead prefix is
+// compacted away once it dominates the slice, keeping inserts' memmoves and
+// the slice's memory bounded by the horizon's content.
+func (r *Resource) prune() {
+	h := r.horizon
+	if h == 0 {
+		h = DefaultBackfillHorizon
+	}
+	if h < 0 {
+		return
+	}
+	f := r.hwm.Add(-h)
+	if f <= r.floor {
+		return
+	}
+	r.floor = f
+	for r.head < len(r.busy) && r.busy[r.head].end <= f {
+		r.head++
+	}
+	if r.head > 64 && r.head > len(r.busy)/2 {
+		live := copy(r.busy, r.busy[r.head:])
+		r.busy = r.busy[:live]
+		r.head = 0
 	}
 }
 
@@ -153,10 +228,7 @@ func (r *Resource) insert(i int, iv interval) {
 func (r *Resource) FreeAt() Time {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.busy) == 0 {
-		return 0
-	}
-	return r.busy[len(r.busy)-1].end
+	return r.lastEnd
 }
 
 // BusyTime reports the total virtual time the resource has been in use.
@@ -167,12 +239,16 @@ func (r *Resource) BusyTime() Duration {
 }
 
 // Reset returns the resource to the free-at-zero state. Used between
-// experiment repetitions.
+// experiment repetitions. The backfill horizon is kept.
 func (r *Resource) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.busy = nil
+	r.busy = r.busy[:0]
+	r.head = 0
 	r.used = 0
+	r.lastEnd = 0
+	r.hwm = 0
+	r.floor = 0
 }
 
 // Clock tracks the high-water mark of virtual time observed by an
