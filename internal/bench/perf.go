@@ -58,7 +58,7 @@ type discardConn struct {
 var _ carrier.Conn = (*discardConn)(nil)
 
 func (c *discardConn) Send(f carrier.Frame) (vtime.Time, error) {
-	carrier.Recycle(f)
+	carrier.Recycle(&f)
 	c.free = f.Ready
 	return c.free, nil
 }

@@ -54,6 +54,19 @@ type Frame struct {
 	// payload back via Recycle; a frame whose payload outlives the consumer
 	// must be sent with Pooled false.
 	Pooled bool
+	// Offset is the cumulative count of payload bytes the sender shipped on
+	// this stream before this frame. A supervised replacement of a failed
+	// producer replays its (deterministic) stream from offset zero; a
+	// receiver tracking offsets discards the already-ingested prefix, which
+	// is what makes re-placement exactly-once.
+	Offset uint64
+	// Down marks a failure-propagation frame: the producer (or its
+	// supervisor, speaking for a dead node) declares the stream failed.
+	// Receivers surface DownErr as a typed error instead of terminating
+	// cleanly, so a failure crosses the SP graph instead of wedging it.
+	Down bool
+	// DownErr carries the failure description of a Down frame.
+	DownErr string
 }
 
 // Delivered is a frame annotated with its virtual arrival time at the
@@ -90,3 +103,31 @@ type Conn interface {
 
 // ErrClosed is returned by Send on a closed connection.
 var ErrClosed = errors.New("carrier: connection closed")
+
+// ErrDialTimeout is the typed error for a carrier dial that did not complete
+// in time (injected by the chaos layer, or a real socket timeout). It is
+// transient: DialRetry retries it with exponential backoff.
+var ErrDialTimeout = errors.New("carrier: dial timeout")
+
+// ErrPeerReset is the typed error for a mid-stream connection reset. It is
+// transient: sender drivers retry the frame a bounded number of times.
+var ErrPeerReset = errors.New("carrier: connection reset by peer")
+
+// ErrNodeDown is the typed error for traffic to or from a crashed compute
+// node. It is terminal — a dead node does not come back within a query —
+// and is what a supervisor reacts to.
+var ErrNodeDown = errors.New("carrier: compute node down")
+
+// IsTransient reports whether err is worth retrying (dial timeouts and peer
+// resets). Closed connections and dead nodes are terminal.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrDialTimeout) || errors.Is(err, ErrPeerReset)
+}
+
+// Aborter is the optional interface of connections that can be aborted from
+// outside the sending goroutine: Abort unblocks a Send stalled on flow
+// control and makes subsequent Sends fail. Failure detection uses it to tear
+// the streams of a killed RP without waiting for the consumer.
+type Aborter interface {
+	Abort()
+}

@@ -3,6 +3,7 @@ package carrier
 import (
 	"math/bits"
 	"sync"
+	"unsafe"
 )
 
 // Frame-buffer pool shared by the sender drivers (internal/rp) and the
@@ -59,6 +60,9 @@ func GetBuf(n int) []byte {
 
 // PutBuf returns a buffer obtained from GetBuf (or any other buffer the
 // caller owns exclusively) to the pool. The caller must not use b after.
+// Returning the same buffer twice panics at the second Put — a double
+// recycle would hand one buffer to two future frames and corrupt whichever
+// one flushes second, far from the actual fault site.
 func PutBuf(b []byte) {
 	c := floorClass(cap(b))
 	if c < 0 {
@@ -70,19 +74,33 @@ func PutBuf(b []byte) {
 	cl := &bufClasses[c]
 	cl.mu.Lock()
 	if len(cl.free) < poolClassCap {
+		data := unsafe.SliceData(b[:cap(b)])
+		for _, old := range cl.free {
+			if unsafe.SliceData(old[:cap(old)]) == data {
+				cl.mu.Unlock()
+				panic("carrier: double recycle of pooled frame buffer")
+			}
+		}
 		cl.free = append(cl.free, b[:0])
 	}
 	cl.mu.Unlock()
 }
 
 // Recycle returns f's payload to the pool if the frame was marked as
-// carrying a pooled buffer. Receiver drivers call it once a delivered
+// carrying a pooled buffer, then poisons the frame: Payload is nilled and
+// Pooled cleared, so the recycled bytes cannot be read (or re-recycled)
+// through this frame again. Receiver drivers call it once a delivered
 // frame's bytes have been consumed; carriers call it for frames that will
 // never reach a receiver (e.g. dropped UDP datagrams).
-func Recycle(f Frame) {
-	if f.Pooled && f.Payload != nil {
+func Recycle(f *Frame) {
+	if f == nil || !f.Pooled {
+		return
+	}
+	if f.Payload != nil {
 		PutBuf(f.Payload)
 	}
+	f.Payload = nil
+	f.Pooled = false
 }
 
 // ceilClass returns the smallest class c with 1<<c >= n (n > 0).

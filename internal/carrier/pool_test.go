@@ -1,0 +1,45 @@
+package carrier
+
+import "testing"
+
+func TestRecycleClearsOwnershipExactlyOnce(t *testing.T) {
+	f := Frame{Payload: GetBuf(128), Pooled: true}
+	Recycle(&f)
+	if f.Pooled || f.Payload != nil {
+		t.Fatalf("Recycle left ownership marks: pooled=%v payload=%v", f.Pooled, f.Payload != nil)
+	}
+	// A second Recycle of the same frame is the double-recycle the ownership
+	// rule ("once Send is called the carrier owns the frame") can produce
+	// when both an error path and a caller clean up; it must be a safe no-op.
+	Recycle(&f)
+}
+
+func TestRecycleUnpooledPayloadIsUntouched(t *testing.T) {
+	buf := []byte{1, 2, 3}
+	f := Frame{Payload: buf}
+	Recycle(&f)
+	if len(f.Payload) != 3 {
+		t.Fatal("Recycle must not take ownership of unpooled payloads")
+	}
+}
+
+func TestPutBufDoubleInsertPanics(t *testing.T) {
+	buf := GetBuf(128)
+	PutBuf(buf)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second PutBuf of the same buffer must panic: a double insert hands one buffer to two future frames")
+		}
+	}()
+	PutBuf(buf)
+}
+
+func TestGetBufReusesRecycledBuffer(t *testing.T) {
+	buf := GetBuf(256)
+	PutBuf(buf)
+	again := GetBuf(256)
+	if &again[0] != &buf[0] {
+		t.Fatal("pool did not hand back the recycled buffer")
+	}
+	PutBuf(again)
+}

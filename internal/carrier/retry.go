@@ -1,0 +1,89 @@
+package carrier
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy bounds the retries of transient carrier failures (dial
+// timeouts, peer resets) with exponential backoff and jitter. The backoff is
+// wall-clock only — it models driver-level reconnect spinning and never
+// touches virtual time, so retried runs keep bit-identical virtual
+// schedules.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (first try included).
+	// Values below 1 mean a single attempt, i.e. no retry.
+	MaxAttempts int
+	// BaseBackoff is the sleep after the first failed attempt; it doubles
+	// per attempt. Zero means 50µs.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling. Zero means 2ms.
+	MaxBackoff time.Duration
+	// Seed makes the jitter sequence deterministic. The same policy value
+	// produces the same sleeps.
+	Seed int64
+}
+
+// DefaultRetryPolicy is the engine's dial and flush retry budget: three
+// attempts, 50µs initial backoff.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 3, BaseBackoff: 50 * time.Microsecond, MaxBackoff: 2 * time.Millisecond}
+
+// Do runs op, retrying transient errors (per IsTransient) up to MaxAttempts
+// with exponential backoff and full jitter. The first non-transient error —
+// and the last transient one — is returned as-is, preserving the typed
+// error chain.
+func (p RetryPolicy) Do(op func() error) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := p.BaseBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Microsecond
+	}
+	maxBackoff := p.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 2 * time.Millisecond
+	}
+	var rng *rand.Rand
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err = op(); err == nil || !IsTransient(err) {
+			return err
+		}
+		if attempt == attempts-1 {
+			break
+		}
+		if rng == nil {
+			rng = rand.New(rand.NewSource(p.Seed + 1))
+		}
+		// Full jitter: sleep a uniform fraction of the current backoff, so
+		// colliding retriers decorrelate.
+		time.Sleep(time.Duration(rng.Int63n(int64(backoff) + 1)))
+		if backoff < maxBackoff {
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+	}
+	return err
+}
+
+// DialRetry runs dial under the retry policy, returning the first
+// successfully opened connection. Injected dial faults surface as
+// ErrDialTimeout, so a bounded burst of them is absorbed here.
+func DialRetry(p RetryPolicy, dial func() (Conn, error)) (Conn, error) {
+	var conn Conn
+	err := p.Do(func() error {
+		c, err := dial()
+		if err == nil {
+			conn = c
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return conn, nil
+}

@@ -1,0 +1,336 @@
+// Package chaos provides seeded, deterministic fault injection for the SCSQ
+// engine. The paper's coordinators own node placement on a 768-node
+// BlueGene partition (§2.2); at that scale dial failures, mid-stream
+// resets, lost frames and whole-node crashes are the steady state, not the
+// exception. An Injector is consulted by the carriers (mpicar, tcpcar,
+// udpcar) on every dial and every frame send, and decides — purely from the
+// seed and the (source, destination, sequence) coordinates of the event —
+// whether to inject a fault. The same seed therefore reproduces the same
+// fault schedule run after run, which is what makes chaos tests assertable:
+// a killed node is killed at the same frame of the same stream every time.
+//
+// Faults come in two families. Rate faults (dial timeouts, connection
+// resets, frame drops, corruption, added latency) fire per-event from a
+// hash of the seed and the event coordinates. Crash schedules
+// (CrashAfterSends, CrashAtVTime) kill a whole compute node at a
+// deterministic point of its own traffic; a dead node refuses dials,
+// fails every send touching it, and is reported to crash listeners so the
+// control plane (coordinator + supervisor) can mark it dead in the compute
+// node database and kill its resident RPs.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"scsq/internal/carrier"
+	"scsq/internal/hw"
+	"scsq/internal/vtime"
+)
+
+// NodeRef names one compute node of the environment.
+type NodeRef struct {
+	Cluster hw.ClusterName
+	Node    int
+}
+
+func (n NodeRef) String() string { return fmt.Sprintf("%s:%d", n.Cluster, n.Node) }
+
+// Verdict is the injector's decision about one frame send. The zero value
+// is "no fault".
+type Verdict struct {
+	// Err, if non-nil, fails the send without delivering the frame. It
+	// wraps a typed carrier error (ErrPeerReset, ErrNodeDown).
+	Err error
+	// Drop silently loses the frame: the sender is charged and told the
+	// send succeeded, but the receiver never sees it.
+	Drop bool
+	// Delay is extra delivery latency added to the frame's arrival time.
+	Delay vtime.Duration
+	// CorruptByte, if >= 0, is the payload index whose byte the carrier
+	// must flip before delivery.
+	CorruptByte int
+}
+
+// Injector is a deterministic fault source. A nil *Injector is valid and
+// injects nothing, so carriers consult it unconditionally. All methods are
+// safe for concurrent use.
+type Injector struct {
+	seed int64
+
+	dialFailFirst int
+	dialFailRate  float64
+	resetRate     float64
+	dropRate      float64
+	corruptRate   float64
+	delayRate     float64
+	maxDelay      vtime.Duration
+
+	mu              sync.Mutex
+	dead            map[NodeRef]bool
+	crashAtV        map[NodeRef]vtime.Time
+	crashAfterSends map[NodeRef]int
+	sends           map[NodeRef]int
+	dialAttempts    map[string]int
+	listeners       []func(NodeRef)
+}
+
+// Option configures an Injector.
+type Option func(*Injector)
+
+// FailFirstDials makes the first n dial attempts of every distinct
+// (source, destination) pair fail with carrier.ErrDialTimeout. Combined
+// with a retry budget > n, every connection eventually opens — the
+// mechanism the dial-retry path is tested against.
+func FailFirstDials(n int) Option {
+	return func(i *Injector) { i.dialFailFirst = n }
+}
+
+// DialFailRate makes each dial attempt fail with probability p, hashed from
+// the seed and the attempt coordinates.
+func DialFailRate(p float64) Option {
+	return func(i *Injector) { i.dialFailRate = p }
+}
+
+// ResetRate injects mid-stream connection resets (carrier.ErrPeerReset) on
+// a fraction p of non-final frames.
+func ResetRate(p float64) Option {
+	return func(i *Injector) { i.resetRate = p }
+}
+
+// DropRate silently loses a fraction p of non-final frames.
+func DropRate(p float64) Option {
+	return func(i *Injector) { i.dropRate = p }
+}
+
+// CorruptRate flips one deterministic payload byte in a fraction p of
+// non-final frames.
+func CorruptRate(p float64) Option {
+	return func(i *Injector) { i.corruptRate = p }
+}
+
+// DelayRate adds up to maxDelay of virtual delivery latency to a fraction p
+// of frames.
+func DelayRate(p float64, maxDelay vtime.Duration) Option {
+	return func(i *Injector) {
+		i.delayRate = p
+		i.maxDelay = maxDelay
+	}
+}
+
+// CrashAfterSends schedules node (cluster, node) to crash immediately after
+// its n-th outbound frame. With one RP per BlueGene node this kills the
+// resident RP at a deterministic point of its stream.
+func CrashAfterSends(cluster hw.ClusterName, node, n int) Option {
+	return func(i *Injector) { i.crashAfterSends[NodeRef{cluster, node}] = n }
+}
+
+// CrashAtVTime schedules node (cluster, node) to crash at the first frame
+// it touches whose ready time is at or after t.
+func CrashAtVTime(cluster hw.ClusterName, node int, t vtime.Time) Option {
+	return func(i *Injector) { i.crashAtV[NodeRef{cluster, node}] = t }
+}
+
+// New returns an injector seeded with seed. The seed fully determines every
+// rate-based fault decision.
+func New(seed int64, opts ...Option) *Injector {
+	i := &Injector{
+		seed:            seed,
+		dead:            make(map[NodeRef]bool),
+		crashAtV:        make(map[NodeRef]vtime.Time),
+		crashAfterSends: make(map[NodeRef]int),
+		sends:           make(map[NodeRef]int),
+		dialAttempts:    make(map[string]int),
+	}
+	for _, o := range opts {
+		o(i)
+	}
+	return i
+}
+
+// OnCrash registers a listener invoked (once per node, outside the
+// injector's lock) when a node transitions to dead — whether by schedule or
+// by KillNode.
+func (i *Injector) OnCrash(fn func(NodeRef)) {
+	if i == nil || fn == nil {
+		return
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.listeners = append(i.listeners, fn)
+}
+
+// KillNode marks a node dead immediately and notifies crash listeners.
+// Killing a dead node is a no-op.
+func (i *Injector) KillNode(cluster hw.ClusterName, node int) {
+	if i == nil {
+		return
+	}
+	ref := NodeRef{cluster, node}
+	i.mu.Lock()
+	already := i.dead[ref]
+	if !already {
+		i.dead[ref] = true
+	}
+	listeners := i.snapshotListenersLocked()
+	i.mu.Unlock()
+	if already {
+		return
+	}
+	for _, fn := range listeners {
+		fn(ref)
+	}
+}
+
+// NodeDead reports whether the node has crashed.
+func (i *Injector) NodeDead(cluster hw.ClusterName, node int) bool {
+	if i == nil {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.dead[NodeRef{cluster, node}]
+}
+
+// DeadNodes returns the crashed nodes, for reporting.
+func (i *Injector) DeadNodes() []NodeRef {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]NodeRef, 0, len(i.dead))
+	for ref := range i.dead {
+		out = append(out, ref)
+	}
+	return out
+}
+
+// Dial decides the fate of one dial attempt from src to dst. It returns nil
+// (proceed), a wrapped carrier.ErrDialTimeout (transient, retryable), or a
+// wrapped carrier.ErrNodeDown when either endpoint has crashed.
+func (i *Injector) Dial(src, dst NodeRef) error {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	if i.dead[src] || i.dead[dst] {
+		i.mu.Unlock()
+		return fmt.Errorf("chaos: dial %s->%s: %w", src, dst, carrier.ErrNodeDown)
+	}
+	key := src.String() + ">" + dst.String()
+	attempt := i.dialAttempts[key]
+	i.dialAttempts[key]++
+	i.mu.Unlock()
+
+	if attempt < i.dialFailFirst {
+		return fmt.Errorf("chaos: injected dial failure %d for %s->%s: %w", attempt+1, src, dst, carrier.ErrDialTimeout)
+	}
+	if i.dialFailRate > 0 && i.chance(saltDial, key, uint64(attempt)) < i.dialFailRate {
+		return fmt.Errorf("chaos: injected dial failure for %s->%s: %w", src, dst, carrier.ErrDialTimeout)
+	}
+	return nil
+}
+
+// Hash salts keep the per-fault decision streams independent.
+const (
+	saltDial = iota + 1
+	saltReset
+	saltDrop
+	saltCorrupt
+	saltDelay
+	saltDelayLen
+	saltCorruptIdx
+)
+
+// OnSend decides the fate of frame seq from src to dst, ready at the given
+// virtual time. It advances crash schedules (firing listeners when a node
+// dies), then applies rate faults. Final (Last) frames are exempt from rate
+// faults — the engine's termination protocol runs over the reliable control
+// channel the paper's RPs maintain — but not from dead nodes: a crashed
+// node sends nothing.
+func (i *Injector) OnSend(src, dst NodeRef, seq uint64, ready vtime.Time, payloadLen int, last bool) Verdict {
+	v := Verdict{CorruptByte: -1}
+	if i == nil {
+		return v
+	}
+
+	var crashed []NodeRef
+	i.mu.Lock()
+	i.sends[src]++
+	if n, ok := i.crashAfterSends[src]; ok && !i.dead[src] && i.sends[src] > n {
+		i.dead[src] = true
+		crashed = append(crashed, src)
+	}
+	for _, ref := range [2]NodeRef{src, dst} {
+		if t, ok := i.crashAtV[ref]; ok && !i.dead[ref] && ready >= t {
+			i.dead[ref] = true
+			crashed = append(crashed, ref)
+		}
+	}
+	deadSrc, deadDst := i.dead[src], i.dead[dst]
+	listeners := i.snapshotListenersLocked()
+	i.mu.Unlock()
+
+	for _, ref := range crashed {
+		for _, fn := range listeners {
+			fn(ref)
+		}
+	}
+	if deadSrc || deadDst {
+		ref := src
+		if !deadSrc {
+			ref = dst
+		}
+		v.Err = fmt.Errorf("chaos: send %s->%s seq %d: node %s crashed: %w", src, dst, seq, ref, carrier.ErrNodeDown)
+		return v
+	}
+	if last {
+		return v
+	}
+
+	key := src.String() + ">" + dst.String()
+	if i.resetRate > 0 && i.chance(saltReset, key, seq) < i.resetRate {
+		v.Err = fmt.Errorf("chaos: injected reset on %s->%s seq %d: %w", src, dst, seq, carrier.ErrPeerReset)
+		return v
+	}
+	if i.dropRate > 0 && i.chance(saltDrop, key, seq) < i.dropRate {
+		v.Drop = true
+		return v
+	}
+	if i.corruptRate > 0 && payloadLen > 0 && i.chance(saltCorrupt, key, seq) < i.corruptRate {
+		v.CorruptByte = int(i.hash(saltCorruptIdx, key, seq) % uint64(payloadLen))
+	}
+	if i.delayRate > 0 && i.maxDelay > 0 && i.chance(saltDelay, key, seq) < i.delayRate {
+		v.Delay = vtime.Duration(i.hash(saltDelayLen, key, seq) % uint64(i.maxDelay))
+	}
+	return v
+}
+
+// snapshotListenersLocked copies the listener slice so it can be invoked
+// outside the injector's lock. Caller holds mu.
+func (i *Injector) snapshotListenersLocked() []func(NodeRef) {
+	out := make([]func(NodeRef), len(i.listeners))
+	copy(out, i.listeners)
+	return out
+}
+
+// hash maps (seed, salt, key, seq) to a uniform uint64.
+func (i *Injector) hash(salt int, key string, seq uint64) uint64 {
+	h := fnv.New64a()
+	var buf [24]byte
+	for b := 0; b < 8; b++ {
+		buf[b] = byte(uint64(i.seed) >> (8 * b))
+		buf[8+b] = byte(uint64(salt) >> (8 * b))
+		buf[16+b] = byte(seq >> (8 * b))
+	}
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// chance maps (seed, salt, key, seq) to a uniform float64 in [0, 1).
+func (i *Injector) chance(salt int, key string, seq uint64) float64 {
+	return float64(i.hash(salt, key, seq)>>11) / float64(1<<53)
+}

@@ -1,0 +1,192 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+
+	"scsq/internal/carrier"
+	"scsq/internal/hw"
+	"scsq/internal/vtime"
+)
+
+func ref(n int) NodeRef { return NodeRef{Cluster: hw.BlueGene, Node: n} }
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var inj *Injector
+	if err := inj.Dial(ref(0), ref(1)); err != nil {
+		t.Fatalf("nil injector dial: %v", err)
+	}
+	v := inj.OnSend(ref(0), ref(1), 0, 0, 100, false)
+	if v.Err != nil || v.Drop || v.Delay != 0 || v.CorruptByte >= 0 {
+		t.Fatalf("nil injector verdict = %+v, want none", v)
+	}
+	if inj.NodeDead(hw.BlueGene, 0) {
+		t.Fatal("nil injector reports dead nodes")
+	}
+	inj.KillNode(hw.BlueGene, 0) // must not panic
+}
+
+func TestSameSeedSameFaultSchedule(t *testing.T) {
+	verdicts := func(seed int64) []Verdict {
+		inj := New(seed, ResetRate(0.1), DropRate(0.1), CorruptRate(0.1), DelayRate(0.1, vtime.Millisecond))
+		out := make([]Verdict, 0, 200)
+		for seq := uint64(0); seq < 200; seq++ {
+			out = append(out, inj.OnSend(ref(1), ref(2), seq, 0, 64, false))
+		}
+		return out
+	}
+	a, b := verdicts(42), verdicts(42)
+	for i := range a {
+		av, bv := a[i], b[i]
+		if (av.Err == nil) != (bv.Err == nil) || av.Drop != bv.Drop ||
+			av.Delay != bv.Delay || av.CorruptByte != bv.CorruptByte {
+			t.Fatalf("seq %d: same seed diverged: %+v vs %+v", i, av, bv)
+		}
+	}
+	c := verdicts(43)
+	same := true
+	for i := range a {
+		if (a[i].Err == nil) != (c[i].Err == nil) || a[i].Drop != c[i].Drop ||
+			a[i].Delay != c[i].Delay || a[i].CorruptByte != c[i].CorruptByte {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 200-event fault schedules")
+	}
+}
+
+func TestRateFaultsActuallyFire(t *testing.T) {
+	inj := New(7, ResetRate(0.2), DropRate(0.2))
+	var resets, drops int
+	for seq := uint64(0); seq < 500; seq++ {
+		v := inj.OnSend(ref(1), ref(2), seq, 0, 64, false)
+		if v.Err != nil {
+			if !errors.Is(v.Err, carrier.ErrPeerReset) {
+				t.Fatalf("reset verdict error = %v, want ErrPeerReset", v.Err)
+			}
+			resets++
+		}
+		if v.Drop {
+			drops++
+		}
+	}
+	if resets == 0 || drops == 0 {
+		t.Fatalf("resets=%d drops=%d over 500 sends at 20%%: rates never fired", resets, drops)
+	}
+}
+
+func TestLastFramesExemptFromRateFaults(t *testing.T) {
+	inj := New(7, ResetRate(0.9), DropRate(0.9), CorruptRate(0.9))
+	for seq := uint64(0); seq < 100; seq++ {
+		v := inj.OnSend(ref(1), ref(2), seq, 0, 64, true)
+		if v.Err != nil || v.Drop || v.CorruptByte >= 0 {
+			t.Fatalf("seq %d: Last frame drew a rate fault: %+v", seq, v)
+		}
+	}
+}
+
+func TestCrashAfterSends(t *testing.T) {
+	inj := New(1, CrashAfterSends(hw.BlueGene, 1, 3))
+	var crashed []NodeRef
+	inj.OnCrash(func(n NodeRef) { crashed = append(crashed, n) })
+
+	for seq := uint64(0); seq < 3; seq++ {
+		if v := inj.OnSend(ref(1), ref(2), seq, 0, 64, false); v.Err != nil {
+			t.Fatalf("send %d before crash point failed: %v", seq, v.Err)
+		}
+	}
+	v := inj.OnSend(ref(1), ref(2), 3, 0, 64, false)
+	if !errors.Is(v.Err, carrier.ErrNodeDown) {
+		t.Fatalf("send past crash point: err = %v, want ErrNodeDown", v.Err)
+	}
+	if len(crashed) != 1 || crashed[0] != ref(1) {
+		t.Fatalf("crash listeners saw %v, want exactly [%v]", crashed, ref(1))
+	}
+	if !inj.NodeDead(hw.BlueGene, 1) {
+		t.Fatal("node 1 not reported dead")
+	}
+	// Dials touching the dead node refuse with ErrNodeDown; sends TO it
+	// fail as well (and Last frames are not exempt from death).
+	if err := inj.Dial(ref(0), ref(1)); !errors.Is(err, carrier.ErrNodeDown) {
+		t.Fatalf("dial to dead node: %v, want ErrNodeDown", err)
+	}
+	if v := inj.OnSend(ref(0), ref(1), 0, 0, 64, true); !errors.Is(v.Err, carrier.ErrNodeDown) {
+		t.Fatalf("Last frame to dead node: %v, want ErrNodeDown", v.Err)
+	}
+	// Killing again does not re-notify.
+	inj.KillNode(hw.BlueGene, 1)
+	if len(crashed) != 1 {
+		t.Fatalf("re-kill re-notified listeners: %v", crashed)
+	}
+}
+
+func TestCrashAtVTime(t *testing.T) {
+	inj := New(1, CrashAtVTime(hw.BlueGene, 2, vtime.Time(1000)))
+	if v := inj.OnSend(ref(1), ref(2), 0, 999, 64, false); v.Err != nil {
+		t.Fatalf("send before crash vtime failed: %v", v.Err)
+	}
+	// Node 2 is the destination here; it dies the moment traffic at or past
+	// the deadline touches it.
+	if v := inj.OnSend(ref(1), ref(2), 1, 1000, 64, false); !errors.Is(v.Err, carrier.ErrNodeDown) {
+		t.Fatalf("send at crash vtime: %v, want ErrNodeDown", v.Err)
+	}
+	if !inj.NodeDead(hw.BlueGene, 2) {
+		t.Fatal("node 2 should be dead")
+	}
+}
+
+func TestFailFirstDials(t *testing.T) {
+	inj := New(1, FailFirstDials(2))
+	for i := 0; i < 2; i++ {
+		if err := inj.Dial(ref(1), ref(2)); !errors.Is(err, carrier.ErrDialTimeout) {
+			t.Fatalf("dial %d: %v, want ErrDialTimeout", i, err)
+		}
+		if !carrier.IsTransient(inj.Dial(ref(3), ref(4))) {
+			// distinct pair has its own first-N budget
+			t.Fatal("injected dial failure must be transient")
+		}
+	}
+	if err := inj.Dial(ref(1), ref(2)); err != nil {
+		t.Fatalf("dial past first-N budget: %v", err)
+	}
+}
+
+func TestDialRetryAbsorbsFirstNFailures(t *testing.T) {
+	inj := New(1, FailFirstDials(2))
+	dials := 0
+	conn, err := carrier.DialRetry(carrier.DefaultRetryPolicy, func() (carrier.Conn, error) {
+		dials++
+		if err := inj.Dial(ref(1), ref(2)); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatalf("retry should absorb 2 injected dial timeouts: %v", err)
+	}
+	if conn != nil || dials != 3 {
+		t.Fatalf("dials = %d (want 3), conn = %v", dials, conn)
+	}
+}
+
+func TestCorruptByteInRange(t *testing.T) {
+	inj := New(11, CorruptRate(0.5))
+	fired := false
+	for seq := uint64(0); seq < 100; seq++ {
+		v := inj.OnSend(ref(1), ref(2), seq, 0, 33, false)
+		if v.Err != nil || v.Drop {
+			continue
+		}
+		if v.CorruptByte >= 33 {
+			t.Fatalf("seq %d: corrupt index %d out of payload range 33", seq, v.CorruptByte)
+		}
+		if v.CorruptByte >= 0 {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("corruption never fired at 50%")
+	}
+}

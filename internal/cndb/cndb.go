@@ -65,6 +65,7 @@ type DB struct {
 
 	mu        sync.Mutex
 	allocated map[int]int // node id -> RP count
+	dead      map[int]bool
 	size      int
 	rr        int
 }
@@ -79,6 +80,7 @@ func New(env *hw.Env, c hw.ClusterName) (*DB, error) {
 		cluster:   c,
 		exclusive: c == hw.BlueGene,
 		allocated: make(map[int]int),
+		dead:      make(map[int]bool),
 		size:      n,
 	}, nil
 }
@@ -108,7 +110,7 @@ func (db *DB) Select(seq *Sequence) (int, error) {
 		if id < 0 || id >= db.size {
 			return 0, fmt.Errorf("cndb: allocation sequence node %d out of range for cluster %q (size %d)", id, db.cluster, db.size)
 		}
-		if db.exclusive && db.allocated[id] > 0 {
+		if db.dead[id] || (db.exclusive && db.allocated[id] > 0) {
 			continue
 		}
 		db.allocated[id]++
@@ -120,17 +122,23 @@ func (db *DB) Select(seq *Sequence) (int, error) {
 func (db *DB) selectNaive() (int, error) {
 	if db.exclusive {
 		for id := 0; id < db.size; id++ {
-			if db.allocated[id] == 0 {
+			if db.allocated[id] == 0 && !db.dead[id] {
 				db.allocated[id]++
 				return id, nil
 			}
 		}
 		return 0, fmt.Errorf("%w (cluster %q)", ErrNoAvailableNode, db.cluster)
 	}
-	id := db.rr % db.size
-	db.rr++
-	db.allocated[id]++
-	return id, nil
+	for i := 0; i < db.size; i++ {
+		id := db.rr % db.size
+		db.rr++
+		if db.dead[id] {
+			continue
+		}
+		db.allocated[id]++
+		return id, nil
+	}
+	return 0, fmt.Errorf("%w (cluster %q)", ErrNoAvailableNode, db.cluster)
 }
 
 // Release returns a node allocation. Releasing a node that is not allocated
@@ -153,11 +161,38 @@ func (db *DB) AllocatedCount(id int) int {
 	return db.allocated[id]
 }
 
-// Reset releases every allocation and rewinds the round-robin cursor.
+// MarkDead records that a node has failed: it is skipped by every subsequent
+// selection until Reset. Allocations already on the node stay recorded so
+// their eventual Release is balanced.
+func (db *DB) MarkDead(id int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if id >= 0 && id < db.size {
+		db.dead[id] = true
+	}
+}
+
+// Dead reports whether node id has been marked failed.
+func (db *DB) Dead(id int) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.dead[id]
+}
+
+// DeadCount reports how many nodes of the cluster are marked failed.
+func (db *DB) DeadCount() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.dead)
+}
+
+// Reset releases every allocation, revives dead nodes, and rewinds the
+// round-robin cursor.
 func (db *DB) Reset() {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.allocated = make(map[int]int)
+	db.dead = make(map[int]bool)
 	db.rr = 0
 }
 

@@ -11,6 +11,7 @@
 package coord
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -18,6 +19,18 @@ import (
 	"scsq/internal/cndb"
 	"scsq/internal/hw"
 	"scsq/internal/rp"
+	"scsq/internal/vtime"
+)
+
+// Typed submission failures, so callers can distinguish backpressure from a
+// torn-down control plane.
+var (
+	// ErrBGQueueFull reports that the front-end coordinator's BG placement
+	// queue is at capacity; the request was not registered.
+	ErrBGQueueFull = errors.New("coord: front-end BG placement queue full")
+	// ErrBGPollerStopped reports that the BG polling loop has shut down; a
+	// registered request would never be answered.
+	ErrBGPollerStopped = errors.New("coord: BG poller stopped")
 )
 
 // PlaceResult is the outcome of a placement request.
@@ -38,12 +51,18 @@ type Coordinator struct {
 	env     *hw.Env
 	db      *cndb.DB
 
-	mu  sync.Mutex
-	rps map[string]*rp.RP
+	mu    sync.Mutex
+	rps   map[string]*rp.RP
+	beats map[string]vtime.Time
 
 	// bgQueue holds BlueGene placement requests registered with this
 	// (front-end) coordinator, awaiting the BlueGene coordinator's poll.
-	bgQueue chan *PlaceRequest
+	// bgClosed marks the queue closed for submissions: the poller has shut
+	// down (or is in its final drain) and a new request would never be
+	// answered.
+	bgMu     sync.Mutex
+	bgQueue  chan *PlaceRequest
+	bgClosed bool
 }
 
 // New builds the coordinator for cluster c.
@@ -57,6 +76,7 @@ func New(env *hw.Env, c hw.ClusterName) (*Coordinator, error) {
 		env:     env,
 		db:      db,
 		rps:     make(map[string]*rp.RP),
+		beats:   make(map[string]vtime.Time),
 		bgQueue: make(chan *PlaceRequest, 1024),
 	}, nil
 }
@@ -83,11 +103,34 @@ func (c *Coordinator) Register(p *rp.RP) {
 	c.rps[p.ID()] = p
 }
 
-// Unregister removes a terminated RP.
+// Unregister removes a terminated RP and retires its heartbeat.
 func (c *Coordinator) Unregister(id string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.rps, id)
+	delete(c.beats, id)
+}
+
+// KillNode marks a compute node of this cluster failed and kills every RP
+// registered on it with cause. It returns the ids of the killed RPs.
+func (c *Coordinator) KillNode(node int, cause error) []string {
+	c.db.MarkDead(node)
+	c.mu.Lock()
+	var victims []*rp.RP
+	for _, p := range c.rps {
+		if p.Node() == node {
+			victims = append(victims, p)
+		}
+	}
+	c.mu.Unlock()
+	ids := make([]string, 0, len(victims))
+	for _, p := range victims {
+		// Fail outside the lock: it aborts connections and may resolve
+		// waiters synchronously.
+		p.Fail(fmt.Errorf("coord: node %s:%d failed: %w", c.cluster, node, cause))
+		ids = append(ids, p.ID())
+	}
+	return ids
 }
 
 // RPCount reports how many RPs are registered.
@@ -105,13 +148,26 @@ func (c *Coordinator) SubmitBGPlacement(seq *cndb.Sequence) (<-chan PlaceResult,
 	if c.cluster != hw.FrontEnd {
 		return nil, fmt.Errorf("coord: BG placements must be registered with the front-end coordinator, not %q", c.cluster)
 	}
+	c.bgMu.Lock()
+	defer c.bgMu.Unlock()
+	if c.bgClosed {
+		return nil, ErrBGPollerStopped
+	}
 	req := &PlaceRequest{Seq: seq, Reply: make(chan PlaceResult, 1)}
 	select {
 	case c.bgQueue <- req:
 		return req.Reply, nil
 	default:
-		return nil, fmt.Errorf("coord: front-end BG placement queue full")
+		return nil, ErrBGQueueFull
 	}
+}
+
+// closeBGQueue rejects future submissions; requests already queued are still
+// answered by the poller's final drain.
+func (c *Coordinator) closeBGQueue() {
+	c.bgMu.Lock()
+	defer c.bgMu.Unlock()
+	c.bgClosed = true
 }
 
 // pollBG drains pending BG placement requests (called by BGPoller).
@@ -134,6 +190,7 @@ type BGPoller struct {
 	interval time.Duration
 	stop     chan struct{}
 	done     chan struct{}
+	stopOnce sync.Once
 }
 
 // NewBGPoller starts the bgCC→feCC polling loop. Call Shutdown to stop it.
@@ -177,12 +234,15 @@ func (p *BGPoller) loop() {
 	}
 }
 
-// Shutdown stops the polling loop and waits for it to exit.
+// Shutdown stops the polling loop and waits for it to exit. It is safe to
+// call from several goroutines concurrently (the old check-then-close could
+// double-close the stop channel when two Shutdowns raced). Submissions are
+// rejected with ErrBGPollerStopped before the loop stops, so the final drain
+// answers every request that ever got in.
 func (p *BGPoller) Shutdown() {
-	select {
-	case <-p.stop:
-	default:
+	p.stopOnce.Do(func() {
+		p.fe.closeBGQueue()
 		close(p.stop)
-	}
+	})
 	<-p.done
 }

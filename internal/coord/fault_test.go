@@ -1,0 +1,179 @@
+package coord
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"scsq/internal/cndb"
+	"scsq/internal/hw"
+	"scsq/internal/rp"
+	"scsq/internal/sqep"
+	"scsq/internal/vtime"
+)
+
+func idleRP(id string, node int) *rp.RP {
+	return rp.New(id, hw.BlueGene, node, sqep.Ctx{}, func(*sqep.Ctx) (sqep.Operator, error) {
+		return sqep.NewIota(1, 1), nil
+	})
+}
+
+func TestBGPollerConcurrentShutdown(t *testing.T) {
+	env := testEnv(t)
+	fe := newCoord(t, env, hw.FrontEnd)
+	bg := newCoord(t, env, hw.BlueGene)
+	p, err := NewBGPoller(fe, bg, 50*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The old check-then-close could double-close the stop channel when two
+	// Shutdowns raced; this must not panic.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Shutdown()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSubmitAfterShutdownFailsFast(t *testing.T) {
+	env := testEnv(t)
+	fe := newCoord(t, env, hw.FrontEnd)
+	bg := newCoord(t, env, hw.BlueGene)
+	p, err := NewBGPoller(fe, bg, 50*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Shutdown()
+	if _, err := fe.SubmitBGPlacement(nil); !errors.Is(err, ErrBGPollerStopped) {
+		t.Fatalf("submit after shutdown = %v, want ErrBGPollerStopped", err)
+	}
+}
+
+func TestSubmitQueueFullFailsFast(t *testing.T) {
+	// A front-end coordinator with no poller never drains its queue, so the
+	// capacity is reachable and the overflow submission must be rejected
+	// with the typed error rather than blocking the placing goroutine.
+	fe := newCoord(t, testEnv(t), hw.FrontEnd)
+	var err error
+	for i := 0; i < 100_000; i++ {
+		if _, err = fe.SubmitBGPlacement(nil); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrBGQueueFull) {
+		t.Fatalf("overflowing the BG queue = %v, want ErrBGQueueFull", err)
+	}
+}
+
+func TestKillNodeFailsResidentRPs(t *testing.T) {
+	bg := newCoord(t, testEnv(t), hw.BlueGene)
+	victim := idleRP("victim", 3)
+	bystander := idleRP("bystander", 4)
+	bg.Register(victim)
+	bg.Register(bystander)
+
+	cause := errors.New("power lost")
+	ids := bg.KillNode(3, cause)
+	if len(ids) != 1 || ids[0] != "victim" {
+		t.Fatalf("killed = %v, want [victim]", ids)
+	}
+	if !bg.DB().Dead(3) {
+		t.Fatal("node 3 not marked dead in the cndb")
+	}
+	if err := victim.Wait(); !errors.Is(err, cause) {
+		t.Fatalf("victim error = %v, want the kill cause", err)
+	}
+	if bystander.Done() {
+		t.Fatal("RP on a different node was killed")
+	}
+	if _, err := bg.Place(mustSeqOf(t, 3)); !errors.Is(err, cndb.ErrNoAvailableNode) {
+		t.Fatalf("placement on the dead node = %v, want ErrNoAvailableNode", err)
+	}
+}
+
+func mustSeqOf(t *testing.T, ids ...int) *cndb.Sequence {
+	t.Helper()
+	s, err := cndb.NewSequence(ids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHeartbeatBeatsAreMonotone(t *testing.T) {
+	cc := newCoord(t, testEnv(t), hw.BlueGene)
+	cc.Beat("a", vtime.Time(100))
+	cc.Beat("a", vtime.Time(50)) // stale report: ignored
+	if at, ok := cc.LastBeat("a"); !ok || at != vtime.Time(100) {
+		t.Fatalf("last beat = %v/%v, want 100/true", at, ok)
+	}
+	if _, ok := cc.LastBeat("never"); ok {
+		t.Fatal("unknown RP reports a beat")
+	}
+}
+
+func TestHeartbeatStaleDetection(t *testing.T) {
+	cc := newCoord(t, testEnv(t), hw.BlueGene)
+	policy := HeartbeatPolicy{Interval: vtime.Millisecond, MissK: 3}
+
+	healthy := idleRP("healthy", 1)
+	lagging := idleRP("lagging", 2)
+	cc.Register(healthy)
+	cc.Register(lagging)
+
+	// No beats yet: nothing can be judged stale.
+	if s := cc.Stale(policy); len(s) != 0 {
+		t.Fatalf("stale before any beat = %v", s)
+	}
+
+	cc.Beat("healthy", vtime.Time(10*vtime.Millisecond))
+	cc.Beat("lagging", vtime.Time(8*vtime.Millisecond))
+	if s := cc.Stale(policy); len(s) != 0 {
+		t.Fatalf("lag below K intervals reported stale: %v", s)
+	}
+
+	cc.Beat("healthy", vtime.Time(12*vtime.Millisecond))
+	s := cc.Stale(policy)
+	if len(s) != 1 || s[0] != "lagging" {
+		t.Fatalf("stale = %v, want [lagging] (4 ms behind the frontier, threshold 3 ms)", s)
+	}
+
+	// Unregistering retires the heartbeat: the RP stops being judged.
+	cc.Unregister("lagging")
+	if s := cc.Stale(policy); len(s) != 0 {
+		t.Fatalf("stale after unregister = %v", s)
+	}
+	if _, ok := cc.LastBeat("lagging"); ok {
+		t.Fatal("unregister left the beat record behind")
+	}
+}
+
+func TestHeartbeatStaleSkipsFinishedRPs(t *testing.T) {
+	cc := newCoord(t, testEnv(t), hw.BlueGene)
+	policy := HeartbeatPolicy{Interval: vtime.Millisecond, MissK: 1}
+
+	finished := idleRP("finished", 1)
+	cc.Register(finished)
+	if err := finished.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := finished.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	cc.Beat("finished", vtime.Time(1))
+	// Another RP races far ahead; the finished one legitimately stopped
+	// beating and must not be declared failed.
+	running := idleRP("running", 2)
+	cc.Register(running)
+	cc.Beat("running", vtime.Time(100*vtime.Millisecond))
+	for _, id := range cc.Stale(policy) {
+		if id == "finished" {
+			t.Fatal("terminated RP reported stale")
+		}
+	}
+}

@@ -118,10 +118,12 @@ func (s *ClientStream) Drain() ([]sqep.Element, error) {
 				continue
 			}
 			waited[sp.id] = true
-			if err := sp.rp.Wait(); err != nil {
+			// WaitResolved follows supervised re-placements: a failure that
+			// was absorbed by a replacement is not the SP's outcome.
+			if err := sp.WaitResolved(); err != nil {
 				errs = append(errs, err)
 			}
-			e.coords[sp.cluster].Release(sp.node)
+			e.coords[sp.cluster].Release(sp.Node())
 			e.coords[sp.cluster].Unregister(sp.id)
 		}
 		e.mu.Lock()

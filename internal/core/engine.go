@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"scsq/internal/carrier"
+	"scsq/internal/chaos"
 	"scsq/internal/cndb"
 	"scsq/internal/coord"
 	"scsq/internal/hw"
@@ -53,12 +54,20 @@ type Engine struct {
 	horizon     vtime.Duration
 	clientNode  int // front-end node hosting the client manager
 
-	mu     sync.Mutex
-	pacer  *vtime.Pacer
-	sps    []*SP
-	edges  []Edge
-	nextID int
-	closed bool
+	inj   *chaos.Injector // nil without WithChaos
+	sup   *Supervisor     // nil without WithSupervision
+	retry carrier.RetryPolicy
+	hb    coord.HeartbeatPolicy // zero Interval disables the monitor
+	hbTau time.Duration         // wall-clock cadence of the stale sweep
+
+	mu        sync.Mutex
+	pacer     *vtime.Pacer
+	sps       []*SP
+	edges     []Edge
+	nextID    int
+	closed    bool
+	hbStop    chan struct{}
+	hbStopped sync.WaitGroup
 }
 
 // Edge describes one carrier connection of the current query's process
@@ -88,6 +97,12 @@ type engineConfig struct {
 	realTCP      bool
 	udpLoss      float64
 	useUDP       bool
+	inj          *chaos.Injector
+	supervise    bool
+	budget       int
+	retry        carrier.RetryPolicy
+	hb           coord.HeartbeatPolicy
+	hbTau        time.Duration
 }
 
 type optionFunc func(*engineConfig)
@@ -147,6 +162,47 @@ func WithUDPInbound(lossRate float64) Option {
 	})
 }
 
+// WithChaos attaches a seeded fault injector: every carrier dial and frame
+// send consults it, and node-crash schedules propagate to the coordinators
+// (the crashed node is marked dead, its resident RPs are killed). Chaos is
+// incompatible with WithRealTCP: the real-socket carrier cannot observe the
+// charging connection's drop verdicts.
+func WithChaos(inj *chaos.Injector) Option {
+	return optionFunc(func(c *engineConfig) { c.inj = inj })
+}
+
+// WithSupervision enables supervised re-placement: when a source RP dies of
+// a node failure, the supervisor re-places it via its original allocation
+// sequence (excluding dead nodes), rebuilds its plan, re-subscribes its
+// consumers, and resumes — at most budget times per RP. Past the budget, or
+// for unrecoverable RPs (an input-bearing RP cannot replay its consumed
+// inputs), the failure propagates through the SP graph as a typed error
+// instead of hanging Wait.
+func WithSupervision(budget int) Option {
+	return optionFunc(func(c *engineConfig) {
+		c.supervise = true
+		c.budget = budget
+	})
+}
+
+// WithRetryPolicy overrides the bounded retry applied to carrier dials and
+// transient send failures (default carrier.DefaultRetryPolicy).
+func WithRetryPolicy(p carrier.RetryPolicy) Option {
+	return optionFunc(func(c *engineConfig) { c.retry = p })
+}
+
+// WithHeartbeat enables heartbeat failure detection: RPs beat their
+// coordinator every p.Interval of virtual output time, and a monitor sweep
+// (every tau of wall time) kills RPs whose beats lag the frontier by more
+// than p.MissK intervals, marking their nodes suspect. Requires
+// WithSupervision for the killed RPs to be recovered or propagated.
+func WithHeartbeat(p coord.HeartbeatPolicy, tau time.Duration) Option {
+	return optionFunc(func(c *engineConfig) {
+		c.hb = p
+		c.hbTau = tau
+	})
+}
+
 // WithPacerHorizon sets the conservative-pacing window: no RP of a query
 // runs more than this far ahead of its slowest peer in virtual time. Zero
 // disables pacing (fast but wall-clock-scheduling sensitive).
@@ -169,9 +225,13 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		window:       4,
 		horizon:      vtime.Millisecond,
 		pollInterval: 200 * time.Microsecond,
+		retry:        carrier.DefaultRetryPolicy,
 	}
 	for _, o := range opts {
 		o.apply(&cfg)
+	}
+	if cfg.inj != nil && cfg.realTCP {
+		return nil, errors.New("core: WithChaos and WithRealTCP are incompatible (the socket carrier cannot observe drop verdicts)")
 	}
 	if cfg.env == nil {
 		env, err := hw.NewLOFAR()
@@ -199,6 +259,18 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		window:      cfg.window,
 		horizon:     cfg.horizon,
 		pacer:       vtime.NewPacer(cfg.horizon),
+		inj:         cfg.inj,
+		retry:       cfg.retry,
+		hb:          cfg.hb,
+		hbTau:       cfg.hbTau,
+	}
+	if cfg.supervise {
+		e.sup = &Supervisor{eng: e, budget: cfg.budget, restarts: make(map[string]int)}
+	}
+	if e.inj != nil {
+		e.mpi.SetInjector(e.inj)
+		e.tcp.SetInjector(e.inj)
+		e.inj.OnCrash(e.handleCrash)
 	}
 	for _, c := range []hw.ClusterName{hw.FrontEnd, hw.BackEnd, hw.BlueGene} {
 		cc, err := coord.New(cfg.env, c)
@@ -226,7 +298,16 @@ func NewEngine(opts ...Option) (*Engine, error) {
 			e.poller.Shutdown()
 			return nil, err
 		}
+		uf.SetInjector(e.inj)
 		e.udp = uf
+	}
+	if e.hb.Interval > 0 {
+		if e.hbTau <= 0 {
+			e.hbTau = 2 * time.Millisecond
+		}
+		e.hbStop = make(chan struct{})
+		e.hbStopped.Add(1)
+		go e.heartbeatMonitor()
 	}
 	return e, nil
 }
@@ -250,6 +331,10 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
+	if e.hbStop != nil {
+		close(e.hbStop)
+		e.hbStopped.Wait()
+	}
 	e.poller.Shutdown()
 	if e.netTCP != nil {
 		return e.netTCP.Close()
@@ -265,7 +350,7 @@ func (e *Engine) Reset() {
 	e.sps = nil
 	e.mu.Unlock()
 	for _, s := range sps {
-		e.coords[s.cluster].Release(s.node)
+		e.coords[s.cluster].Release(s.Node())
 		e.coords[s.cluster].Unregister(s.id)
 	}
 	for _, cc := range e.coords {
@@ -273,10 +358,94 @@ func (e *Engine) Reset() {
 	}
 	e.env.Reset()
 	e.mpi.Reset()
+	if e.sup != nil {
+		e.sup.reset()
+	}
 	e.mu.Lock()
 	e.pacer = vtime.NewPacer(e.horizon)
 	e.edges = nil
 	e.mu.Unlock()
+}
+
+// handleCrash is the injector's crash listener: it relays a node death to
+// the node's cluster coordinator — marking the node dead in the CNDB and
+// killing its resident RPs — and poisons the inboxes feeding consumers on
+// that node, so a receiver blocked on a silent inbox observes the failure.
+// (A dead producer cannot send its own Down frames; the supervisor poisons
+// downstream inboxes on its behalf when recovery is not possible.)
+func (e *Engine) handleCrash(ref chaos.NodeRef) {
+	cause := fmt.Errorf("chaos: node %s crashed: %w", ref, carrier.ErrNodeDown)
+	if cc, ok := e.coords[ref.Cluster]; ok {
+		cc.KillNode(ref.Node, cause)
+	}
+	e.mu.Lock()
+	sps := append([]*SP(nil), e.sps...)
+	e.mu.Unlock()
+	for _, sp := range sps {
+		for _, w := range sp.wiringsTo(ref.Cluster, ref.Node) {
+			poisonInbox(w.inbox, "coordinator", cause)
+		}
+	}
+}
+
+// poisonInbox injects a failure-propagation frame without blocking the
+// caller: the consumer may be gone, in which case its receiver's drain
+// discards the frame.
+func poisonInbox(inbox carrier.Inbox, source string, cause error) {
+	fr := carrier.Delivered{Frame: carrier.Frame{
+		Source:  source,
+		Last:    true,
+		Down:    true,
+		DownErr: cause.Error(),
+	}}
+	select {
+	case inbox <- fr:
+	default:
+		go func() { inbox <- fr }()
+	}
+}
+
+// heartbeatMonitor periodically asks each coordinator for RPs whose beats
+// lag the frontier past the K-missed-beats threshold, and kills them — the
+// detection path for zombies that neither crash nor finish.
+func (e *Engine) heartbeatMonitor() {
+	defer e.hbStopped.Done()
+	ticker := time.NewTicker(e.hbTau)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.hbStop:
+			return
+		case <-ticker.C:
+			for _, cc := range e.coords {
+				for _, id := range cc.Stale(e.hb) {
+					e.failStaleRP(cc, id)
+				}
+			}
+		}
+	}
+}
+
+// ErrHeartbeatLost reports that an RP was declared failed by the heartbeat
+// detector: it missed K consecutive beat intervals while its peers advanced.
+var ErrHeartbeatLost = errors.New("core: heartbeat lost")
+
+func (e *Engine) failStaleRP(cc *coord.Coordinator, id string) {
+	e.mu.Lock()
+	var sp *SP
+	for _, s := range e.sps {
+		if s.id == id {
+			sp = s
+			break
+		}
+	}
+	e.mu.Unlock()
+	if sp == nil {
+		return
+	}
+	node := sp.Node()
+	cc.DB().MarkDead(node) // suspect: no further placements on this node
+	cc.KillNode(node, ErrHeartbeatLost)
 }
 
 // Edges returns the carrier connections wired since the last Reset — the
@@ -328,24 +497,44 @@ func (e *Engine) SP(sub Subquery, c hw.ClusterName, seq *cndb.Sequence) (*SP, er
 	if err != nil {
 		return nil, fmt.Errorf("core: sp(%q): %w", c, err)
 	}
-	hwNode, err := e.env.Node(c, node)
+	id := e.newID("rp-" + string(c) + "-")
+	sp := &SP{eng: e, cluster: c, id: id, sub: sub, seq: seq, node: node}
+	proc, hasInputs, err := e.buildProc(sp, node)
 	if err != nil {
+		e.coords[c].Release(node)
 		return nil, err
 	}
-	id := e.newID("rp-" + string(c) + "-")
+	// Only input-free source RPs are recoverable: their streams are
+	// deterministic functions of the plan, so a replacement replays them.
+	sp.recoverable = !hasInputs
+	sp.rp = proc
+	e.coords[c].Register(proc)
+	e.mu.Lock()
+	e.sps = append(e.sps, sp)
+	e.mu.Unlock()
+	return sp, nil
+}
+
+// buildProc compiles sp's subquery for the given node and wraps it in a
+// running process — the shared path of initial placement and supervised
+// re-placement. It reports whether the plan wired any inputs.
+func (e *Engine) buildProc(sp *SP, node int) (*rp.RP, bool, error) {
+	hwNode, err := e.env.Node(sp.cluster, node)
+	if err != nil {
+		return nil, false, err
+	}
 	ctx := sqep.Ctx{
 		CPU:     hwNode.CPU,
 		Cost:    e.env.Cost,
 		Files:   e.files,
 		Sources: e.sources,
 	}
-	b := &PlanBuilder{eng: e, cluster: c, node: node, spID: id}
-	op, err := sub(b)
+	b := &PlanBuilder{eng: e, cluster: sp.cluster, node: node, spID: sp.id}
+	op, err := sp.sub(b)
 	if err != nil {
-		e.coords[c].Release(node)
-		return nil, err
+		return nil, false, err
 	}
-	proc := rp.New(id, c, node, ctx, func(*sqep.Ctx) (sqep.Operator, error) { return op, nil })
+	proc := rp.New(sp.id, sp.cluster, node, ctx, func(*sqep.Ctx) (sqep.Operator, error) { return op, nil })
 	// Only free-running source RPs register as pacing agents: a reactive
 	// RP's timing derives from its (already paced) inputs, and pacing it
 	// would deadlock — it publishes no progress until data arrives.
@@ -355,12 +544,15 @@ func (e *Engine) SP(sub Subquery, c hw.ClusterName, seq *cndb.Sequence) (*SP, er
 		e.mu.Unlock()
 		proc.SetPacer(agent)
 	}
-	sp := &SP{eng: e, rp: proc, cluster: c, node: node, id: id}
-	e.coords[c].Register(proc)
-	e.mu.Lock()
-	e.sps = append(e.sps, sp)
-	e.mu.Unlock()
-	return sp, nil
+	if e.sup != nil {
+		proc.SetOnExit(func(err error) { e.sup.onRPExit(sp, err) })
+	}
+	if e.hb.Interval > 0 {
+		if cc, ok := e.coords[sp.cluster]; ok {
+			proc.SetBeat(cc.Beat, e.hb.Interval)
+		}
+	}
+	return proc, b.hasInputs, nil
 }
 
 // SPV assigns each subquery of the set to a new stream process in cluster
@@ -379,16 +571,37 @@ func (e *Engine) SPV(subs []Subquery, c hw.ClusterName, seq *cndb.Sequence) ([]*
 }
 
 // SP is a stream process: a first-class handle to a continuous subquery
-// assigned to a compute node.
+// assigned to a compute node. Under supervision the node and running process
+// behind the handle may be swapped by a re-placement; the id is stable.
 type SP struct {
 	eng     *Engine
-	rp      *rp.RP
 	cluster hw.ClusterName
-	node    int
 	id      string
 
+	// sub, seq and recoverable record how the SP was built, so a supervisor
+	// can rebuild it elsewhere: the subquery re-compiles the plan, the
+	// allocation sequence yields the next allowable node (dead nodes are
+	// skipped by the CNDB), and only input-free source SPs are recoverable —
+	// an input-bearing SP cannot re-subscribe upstream data its failed
+	// incarnation already consumed.
+	sub         Subquery
+	seq         *cndb.Sequence
+	recoverable bool
+
 	mu      sync.Mutex
+	rp      *rp.RP
+	node    int
 	started bool
+	wirings []wiring
+}
+
+// wiring records one outgoing subscription of an SP — enough to re-dial it
+// from a replacement node into the same consumer inbox.
+type wiring struct {
+	cc       hw.ClusterName
+	cn       int
+	inbox    carrier.Inbox
+	consumer string
 }
 
 // ID returns the SP's unique identity.
@@ -397,11 +610,54 @@ func (s *SP) ID() string { return s.id }
 // Cluster returns the cluster the SP runs in.
 func (s *SP) Cluster() hw.ClusterName { return s.cluster }
 
-// Node returns the compute node the SP was assigned to.
-func (s *SP) Node() int { return s.node }
+// Node returns the compute node the SP is currently assigned to (a
+// supervised re-placement moves it).
+func (s *SP) Node() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.node
+}
 
 // Stats returns the SP's monitoring counters.
-func (s *SP) Stats() rp.Stats { return s.rp.Stats() }
+func (s *SP) Stats() rp.Stats { return s.proc().Stats() }
+
+func (s *SP) proc() *rp.RP {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rp
+}
+
+func (s *SP) addWiring(w wiring) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wirings = append(s.wirings, w)
+}
+
+func (s *SP) wiringsTo(cc hw.ClusterName, cn int) []wiring {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []wiring
+	for _, w := range s.wirings {
+		if w.cc == cc && w.cn == cn {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// WaitResolved waits for the SP's final outcome across re-placements: if the
+// process it was waiting on was replaced by the supervisor, it re-waits on
+// the replacement instead of reporting the superseded failure.
+func (s *SP) WaitResolved() error {
+	for {
+		w := s.proc()
+		err := w.Wait()
+		if cur := s.proc(); cur != w {
+			continue // superseded: a replacement took over
+		}
+		return err
+	}
+}
 
 // Start launches the stream process immediately instead of waiting for the
 // query's Drain. It is the second half of dynamic RP creation (paper §2.2:
@@ -473,78 +729,19 @@ func (e *Engine) connectAs(producers []*SP, cc hw.ClusterName, cn int, consumer 
 		return nil, err
 	}
 	for _, p := range producers {
-		prodNode, err := e.env.Node(p.cluster, p.node)
-		if err != nil {
+		w := wiring{cc: cc, cn: cn, inbox: inbox, consumer: consumer}
+		if err := e.wireProducer(p, p.proc(), p.Node(), w); err != nil {
 			return nil, err
 		}
-		var (
-			conn carrier.Conn
-			scfg rp.SenderConfig
-		)
-		if p.cluster == hw.BlueGene && cc == hw.BlueGene {
-			mconn, err := e.mpi.Dial(p.node, cn, e.buffering, inbox)
-			if err != nil {
-				return nil, err
-			}
-			conn = mconn
-			scfg = rp.SenderConfig{
-				BufBytes:       e.mpiBufBytes,
-				Mode:           e.buffering,
-				MarshalPerByte: e.env.Cost.BGMarshalByte,
-				CacheFactor:    e.env.Cost.CacheFactor,
-				CPU:            prodNode.CPU,
-			}
-		} else {
-			var (
-				tconn carrier.Conn
-				err   error
-			)
-			src := tcpcar.Endpoint{Cluster: p.cluster, Node: p.node}
-			dst := tcpcar.Endpoint{Cluster: cc, Node: cn}
-			switch {
-			case e.udp != nil && p.cluster == hw.BackEnd && cc == hw.BlueGene:
-				tconn, err = e.udp.Dial(src, dst, inbox)
-			case e.netTCP != nil:
-				tconn, err = e.netTCP.Dial(src, dst, inbox)
-			default:
-				tconn, err = e.tcp.Dial(src, dst, inbox)
-			}
-			if err != nil {
-				return nil, err
-			}
-			conn = tconn
-			scfg = rp.SenderConfig{
-				BufBytes:        1 << 20,
-				Mode:            carrier.DoubleBuffered, // the TCP stack buffers
-				FlushPerElement: true,
-				MarshalPerByte:  e.marshalRate(p.cluster),
-				CPU:             prodNode.CPU,
-			}
-		}
-		if err := p.rp.Subscribe(conn, scfg); err != nil {
-			return nil, err
-		}
-		kind := "tcp"
-		switch {
-		case p.cluster == hw.BlueGene && cc == hw.BlueGene:
-			kind = "mpi"
-		case e.udp != nil && p.cluster == hw.BackEnd && cc == hw.BlueGene:
-			kind = "udp"
-		}
-		e.recordEdge(Edge{
-			Producer:    p.id,
-			Consumer:    consumer,
-			FromCluster: p.cluster,
-			FromNode:    p.node,
-			ToCluster:   cc,
-			ToNode:      cn,
-			Carrier:     kind,
-		})
 	}
 	rcfg := rp.ReceiverConfig{
 		Producers:  len(producers),
 		MPIPerByte: e.env.Cost.BGMarshalByte,
 		CPU:        consNode.CPU,
+		// Engine-wired streams always dedup by offset: in fault-free runs
+		// offsets are contiguous and the tracking is inert; under
+		// supervision it is what makes a replacement's replay exactly-once.
+		TrackOffsets: true,
 	}
 	switch cc {
 	case hw.BlueGene:
@@ -557,6 +754,97 @@ func (e *Engine) connectAs(producers []*SP, cc hw.ClusterName, cn int, consumer 
 		rcfg.TCPPerByte = e.env.Cost.FECPUByte
 	}
 	return rp.NewReceiver(inbox, rcfg), nil
+}
+
+// wireProducer dials one stream from producer p (running as proc on node pn)
+// into the consumer inbox of w, subscribes proc, and records the wiring on p
+// so a supervisor can re-dial it from a replacement node. Dials ride the
+// engine's retry policy, absorbing bounded bursts of injected dial timeouts.
+func (e *Engine) wireProducer(p *SP, proc *rp.RP, pn int, w wiring) error {
+	prodNode, err := e.env.Node(p.cluster, pn)
+	if err != nil {
+		return err
+	}
+	var (
+		conn carrier.Conn
+		scfg rp.SenderConfig
+	)
+	if p.cluster == hw.BlueGene && w.cc == hw.BlueGene {
+		conn, err = carrier.DialRetry(e.retry, func() (carrier.Conn, error) {
+			c, derr := e.mpi.Dial(pn, w.cn, e.buffering, w.inbox)
+			if derr != nil {
+				return nil, derr
+			}
+			return c, nil
+		})
+		if err != nil {
+			return err
+		}
+		scfg = rp.SenderConfig{
+			BufBytes:       e.mpiBufBytes,
+			Mode:           e.buffering,
+			MarshalPerByte: e.env.Cost.BGMarshalByte,
+			CacheFactor:    e.env.Cost.CacheFactor,
+			CPU:            prodNode.CPU,
+		}
+	} else {
+		src := tcpcar.Endpoint{Cluster: p.cluster, Node: pn}
+		dst := tcpcar.Endpoint{Cluster: w.cc, Node: w.cn}
+		conn, err = carrier.DialRetry(e.retry, func() (carrier.Conn, error) {
+			switch {
+			case e.udp != nil && p.cluster == hw.BackEnd && w.cc == hw.BlueGene:
+				c, derr := e.udp.Dial(src, dst, w.inbox)
+				if derr != nil {
+					return nil, derr
+				}
+				return c, nil
+			case e.netTCP != nil:
+				c, derr := e.netTCP.Dial(src, dst, w.inbox)
+				if derr != nil {
+					return nil, derr
+				}
+				return c, nil
+			default:
+				c, derr := e.tcp.Dial(src, dst, w.inbox)
+				if derr != nil {
+					return nil, derr
+				}
+				return c, nil
+			}
+		})
+		if err != nil {
+			return err
+		}
+		scfg = rp.SenderConfig{
+			BufBytes:        1 << 20,
+			Mode:            carrier.DoubleBuffered, // the TCP stack buffers
+			FlushPerElement: true,
+			MarshalPerByte:  e.marshalRate(p.cluster),
+			CPU:             prodNode.CPU,
+		}
+	}
+	scfg.Retry = e.retry
+	if err := proc.Subscribe(conn, scfg); err != nil {
+		return err
+	}
+	kind := "tcp"
+	switch {
+	case p.cluster == hw.BlueGene && w.cc == hw.BlueGene:
+		kind = "mpi"
+	case e.udp != nil && p.cluster == hw.BackEnd && w.cc == hw.BlueGene:
+		kind = "udp"
+	}
+	e.recordEdge(Edge{
+		Producer:    p.id,
+		Consumer:    w.consumer,
+		FromCluster: p.cluster,
+		FromNode:    pn,
+		ToCluster:   w.cc,
+		ToNode:      w.cn,
+		Carrier:     kind,
+	})
+	p.addWiring(w)
+	return nil
 }
 
 // ConnectLive wires a new input stream from producer p to a consumer at

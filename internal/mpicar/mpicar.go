@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"scsq/internal/carrier"
+	"scsq/internal/chaos"
 	"scsq/internal/hw"
 	"scsq/internal/vtime"
 )
@@ -29,6 +30,7 @@ import (
 // experiment must share a Fabric.
 type Fabric struct {
 	env *hw.Env
+	inj *chaos.Injector
 
 	mu        sync.Mutex
 	producers map[int]int // dst node -> producers dialed this epoch
@@ -41,6 +43,11 @@ func NewFabric(env *hw.Env) *Fabric {
 
 // Env returns the underlying hardware environment.
 func (f *Fabric) Env() *hw.Env { return f.env }
+
+// SetInjector attaches a chaos injector consulted on every dial and send.
+// It must be called before the first Dial; a nil injector disables
+// injection.
+func (f *Fabric) SetInjector(inj *chaos.Injector) { f.inj = inj }
 
 // producerCount reports how many producers have dialed dst during the
 // current experiment epoch. The count is cumulative — it does not drop when
@@ -80,7 +87,12 @@ type Conn struct {
 	dstNode *hw.Node
 	fwdHops []*hw.Node // intermediate nodes of the dimension-ordered route
 
+	srcRef, dstRef chaos.NodeRef
+	abort          chan struct{}
+	abortOnce      sync.Once
+
 	mu     sync.Mutex
+	seq    uint64
 	closed bool
 }
 
@@ -95,6 +107,11 @@ func (f *Fabric) Dial(src, dst int, mode carrier.Buffering, inbox carrier.Inbox)
 	}
 	if src == dst {
 		return nil, fmt.Errorf("mpicar: src and dst are the same node %d (CNK runs one process per node)", src)
+	}
+	srcRef := chaos.NodeRef{Cluster: hw.BlueGene, Node: src}
+	dstRef := chaos.NodeRef{Cluster: hw.BlueGene, Node: dst}
+	if err := f.inj.Dial(srcRef, dstRef); err != nil {
+		return nil, fmt.Errorf("mpicar: %w", err)
 	}
 	route, err := f.env.Torus.Route(src, dst)
 	if err != nil {
@@ -127,6 +144,9 @@ func (f *Fabric) Dial(src, dst int, mode carrier.Buffering, inbox carrier.Inbox)
 		srcNode: srcNode,
 		dstNode: dstNode,
 		fwdHops: fwdHops,
+		srcRef:  srcRef,
+		dstRef:  dstRef,
+		abort:   make(chan struct{}),
 	}, nil
 }
 
@@ -136,9 +156,26 @@ func (f *Fabric) Dial(src, dst int, mode carrier.Buffering, inbox carrier.Inbox)
 func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 	c.mu.Lock()
 	closed := c.closed
+	seq := c.seq
+	c.seq++
 	c.mu.Unlock()
+	// Once Send is called the carrier owns the frame, success or failure:
+	// every error path recycles a pooled payload, so senders never touch it
+	// again (a retry re-pools a fresh copy).
 	if closed {
+		carrier.Recycle(&fr)
 		return 0, carrier.ErrClosed
+	}
+	select {
+	case <-c.abort:
+		carrier.Recycle(&fr)
+		return 0, fmt.Errorf("mpicar: %d->%d aborted: %w", c.src, c.dst, carrier.ErrClosed)
+	default:
+	}
+	v := c.fabric.inj.OnSend(c.srcRef, c.dstRef, seq, fr.Ready, len(fr.Payload), fr.Last)
+	if v.Err != nil {
+		carrier.Recycle(&fr)
+		return 0, fmt.Errorf("mpicar: %w", v.Err)
 	}
 
 	m := c.fabric.env.Cost
@@ -157,6 +194,15 @@ func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 		}
 	}
 	_, senderFree := c.srcNode.Coproc.Use(fr.Ready, sendSvc)
+	if v.Drop {
+		// The frame left the sender but never reaches a receiver driver;
+		// its pooled payload goes back to the pool here.
+		carrier.Recycle(&fr)
+		return senderFree, nil
+	}
+	if v.CorruptByte >= 0 {
+		fr.Payload[v.CorruptByte] ^= 0xff
+	}
 
 	// Intermediate co-processors forward the packets in order.
 	t := senderFree
@@ -173,9 +219,21 @@ func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 		recvSvc += scaleDur(m.CoprocSwitchCost, float64(p-1)/float64(p))
 	}
 	_, arrived := c.dstNode.Coproc.Use(t, recvSvc)
+	arrived = arrived.Add(v.Delay)
 
-	c.inbox <- carrier.Delivered{Frame: fr, At: arrived}
+	select {
+	case c.inbox <- carrier.Delivered{Frame: fr, At: arrived}:
+	case <-c.abort:
+		carrier.Recycle(&fr)
+		return senderFree, fmt.Errorf("mpicar: %d->%d aborted: %w", c.src, c.dst, carrier.ErrClosed)
+	}
 	return senderFree, nil
+}
+
+// Abort unblocks a Send stalled on flow control and fails subsequent
+// deliveries; the connection is torn without cooperation from the consumer.
+func (c *Conn) Abort() {
+	c.abortOnce.Do(func() { close(c.abort) })
 }
 
 // Close implements carrier.Conn.

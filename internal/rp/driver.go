@@ -1,6 +1,7 @@
 package rp
 
 import (
+	"errors"
 	"fmt"
 
 	"scsq/internal/carrier"
@@ -33,6 +34,10 @@ type SenderConfig struct {
 	FlushPerElement bool
 	// CPU is the sending node's CPU resource.
 	CPU *vtime.Resource
+	// Retry bounds how often a transient send failure (injected reset, dial
+	// timeout) is retried before it is reported. The zero value retries
+	// nothing.
+	Retry carrier.RetryPolicy
 }
 
 // senderDriver marshals outgoing elements into send buffers and ships them
@@ -123,13 +128,32 @@ func (d *senderDriver) finish() error {
 }
 
 func (d *senderDriver) flushFrame(n int, last bool) error {
-	// The payload is a pooled buffer: the receiver driver (or the carrier,
-	// for frames that never arrive) recycles it after materializing the
-	// bytes, so the steady-state flush path allocates nothing.
-	var payload []byte
-	if n > 0 {
-		payload = carrier.GetBuf(n)
-		copy(payload, d.pending[:n])
+	var free vtime.Time
+	// The carrier owns the frame once Send is called — error paths recycle a
+	// pooled payload — so each retry attempt pools a fresh copy of the bytes
+	// still sitting in pending. The frame's Offset is the cumulative payload
+	// bytes successfully flushed before it: a replacement RP replaying its
+	// deterministic stream re-produces the same offsets, which is what lets
+	// a receiver discard the already-ingested prefix exactly once.
+	err := d.cfg.Retry.Do(func() error {
+		var payload []byte
+		if n > 0 {
+			payload = carrier.GetBuf(n)
+			copy(payload, d.pending[:n])
+		}
+		var serr error
+		free, serr = d.conn.Send(carrier.Frame{
+			Source:  d.source,
+			Payload: payload,
+			Ready:   d.pendReady,
+			Offset:  uint64(d.bytesOut),
+			Last:    last,
+			Pooled:  payload != nil,
+		})
+		return serr
+	})
+	if err != nil {
+		return err
 	}
 	// Shift the unflushed tail to the front of pending instead of
 	// re-slicing: pending = pending[n:] would retain the flushed head of
@@ -138,20 +162,26 @@ func (d *senderDriver) flushFrame(n int, last bool) error {
 	rest := copy(d.pending, d.pending[n:])
 	d.pending = d.pending[:rest]
 
-	free, err := d.conn.Send(carrier.Frame{
-		Source:  d.source,
-		Payload: payload,
-		Ready:   d.pendReady,
-		Last:    last,
-		Pooled:  payload != nil,
-	})
-	if err != nil {
-		return err
-	}
 	d.hist[0], d.hist[1] = d.hist[1], free
 	d.framesOut++
 	d.bytesOut += int64(n)
 	return nil
+}
+
+// finishDown terminates the stream with a failure-propagation frame: the
+// subscriber's receiver surfaces it as ErrUpstreamDown instead of treating
+// the stream as cleanly complete. Down frames are final frames, so they ride
+// the reliable termination path rate faults exempt.
+func (d *senderDriver) finishDown(cause error) error {
+	_, err := d.conn.Send(carrier.Frame{
+		Source:  d.source,
+		Ready:   d.pendReady,
+		Offset:  uint64(d.bytesOut),
+		Last:    true,
+		Down:    true,
+		DownErr: cause.Error(),
+	})
+	return err
 }
 
 func (d *senderDriver) close() error { return d.conn.Close() }
@@ -179,7 +209,21 @@ type ReceiverConfig struct {
 	MergeSwitchCost vtime.Duration
 	// CPU is the receiving node's CPU resource.
 	CPU *vtime.Resource
+	// TrackOffsets enables replay deduplication: frames carry the cumulative
+	// payload offset of their stream, and a frame whose bytes were already
+	// ingested (a supervised replacement replaying its deterministic stream
+	// from offset zero) is discarded without charge; a partial overlap is
+	// trimmed to the unseen suffix. Offsets may jump forward (UDP loss).
+	// The engine enables this; hand-built tests that craft frames with zero
+	// offsets are unaffected by the default.
+	TrackOffsets bool
 }
+
+// ErrUpstreamDown reports that a producer terminated its stream with a
+// failure instead of a clean end: the failure travelled the stream as a
+// Down frame (or was injected by the supervisor on behalf of a crashed node
+// that could not send one).
+var ErrUpstreamDown = errors.New("rp: upstream producer down")
 
 // Receiver is the receiving half of a stream connection: it buffers
 // incoming frames, de-marshals (materializes) them into objects, and feeds
@@ -193,8 +237,11 @@ type Receiver struct {
 	// frames continue within one producer's byte stream even when frames
 	// from several producers interleave (merge). The buffers' backing
 	// arrays are reused across frames.
-	bufs  map[string][]byte
-	cpuAt vtime.Time
+	bufs map[string][]byte
+	// nextOff tracks, per producer, the stream offset one past the last
+	// ingested payload byte (TrackOffsets only).
+	nextOff map[string]uint64
+	cpuAt   vtime.Time
 	// queue is a ring buffer of decoded elements awaiting Next: qhead is
 	// the index of the oldest element, qlen the number queued. len(queue)
 	// is always a power of two so the wrap is a mask.
@@ -215,7 +262,12 @@ func NewReceiver(inbox carrier.Inbox, cfg ReceiverConfig) *Receiver {
 	if cfg.Producers < 1 {
 		cfg.Producers = 1
 	}
-	return &Receiver{cfg: cfg, inbox: inbox, bufs: make(map[string][]byte)}
+	return &Receiver{
+		cfg:     cfg,
+		inbox:   inbox,
+		bufs:    make(map[string][]byte),
+		nextOff: make(map[string]uint64),
+	}
 }
 
 // Open implements sqep.Operator.
@@ -268,19 +320,49 @@ func (r *Receiver) popQueue() sqep.Element {
 // ingest charges the de-marshal work for one frame and decodes any
 // completed objects.
 func (r *Receiver) ingest(fr carrier.Delivered) error {
+	if fr.Down {
+		carrier.Recycle(&fr.Frame)
+		return fmt.Errorf("rp: producer %q failed: %s: %w", fr.Source, fr.DownErr, ErrUpstreamDown)
+	}
+
+	payload := fr.Payload
+	if r.cfg.TrackOffsets && len(payload) > 0 {
+		next := r.nextOff[fr.Source]
+		end := fr.Offset + uint64(len(payload))
+		if end <= next {
+			// A full duplicate: a replacement replaying the stream from
+			// offset zero. No charge — the bytes were paid for when they
+			// first arrived. A replayed final frame still terminates.
+			carrier.Recycle(&fr.Frame)
+			if fr.Last {
+				r.countLast()
+			}
+			return nil
+		}
+		if fr.Offset < next {
+			// Partial overlap: ingest only the unseen suffix; the prefix
+			// continues the byte stream already sitting in the reassembly
+			// buffer.
+			payload = payload[next-fr.Offset:]
+		}
+		// Offsets may jump forward past a gap: UDP drops are real losses,
+		// not replays.
+		r.nextOff[fr.Source] = end
+	}
+
 	r.framesIn++
-	r.bytesIn += int64(len(fr.Payload))
+	r.bytesIn += int64(len(payload))
 
 	var svc vtime.Duration
 	if fr.ViaTCP {
-		svc = vtime.Duration(r.cfg.TCPPerByte * float64(len(fr.Payload)))
+		svc = vtime.Duration(r.cfg.TCPPerByte * float64(len(payload)))
 		if p := r.cfg.Producers; p > 1 && r.cfg.MergeSwitchCost > 0 {
 			svc += vtime.Duration(float64(r.cfg.MergeSwitchCost) * float64(p-1) / float64(p))
 		}
 	} else {
-		svc = vtime.Duration(r.cfg.MPIPerByte * float64(len(fr.Payload)))
-		if r.cfg.CacheFactor != nil && len(fr.Payload) > 0 {
-			svc = vtime.Duration(float64(svc) * r.cfg.CacheFactor(len(fr.Payload)))
+		svc = vtime.Duration(r.cfg.MPIPerByte * float64(len(payload)))
+		if r.cfg.CacheFactor != nil && len(payload) > 0 {
+			svc = vtime.Duration(float64(svc) * r.cfg.CacheFactor(len(payload)))
 		}
 	}
 	ready := vtime.MaxTime(fr.At, r.cpuAt)
@@ -292,15 +374,15 @@ func (r *Receiver) ingest(fr carrier.Delivered) error {
 	}
 	r.cpuAt = done
 
-	if len(fr.Payload) > 0 {
+	if len(payload) > 0 {
 		// Fast path: with no partial object pending from this producer,
 		// decode straight out of the frame payload and copy only the
 		// undecoded remainder (if any) into the reassembly buffer. Decode
 		// materializes every value, so the payload can be recycled below.
 		pend := r.bufs[fr.Source]
-		data := fr.Payload
+		data := payload
 		if len(pend) > 0 {
-			pend = append(pend, fr.Payload...)
+			pend = append(pend, payload...)
 			data = pend
 		}
 		off := 0
@@ -326,17 +408,22 @@ func (r *Receiver) ingest(fr carrier.Delivered) error {
 			r.bufs[fr.Source] = append(r.bufs[fr.Source][:0], rest...)
 		}
 	}
-	carrier.Recycle(fr.Frame)
+	carrier.Recycle(&fr.Frame)
 	if fr.Last {
 		if n := len(r.bufs[fr.Source]); n > 0 {
 			return fmt.Errorf("rp: stream from %q ended with %d undecoded bytes", fr.Source, n)
 		}
-		r.lastsSeen++
-		if r.lastsSeen >= r.cfg.Producers {
-			r.done = true
-		}
+		r.countLast()
 	}
 	return nil
+}
+
+// countLast records one producer's end of stream.
+func (r *Receiver) countLast() {
+	r.lastsSeen++
+	if r.lastsSeen >= r.cfg.Producers {
+		r.done = true
+	}
 }
 
 // Close implements sqep.Operator. It drains the inbox so blocked senders
@@ -349,7 +436,7 @@ func (r *Receiver) Close() error {
 	go func() {
 		for fr := range r.inbox {
 			// Discard: consumer stopped. Pooled payloads still go back.
-			carrier.Recycle(fr.Frame)
+			carrier.Recycle(&fr.Frame)
 		}
 	}()
 	return nil

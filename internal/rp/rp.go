@@ -47,9 +47,15 @@ type RP struct {
 	started bool
 	err     error
 	stats   Stats
+	onExit  func(error)
+	beat    func(id string, at vtime.Time)
+	beatAt  vtime.Duration
+	nextB   vtime.Time
 
-	pacer *vtime.PacerAgent
-	done  chan struct{}
+	pacer    *vtime.PacerAgent
+	done     chan struct{}
+	killed   chan struct{}
+	killOnce sync.Once
 }
 
 // New creates an RP with the given identity and execution context. The RP
@@ -63,6 +69,7 @@ func New(id string, cluster hw.ClusterName, node int, ctx sqep.Ctx, build BuildF
 		build:   build,
 		ctx:     ctx,
 		done:    make(chan struct{}),
+		killed:  make(chan struct{}),
 	}
 }
 
@@ -100,17 +107,77 @@ func (r *RP) Subscribe(conn carrier.Conn, cfg SenderConfig) error {
 	return nil
 }
 
+// SetOnExit registers a hook invoked exactly once, with the RP's final
+// error (nil on clean completion), after the run loop has terminated and its
+// pacer agent retired but before Wait unblocks — the window in which a
+// supervisor can swap in a replacement so waiters observe it. It must be
+// called before Start.
+func (r *RP) SetOnExit(fn func(err error)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onExit = fn
+}
+
+// SetBeat registers a liveness heartbeat: fn is invoked with the RP's id
+// whenever its virtual output time has advanced by at least every since the
+// previous beat (and once for the first element). It must be called before
+// Start.
+func (r *RP) SetBeat(fn func(id string, at vtime.Time), every vtime.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.beat = fn
+	r.beatAt = every
+}
+
 // Start launches the RP's interpreter goroutine. It is an error to start an
-// RP twice.
+// RP twice or to start an RP that has already been failed.
 func (r *RP) Start() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	select {
+	case <-r.killed:
+		return fmt.Errorf("rp %s: start after failure: %w", r.id, r.err)
+	default:
+	}
 	if r.started {
 		return fmt.Errorf("rp %s: already started", r.id)
 	}
 	r.started = true
 	go r.run()
 	return nil
+}
+
+// Fail kills the RP from outside: the given cause becomes its error (unless
+// one is already recorded), the run loop stops at its next element, and
+// every outgoing connection is aborted so a send blocked on flow control
+// unblocks. Failing an RP that was never started resolves Wait immediately.
+func (r *RP) Fail(cause error) {
+	r.setErr(cause)
+	r.killOnce.Do(func() {
+		r.mu.Lock()
+		subs := r.subs
+		started := r.started
+		close(r.killed)
+		r.mu.Unlock()
+		for _, s := range subs {
+			if a, ok := s.conn.(carrier.Aborter); ok {
+				a.Abort()
+			}
+		}
+		if !started {
+			close(r.done)
+		}
+	})
+}
+
+// Done reports whether the RP has terminated.
+func (r *RP) Done() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // Wait blocks until the RP has terminated and returns its execution error,
@@ -138,10 +205,22 @@ func (r *RP) setErr(err error) {
 }
 
 // run interprets the SQEP and pushes results to every subscriber. On any
-// failure it still terminates the outgoing streams so downstream RPs do not
-// hang; the error is reported through Wait.
+// failure it still terminates the outgoing streams — with Down frames, so
+// downstream RPs observe the failure instead of a clean end — and the error
+// is reported through Wait. The deferred order matters: the pacer agent
+// retires first (a replacement must not be gated on the dead agent's stale
+// progress), then the exit hook runs (the supervisor's replacement window),
+// and only then does done close, unblocking Wait.
 func (r *RP) run() {
 	defer close(r.done)
+	defer func() {
+		r.mu.Lock()
+		fn, err := r.onExit, r.err
+		r.mu.Unlock()
+		if fn != nil {
+			fn(err)
+		}
+	}()
 	defer r.pacer.Done()
 
 	plan, err := r.build(&r.ctx)
@@ -162,6 +241,12 @@ func (r *RP) run() {
 	}()
 
 	for {
+		select {
+		case <-r.killed:
+			r.terminateSubs()
+			return
+		default:
+		}
 		el, ok, err := plan.Next()
 		if err != nil {
 			r.setErr(err)
@@ -176,24 +261,47 @@ func (r *RP) run() {
 		r.stats.BytesOut += int64(sqep.ValueBytes(el.Value))
 		r.stats.LastOut = vtime.MaxTime(r.stats.LastOut, el.At)
 		subs := r.subs
+		beat, due := r.beat, r.beatAt > 0 && el.At >= r.nextB
+		if due {
+			r.nextB = el.At.Add(r.beatAt)
+		}
 		r.mu.Unlock()
+		if beat != nil && due {
+			beat(r.id, el.At)
+		}
+		pushFailed := false
 		for _, s := range subs {
 			if err := s.push(el); err != nil {
 				r.setErr(err)
+				pushFailed = true
 			}
+		}
+		if pushFailed {
+			// A subscriber stream is broken (node down, torn connection);
+			// draining the rest of the plan would only spin against it.
+			break
 		}
 	}
 	r.terminateSubs()
 }
 
-// terminateSubs flushes and closes every outgoing stream.
+// terminateSubs flushes and closes every outgoing stream. A failed RP
+// terminates them with Down frames instead: a clean Last frame would make
+// subscribers treat a truncated stream as complete.
 func (r *RP) terminateSubs() {
 	r.mu.Lock()
 	subs := r.subs
+	cause := r.err
 	r.mu.Unlock()
 	for _, s := range subs {
-		if err := s.finish(); err != nil {
+		if cause != nil {
+			_ = s.finishDown(cause) // best effort: a dead node cannot send
+		} else if err := s.finish(); err != nil {
 			r.setErr(err)
+			// The stream is torn mid-flight: downstream must not mistake it
+			// for a clean end. The Down frame may itself fail (dead node);
+			// the supervisor poisons on our behalf then.
+			_ = s.finishDown(err)
 		}
 		if err := s.close(); err != nil {
 			r.setErr(err)

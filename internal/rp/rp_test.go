@@ -346,10 +346,12 @@ func TestRPPlanErrorStillTerminatesStream(t *testing.T) {
 	if err := p.Wait(); !errors.Is(err, wantErr) {
 		t.Errorf("Wait = %v, want %v", err, wantErr)
 	}
-	// Downstream still sees a terminated stream, not a hang.
+	// Downstream still sees a terminated stream, not a hang — and the
+	// termination carries the failure (a Down frame), so a truncated stream
+	// is not mistaken for a complete one.
 	r := NewReceiver(inbox, ReceiverConfig{Producers: 1})
-	if _, ok, err := r.Next(); ok || err != nil {
-		t.Errorf("downstream should see clean end: ok=%v err=%v", ok, err)
+	if _, ok, err := r.Next(); ok || !errors.Is(err, ErrUpstreamDown) {
+		t.Errorf("downstream should observe the failure: ok=%v err=%v", ok, err)
 	}
 }
 

@@ -230,22 +230,29 @@ func (c *NetConn) Send(fr carrier.Frame) (vtime.Time, error) {
 	<-c.credits // flow control: at most a window's worth of frames in flight
 	senderFree, err := c.charge.Send(fr)
 	if err != nil {
-		return 0, err
+		return 0, err // the charging conn owns (and recycled) the payload
 	}
 	d := <-c.chargeInbox() // the charging conn delivered synchronously
 	if err := writeFrame(c.w, d); err != nil {
+		carrier.Recycle(&d.Frame)
 		return 0, fmt.Errorf("tcpcar: send: %w", err)
 	}
 	if err := c.w.Flush(); err != nil {
+		carrier.Recycle(&d.Frame)
 		return 0, fmt.Errorf("tcpcar: flush: %w", err)
 	}
 	// The payload bytes are on the wire; a pooled buffer goes back now —
 	// the read side re-materializes the frame into its own pooled buffer.
-	carrier.Recycle(d.Frame)
+	carrier.Recycle(&d.Frame)
 	return senderFree, nil
 }
 
 func (c *NetConn) chargeInbox() carrier.Inbox { return c.charge.inbox }
+
+// Abort tears the socket: a Send stalled on credits unblocks (the read side
+// closes the credit channel on the torn connection) and subsequent Sends
+// fail.
+func (c *NetConn) Abort() { _ = c.sock.Close() }
 
 // Close implements carrier.Conn.
 func (c *NetConn) Close() error {
@@ -261,14 +268,16 @@ func (c *NetConn) Close() error {
 
 // Frame wire protocol:
 //
-//	u32 sourceLen | source bytes | i64 readyNs | i64 arrivalNs |
-//	u8 flags (bit0 last, bit1 viaTCP) | u32 payloadLen | payload
+//	u32 sourceLen | source bytes | i64 readyNs | i64 arrivalNs | u64 offset |
+//	u8 flags (bit0 last, bit1 viaTCP, bit2 down) |
+//	[u32 downErrLen | downErr bytes, if bit2] | u32 payloadLen | payload
 func writeFrame(w io.Writer, d carrier.Delivered) error {
-	hdr := make([]byte, 0, 32)
+	hdr := make([]byte, 0, 48)
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(d.Source)))
 	hdr = append(hdr, d.Source...)
 	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(d.Ready))
 	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(d.At))
+	hdr = binary.LittleEndian.AppendUint64(hdr, d.Offset)
 	var flags byte
 	if d.Last {
 		flags |= 1
@@ -276,7 +285,14 @@ func writeFrame(w io.Writer, d carrier.Delivered) error {
 	if d.ViaTCP {
 		flags |= 2
 	}
+	if d.Down {
+		flags |= 4
+	}
 	hdr = append(hdr, flags)
+	if d.Down {
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(d.DownErr)))
+		hdr = append(hdr, d.DownErr...)
+	}
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(d.Payload)))
 	if _, err := w.Write(hdr); err != nil {
 		return err
@@ -308,12 +324,30 @@ func readFrame(r io.Reader) (carrier.Delivered, error) {
 	}
 	d.Ready = vtime.Time(ready)
 	d.At = vtime.Time(at)
+	if err := binary.Read(r, binary.LittleEndian, &d.Offset); err != nil {
+		return d, err
+	}
 	var flags byte
 	if err := binary.Read(r, binary.LittleEndian, &flags); err != nil {
 		return d, err
 	}
 	d.Last = flags&1 != 0
 	d.ViaTCP = flags&2 != 0
+	d.Down = flags&4 != 0
+	if d.Down {
+		var errLen uint32
+		if err := binary.Read(r, binary.LittleEndian, &errLen); err != nil {
+			return d, err
+		}
+		if errLen > 1<<16 {
+			return d, fmt.Errorf("tcpcar: implausible down-error length %d", errLen)
+		}
+		msg := make([]byte, errLen)
+		if _, err := io.ReadFull(r, msg); err != nil {
+			return d, err
+		}
+		d.DownErr = string(msg)
+	}
 	var payloadLen uint32
 	if err := binary.Read(r, binary.LittleEndian, &payloadLen); err != nil {
 		return d, err

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"scsq/internal/carrier"
+	"scsq/internal/chaos"
 	"scsq/internal/hw"
 	"scsq/internal/vtime"
 )
@@ -29,6 +30,7 @@ import (
 // Fabric charges TCP transfers against a hardware environment.
 type Fabric struct {
 	env    *hw.Env
+	inj    *chaos.Injector
 	nextID atomic.Int64
 }
 
@@ -39,6 +41,11 @@ func NewFabric(env *hw.Env) *Fabric {
 
 // Env returns the underlying hardware environment.
 func (f *Fabric) Env() *hw.Env { return f.env }
+
+// SetInjector attaches a chaos injector consulted on every dial and send.
+// It must be called before the first Dial; a nil injector disables
+// injection.
+func (f *Fabric) SetInjector(inj *chaos.Injector) { f.inj = inj }
 
 // Endpoint names one side of a TCP connection.
 type Endpoint struct {
@@ -61,7 +68,12 @@ type Conn struct {
 	dstNode *hw.Node
 	ion     *hw.IONode // I/O node of the BG side, nil for Linux↔Linux
 
+	srcRef, dstRef chaos.NodeRef
+	abort          chan struct{}
+	abortOnce      sync.Once
+
 	mu     sync.Mutex
+	seq    uint64
 	closed bool
 }
 
@@ -77,6 +89,11 @@ func (f *Fabric) Dial(src, dst Endpoint, inbox carrier.Inbox) (*Conn, error) {
 	if src.Cluster == hw.BlueGene && dst.Cluster == hw.BlueGene {
 		return nil, fmt.Errorf("tcpcar: MPI is the only allowed protocol inside the BlueGene (use mpicar)")
 	}
+	srcRef := chaos.NodeRef{Cluster: src.Cluster, Node: src.Node}
+	dstRef := chaos.NodeRef{Cluster: dst.Cluster, Node: dst.Node}
+	if err := f.inj.Dial(srcRef, dstRef); err != nil {
+		return nil, fmt.Errorf("tcpcar: %w", err)
+	}
 	srcNode, err := f.env.Node(src.Cluster, src.Node)
 	if err != nil {
 		return nil, fmt.Errorf("tcpcar: %w", err)
@@ -85,7 +102,12 @@ func (f *Fabric) Dial(src, dst Endpoint, inbox carrier.Inbox) (*Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcpcar: %w", err)
 	}
-	c := &Conn{fabric: f, src: src, dst: dst, inbox: inbox, srcNode: srcNode, dstNode: dstNode}
+	c := &Conn{
+		fabric: f, src: src, dst: dst, inbox: inbox,
+		srcNode: srcNode, dstNode: dstNode,
+		srcRef: srcRef, dstRef: dstRef,
+		abort: make(chan struct{}),
+	}
 	if dst.Cluster == hw.BlueGene {
 		ion, err := f.env.IONodeFor(dst.Node)
 		if err != nil {
@@ -113,23 +135,55 @@ func (f *Fabric) Dial(src, dst Endpoint, inbox carrier.Inbox) (*Conn, error) {
 func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 	c.mu.Lock()
 	closed := c.closed
+	seq := c.seq
+	c.seq++
 	c.mu.Unlock()
+	// Once Send is called the carrier owns the frame, success or failure:
+	// every error path recycles a pooled payload, so senders never touch it
+	// again (a retry re-pools a fresh copy).
 	if closed {
+		carrier.Recycle(&fr)
 		return 0, carrier.ErrClosed
+	}
+	select {
+	case <-c.abort:
+		carrier.Recycle(&fr)
+		return 0, fmt.Errorf("tcpcar: %s->%s aborted: %w", c.src, c.dst, carrier.ErrClosed)
+	default:
+	}
+	v := c.fabric.inj.OnSend(c.srcRef, c.dstRef, seq, fr.Ready, len(fr.Payload), fr.Last)
+	if v.Err != nil {
+		carrier.Recycle(&fr)
+		return 0, fmt.Errorf("tcpcar: %w", v.Err)
+	}
+	if v.CorruptByte >= 0 {
+		fr.Payload[v.CorruptByte] ^= 0xff
 	}
 
 	switch {
 	case c.dst.Cluster == hw.BlueGene:
-		return c.sendIntoBG(fr)
+		return c.sendIntoBG(fr, v)
 	case c.src.Cluster == hw.BlueGene:
-		return c.sendOutOfBG(fr)
+		return c.sendOutOfBG(fr, v)
 	default:
-		return c.sendLinuxToLinux(fr)
+		return c.sendLinuxToLinux(fr, v)
+	}
+}
+
+// deliver hands the frame to the receiving inbox, unless the connection is
+// aborted (a torn stream must not wedge its producer on flow control).
+func (c *Conn) deliver(d carrier.Delivered) error {
+	select {
+	case c.inbox <- d:
+		return nil
+	case <-c.abort:
+		carrier.Recycle(&d.Frame)
+		return fmt.Errorf("tcpcar: %s->%s aborted: %w", c.src, c.dst, carrier.ErrClosed)
 	}
 }
 
 // sendIntoBG charges be/fe NIC → I/O forwarder → tree.
-func (c *Conn) sendIntoBG(fr carrier.Frame) (vtime.Time, error) {
+func (c *Conn) sendIntoBG(fr carrier.Frame, v chaos.Verdict) (vtime.Time, error) {
 	env := c.fabric.env
 	m := env.Cost
 	s := len(fr.Payload)
@@ -139,6 +193,10 @@ func (c *Conn) sendIntoBG(fr carrier.Frame) (vtime.Time, error) {
 		nicSvc = m.BeMsgCost + byteDur(m.FENICByte, s)
 	}
 	_, senderFree := c.srcNode.NIC.Use(fr.Ready, nicSvc)
+	if v.Drop {
+		carrier.Recycle(&fr)
+		return senderFree, nil
+	}
 
 	fwdSvc := byteDur(m.IOByte, s)
 	// Connection-switching penalty when the I/O node forwards several
@@ -155,18 +213,24 @@ func (c *Conn) sendIntoBG(fr carrier.Frame) (vtime.Time, error) {
 	_, t := c.ion.Forwarder.Use(senderFree, fwdSvc)
 	_, arrived := c.ion.Tree.Use(t, byteDur(m.TreeByte, s))
 
-	c.inbox <- carrier.Delivered{Frame: fr, At: arrived, ViaTCP: true}
+	if err := c.deliver(carrier.Delivered{Frame: fr, At: arrived.Add(v.Delay), ViaTCP: true}); err != nil {
+		return senderFree, err
+	}
 	return senderFree, nil
 }
 
 // sendOutOfBG charges tree → I/O forwarder → destination NIC.
-func (c *Conn) sendOutOfBG(fr carrier.Frame) (vtime.Time, error) {
+func (c *Conn) sendOutOfBG(fr carrier.Frame, v chaos.Verdict) (vtime.Time, error) {
 	env := c.fabric.env
 	m := env.Cost
 	s := len(fr.Payload)
 
 	_, t := c.ion.Tree.Use(fr.Ready, byteDur(m.TreeByte, s))
 	senderFree := t
+	if v.Drop {
+		carrier.Recycle(&fr)
+		return senderFree, nil
+	}
 	_, t = c.ion.Forwarder.Use(t, byteDur(m.IOByte, s))
 
 	perByte := m.FENICByte
@@ -175,13 +239,15 @@ func (c *Conn) sendOutOfBG(fr carrier.Frame) (vtime.Time, error) {
 	}
 	_, arrived := c.dstNode.NIC.Use(t, m.BeMsgCost+byteDur(perByte, s))
 
-	c.inbox <- carrier.Delivered{Frame: fr, At: arrived, ViaTCP: true}
+	if err := c.deliver(carrier.Delivered{Frame: fr, At: arrived.Add(v.Delay), ViaTCP: true}); err != nil {
+		return senderFree, err
+	}
 	return senderFree, nil
 }
 
 // sendLinuxToLinux charges the two NICs (same path within one cluster: the
 // switch fabric itself is not a bottleneck).
-func (c *Conn) sendLinuxToLinux(fr carrier.Frame) (vtime.Time, error) {
+func (c *Conn) sendLinuxToLinux(fr carrier.Frame, v chaos.Verdict) (vtime.Time, error) {
 	env := c.fabric.env
 	m := env.Cost
 	s := len(fr.Payload)
@@ -195,10 +261,22 @@ func (c *Conn) sendLinuxToLinux(fr carrier.Frame) (vtime.Time, error) {
 		perByteDst = m.BeNICByte
 	}
 	_, senderFree := c.srcNode.NIC.Use(fr.Ready, m.BeMsgCost+byteDur(perByteSrc, s))
+	if v.Drop {
+		carrier.Recycle(&fr)
+		return senderFree, nil
+	}
 	_, arrived := c.dstNode.NIC.Use(senderFree, byteDur(perByteDst, s))
 
-	c.inbox <- carrier.Delivered{Frame: fr, At: arrived, ViaTCP: true}
+	if err := c.deliver(carrier.Delivered{Frame: fr, At: arrived.Add(v.Delay), ViaTCP: true}); err != nil {
+		return senderFree, err
+	}
 	return senderFree, nil
+}
+
+// Abort unblocks a Send stalled on flow control and fails subsequent
+// deliveries; the connection is torn without cooperation from the consumer.
+func (c *Conn) Abort() {
+	c.abortOnce.Do(func() { close(c.abort) })
 }
 
 // Close implements carrier.Conn. The inbound-stream registration is kept

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"scsq/internal/carrier"
+	"scsq/internal/chaos"
 	"scsq/internal/hw"
 	"scsq/internal/tcpcar"
 	"scsq/internal/vtime"
@@ -29,6 +30,7 @@ import (
 // Fabric charges UDP transfers against a hardware environment.
 type Fabric struct {
 	env      *hw.Env
+	inj      *chaos.Injector
 	lossRate float64
 	nextID   atomic.Int64
 }
@@ -45,6 +47,11 @@ func NewFabric(env *hw.Env, lossRate float64) (*Fabric, error) {
 // Env returns the underlying hardware environment.
 func (f *Fabric) Env() *hw.Env { return f.env }
 
+// SetInjector attaches a chaos injector consulted on every dial and send.
+// It must be called before the first Dial; a nil injector disables
+// injection.
+func (f *Fabric) SetInjector(inj *chaos.Injector) { f.inj = inj }
+
 // Conn is a UDP stream connection from a back-end node into the BlueGene.
 type Conn struct {
 	fabric   *Fabric
@@ -55,6 +62,10 @@ type Conn struct {
 	// Resolved once at Dial; the per-datagram path charges them directly.
 	srcNode *hw.Node
 	ion     *hw.IONode
+
+	srcRef, dstRef chaos.NodeRef
+	abort          chan struct{}
+	abortOnce      sync.Once
 
 	mu      sync.Mutex
 	seq     uint64
@@ -71,6 +82,11 @@ func (f *Fabric) Dial(src, dst tcpcar.Endpoint, inbox carrier.Inbox) (*Conn, err
 	if src.Cluster != hw.BackEnd || dst.Cluster != hw.BlueGene {
 		return nil, fmt.Errorf("udpcar: only back-end → BlueGene streams use UDP, got %s -> %s", src, dst)
 	}
+	srcRef := chaos.NodeRef{Cluster: src.Cluster, Node: src.Node}
+	dstRef := chaos.NodeRef{Cluster: dst.Cluster, Node: dst.Node}
+	if err := f.inj.Dial(srcRef, dstRef); err != nil {
+		return nil, fmt.Errorf("udpcar: %w", err)
+	}
 	srcNode, err := f.env.Node(src.Cluster, src.Node)
 	if err != nil {
 		return nil, fmt.Errorf("udpcar: %w", err)
@@ -81,7 +97,12 @@ func (f *Fabric) Dial(src, dst tcpcar.Endpoint, inbox carrier.Inbox) (*Conn, err
 	}
 	id := f.nextID.Add(1)
 	f.env.RegisterInbound(fmt.Sprintf("udp-%d-%s-%s", id, src, dst), src.Node, ion.ID)
-	return &Conn{fabric: f, id: id, src: src, dst: dst, inbox: inbox, srcNode: srcNode, ion: ion}, nil
+	return &Conn{
+		fabric: f, id: id, src: src, dst: dst, inbox: inbox,
+		srcNode: srcNode, ion: ion,
+		srcRef: srcRef, dstRef: dstRef,
+		abort: make(chan struct{}),
+	}, nil
 }
 
 // Send implements carrier.Conn. Dropped frames consume sender-side costs
@@ -90,12 +111,31 @@ func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		carrier.Recycle(&fr)
 		return 0, carrier.ErrClosed
 	}
 	seq := c.seq
 	c.seq++
 	c.sent++
 	c.mu.Unlock()
+
+	// Once Send is called the carrier owns the frame, success or failure:
+	// every error path recycles a pooled payload, so senders never touch it
+	// again (a retry re-pools a fresh copy).
+	select {
+	case <-c.abort:
+		carrier.Recycle(&fr)
+		return 0, fmt.Errorf("udpcar: %s->%s aborted: %w", c.src, c.dst, carrier.ErrClosed)
+	default:
+	}
+	v := c.fabric.inj.OnSend(c.srcRef, c.dstRef, seq, fr.Ready, len(fr.Payload), fr.Last)
+	if v.Err != nil {
+		carrier.Recycle(&fr)
+		return 0, fmt.Errorf("udpcar: %w", v.Err)
+	}
+	if v.CorruptByte >= 0 {
+		fr.Payload[v.CorruptByte] ^= 0xff
+	}
 
 	env := c.fabric.env
 	m := env.Cost
@@ -105,13 +145,13 @@ func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 	nicSvc := m.BeMsgCost + vtime.Duration(m.BeNICByte*float64(s))
 	_, senderFree := c.srcNode.NIC.Use(fr.Ready, nicSvc)
 
-	if !fr.Last && c.fabric.drop(c.id, seq) {
+	if !fr.Last && (v.Drop || c.fabric.drop(c.id, seq)) {
 		c.mu.Lock()
 		c.dropped++
 		c.mu.Unlock()
 		// The frame never reaches a receiver driver, so its pooled payload
 		// must be recycled here.
-		carrier.Recycle(fr)
+		carrier.Recycle(&fr)
 		return senderFree, nil
 	}
 
@@ -125,8 +165,19 @@ func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 	_, t := c.ion.Forwarder.Use(senderFree, fwdSvc)
 	_, arrived := c.ion.Tree.Use(t, vtime.Duration(m.TreeByte*float64(s)))
 
-	c.inbox <- carrier.Delivered{Frame: fr, At: arrived, ViaTCP: true}
+	select {
+	case c.inbox <- carrier.Delivered{Frame: fr, At: arrived.Add(v.Delay), ViaTCP: true}:
+	case <-c.abort:
+		carrier.Recycle(&fr)
+		return senderFree, fmt.Errorf("udpcar: %s->%s aborted: %w", c.src, c.dst, carrier.ErrClosed)
+	}
 	return senderFree, nil
+}
+
+// Abort unblocks a Send stalled on flow control and fails subsequent
+// deliveries; the connection is torn without cooperation from the consumer.
+func (c *Conn) Abort() {
+	c.abortOnce.Do(func() { close(c.abort) })
 }
 
 // Close implements carrier.Conn.
