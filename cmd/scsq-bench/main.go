@@ -12,6 +12,8 @@
 //	scsq-bench -fig all -csv          # everything, machine readable
 //	scsq-bench -fig 15 -paper-scale   # the paper's 100 × 3 MB arrays
 //	scsq-bench -perf                  # data-plane microbenchmarks → BENCH_dataplane.json
+//	scsq-bench -metrics m.json        # instrumented run → metrics snapshot JSON
+//	scsq-bench -trace t.json          # instrumented run → Perfetto trace JSON
 //
 // By default a scaled workload is used that preserves the paper's curve
 // shapes while running in seconds; -paper-scale switches to the original
@@ -19,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,10 +44,15 @@ func run() error {
 		repeats    = flag.Int("repeats", 5, "measurement repetitions per point")
 		perf       = flag.Bool("perf", false, "run the data-plane microbenchmarks instead of the figures")
 		perfOut    = flag.String("perf-out", "BENCH_dataplane.json", "file the -perf report is written to")
+		metricsOut = flag.String("metrics", "", "run one instrumented Figure 6 point and write the metrics snapshot JSON to this file")
+		traceOut   = flag.String("trace", "", "run one instrumented Figure 6 point and write the Perfetto trace JSON to this file")
 	)
 	flag.Parse()
 
 	out := os.Stdout
+	if *metricsOut != "" || *traceOut != "" {
+		return runTelemetry(out, *metricsOut, *traceOut, *paperScale)
+	}
 	if *perf {
 		report, err := bench.RunPerf()
 		if err != nil {
@@ -155,6 +163,52 @@ func run() error {
 			return err
 		}
 		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// runTelemetry executes one instrumented Figure 6 point (64 KiB,
+// double-buffered) and writes the metrics snapshot and/or frame trace.
+func runTelemetry(out *os.File, metricsOut, traceOut string, paperScale bool) error {
+	cfg := bench.DefaultTelemetry()
+	if paperScale {
+		cfg.ArrayBytes, cfg.ArrayCount = bench.PaperArrayBytes, bench.PaperArrayCount
+	}
+	report, err := bench.RunTelemetry(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "telemetry: buf=%d payload=%d bytes makespan=%v bandwidth=%.1f Mbps\n",
+		report.BufBytes, report.PayloadBytes, report.Makespan.Sub(0).Std(), report.Mbps)
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report.Snapshot); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", metricsOut)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", traceOut)
 	}
 	return nil
 }

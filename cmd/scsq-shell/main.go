@@ -8,6 +8,12 @@
 //
 // Each query prints its result elements, the virtual makespan, and — with
 // -payload — the measured streaming bandwidth.
+//
+// Backslash meta commands inspect the engine between statements:
+// "\stats [prefix]" prints the telemetry registry (counters, gauges and
+// virtual-time histograms), optionally filtered by name prefix. The
+// registry accumulates across statements, so \stats after a query reports
+// that query's totals.
 package main
 
 import (
@@ -16,7 +22,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"scsq"
 )
@@ -100,6 +108,14 @@ func (s *shell) repl(r io.Reader) error {
 	prompt := func() { fmt.Fprint(s.out, "scsql> ") }
 	prompt()
 	for scanner.Scan() {
+		if line := strings.TrimSpace(scanner.Text()); strings.HasPrefix(line, `\`) &&
+			strings.TrimSpace(pending.String()) == "" {
+			if err := s.meta(line); err != nil {
+				fmt.Fprintln(s.out, "error:", err)
+			}
+			prompt()
+			continue
+		}
 		pending.WriteString(scanner.Text())
 		pending.WriteByte('\n')
 		if strings.Contains(scanner.Text(), ";") {
@@ -121,6 +137,9 @@ func (s *shell) execute(stmt string) error {
 	stmt = strings.TrimSpace(stmt)
 	if stmt == "" {
 		return nil
+	}
+	if strings.HasPrefix(stmt, `\`) {
+		return s.meta(stmt)
 	}
 	res, err := s.eng.Exec(stmt + ";")
 	if err != nil {
@@ -156,6 +175,68 @@ func (s *shell) execute(stmt string) error {
 	}
 	s.eng.Reset()
 	return nil
+}
+
+// meta executes a backslash shell command.
+func (s *shell) meta(cmd string) error {
+	fields := strings.Fields(strings.TrimPrefix(cmd, `\`))
+	if len(fields) == 0 {
+		return fmt.Errorf(`empty meta command (try \stats)`)
+	}
+	switch fields[0] {
+	case "stats":
+		prefix := ""
+		if len(fields) > 1 {
+			prefix = fields[1]
+		}
+		s.printStats(prefix)
+		return nil
+	default:
+		return fmt.Errorf(`unknown meta command \%s (try \stats)`, fields[0])
+	}
+}
+
+// printStats dumps the telemetry registry, sorted by metric name.
+func (s *shell) printStats(prefix string) {
+	snap := s.eng.MetricsSnapshot()
+	shown := 0
+	for _, name := range sortedKeys(snap.Counters) {
+		if strings.HasPrefix(name, prefix) {
+			fmt.Fprintf(s.out, "counter    %-44s %d\n", name, snap.Counters[name])
+			shown++
+		}
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		if strings.HasPrefix(name, prefix) {
+			fmt.Fprintf(s.out, "gauge      %-44s %d\n", name, snap.Gauges[name])
+			shown++
+		}
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		if strings.HasPrefix(name, prefix) {
+			h := snap.Histograms[name]
+			fmt.Fprintf(s.out, "histogram  %-44s count=%d mean=%v min=%v max=%v\n",
+				name, h.Count,
+				time.Duration(h.MeanNs()), time.Duration(h.MinNs), time.Duration(h.MaxNs))
+			shown++
+		}
+	}
+	if shown == 0 {
+		fmt.Fprintf(s.out, "-- no metrics recorded")
+		if prefix != "" {
+			fmt.Fprintf(s.out, " with prefix %q", prefix)
+		}
+		fmt.Fprintln(s.out)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func formatValue(v any) string {

@@ -91,3 +91,49 @@ func TestFormatValue(t *testing.T) {
 		t.Errorf("short arrays print in full, got %q", got)
 	}
 }
+
+func TestShellStatsMeta(t *testing.T) {
+	eng, err := scsq.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var sb strings.Builder
+	sh := &shell{eng: eng, out: &sb}
+
+	// \stats on a fresh engine: nothing recorded yet.
+	if err := sh.execute(`\stats link.`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no metrics recorded") {
+		t.Fatalf("fresh \\stats output:\n%s", sb.String())
+	}
+	sb.Reset()
+
+	// The registry accumulates across the per-statement Reset, so stats
+	// issued after a query report that query's counters.
+	err = sh.runSource(`
+select extract(a) from sp a where a=sp(iota(1,3), 'be');
+\stats link.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"counter", "link.bytes.tcp:", "histogram", "link.deliver_vt.tcp"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("\\stats output missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+
+	// The prefix filter narrows the dump; unknown meta commands fail.
+	if err := sh.execute(`\stats chaos.nothing-here`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no metrics recorded") {
+		t.Fatalf("filtered \\stats output:\n%s", sb.String())
+	}
+	if err := sh.execute(`\bogus`); err == nil {
+		t.Fatal("unknown meta command did not fail")
+	}
+}

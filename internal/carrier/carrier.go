@@ -67,6 +67,28 @@ type Frame struct {
 	Down bool
 	// DownErr carries the failure description of a Down frame.
 	DownErr string
+	// TraceID tags the frame for frame-level tracing; zero means untraced.
+	// The sender driver assigns it deterministically (a hash of the stream
+	// identity and the frame sequence number, not a global counter, so
+	// goroutine scheduling never shows through) and it rides the frame
+	// across every SP-graph hop, correlating the spans of one frame's
+	// journey in the emitted trace.
+	TraceID uint64
+	// Hops records the named virtual-time waypoints a traced frame passed —
+	// co-processors, forwarder nodes, NICs. Carriers append to it only when
+	// TraceID is non-zero; the receiver driver emits the hops as trace
+	// instants. Hops[0] is planted by the sender driver and names the link,
+	// so receiver-side trace events land in the same Perfetto lane as the
+	// sender's without widening every carrier API.
+	Hops []Hop
+}
+
+// Hop is one named waypoint on a traced frame's journey.
+type Hop struct {
+	// Name identifies the hardware stage (e.g. "coproc bg:3", "iofwd io:0").
+	Name string
+	// At is the virtual instant the frame cleared the stage.
+	At vtime.Time
 }
 
 // Delivered is a frame annotated with its virtual arrival time at the

@@ -26,6 +26,7 @@ import (
 
 	"scsq/internal/carrier"
 	"scsq/internal/hw"
+	"scsq/internal/metrics"
 	"scsq/internal/vtime"
 )
 
@@ -74,6 +75,18 @@ type Injector struct {
 	sends           map[NodeRef]int
 	dialAttempts    map[string]int
 	listeners       []func(NodeRef)
+
+	// Per-fault-kind injection counters ("chaos.<kind>"): faults used to be
+	// injected silently, which made chaos-test failures hard to diagnose.
+	// Handles are nil-safe no-ops until SetMetrics installs a registry.
+	cDialDead    *metrics.Counter
+	cDialTimeout *metrics.Counter
+	cSendDead    *metrics.Counter
+	cCrash       *metrics.Counter
+	cReset       *metrics.Counter
+	cDrop        *metrics.Counter
+	cCorrupt     *metrics.Counter
+	cDelay       *metrics.Counter
 }
 
 // Option configures an Injector.
@@ -149,6 +162,25 @@ func New(seed int64, opts ...Option) *Injector {
 	return i
 }
 
+// SetMetrics exports every injected fault as a "chaos.<kind>" counter in
+// reg. It must be called before the injector sees traffic (the engine wires
+// it at construction).
+func (i *Injector) SetMetrics(reg *metrics.Registry) {
+	if i == nil || reg == nil {
+		return
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.cDialDead = reg.Counter("chaos.dial_dead")
+	i.cDialTimeout = reg.Counter("chaos.dial_timeout")
+	i.cSendDead = reg.Counter("chaos.send_dead")
+	i.cCrash = reg.Counter("chaos.crash")
+	i.cReset = reg.Counter("chaos.reset")
+	i.cDrop = reg.Counter("chaos.drop")
+	i.cCorrupt = reg.Counter("chaos.corrupt")
+	i.cDelay = reg.Counter("chaos.delay")
+}
+
 // OnCrash registers a listener invoked (once per node, outside the
 // injector's lock) when a node transitions to dead — whether by schedule or
 // by KillNode.
@@ -172,6 +204,7 @@ func (i *Injector) KillNode(cluster hw.ClusterName, node int) {
 	already := i.dead[ref]
 	if !already {
 		i.dead[ref] = true
+		i.cCrash.Inc()
 	}
 	listeners := i.snapshotListenersLocked()
 	i.mu.Unlock()
@@ -216,18 +249,22 @@ func (i *Injector) Dial(src, dst NodeRef) error {
 	}
 	i.mu.Lock()
 	if i.dead[src] || i.dead[dst] {
+		i.cDialDead.Inc()
 		i.mu.Unlock()
 		return fmt.Errorf("chaos: dial %s->%s: %w", src, dst, carrier.ErrNodeDown)
 	}
 	key := src.String() + ">" + dst.String()
 	attempt := i.dialAttempts[key]
 	i.dialAttempts[key]++
+	cDialTimeout := i.cDialTimeout
 	i.mu.Unlock()
 
 	if attempt < i.dialFailFirst {
+		cDialTimeout.Inc()
 		return fmt.Errorf("chaos: injected dial failure %d for %s->%s: %w", attempt+1, src, dst, carrier.ErrDialTimeout)
 	}
 	if i.dialFailRate > 0 && i.chance(saltDial, key, uint64(attempt)) < i.dialFailRate {
+		cDialTimeout.Inc()
 		return fmt.Errorf("chaos: injected dial failure for %s->%s: %w", src, dst, carrier.ErrDialTimeout)
 	}
 	return nil
@@ -269,8 +306,10 @@ func (i *Injector) OnSend(src, dst NodeRef, seq uint64, ready vtime.Time, payloa
 			crashed = append(crashed, ref)
 		}
 	}
+	i.cCrash.Add(int64(len(crashed)))
 	deadSrc, deadDst := i.dead[src], i.dead[dst]
 	listeners := i.snapshotListenersLocked()
+	cSendDead, cReset, cDrop, cCorrupt, cDelay := i.cSendDead, i.cReset, i.cDrop, i.cCorrupt, i.cDelay
 	i.mu.Unlock()
 
 	for _, ref := range crashed {
@@ -283,6 +322,7 @@ func (i *Injector) OnSend(src, dst NodeRef, seq uint64, ready vtime.Time, payloa
 		if !deadSrc {
 			ref = dst
 		}
+		cSendDead.Inc()
 		v.Err = fmt.Errorf("chaos: send %s->%s seq %d: node %s crashed: %w", src, dst, seq, ref, carrier.ErrNodeDown)
 		return v
 	}
@@ -292,17 +332,21 @@ func (i *Injector) OnSend(src, dst NodeRef, seq uint64, ready vtime.Time, payloa
 
 	key := src.String() + ">" + dst.String()
 	if i.resetRate > 0 && i.chance(saltReset, key, seq) < i.resetRate {
+		cReset.Inc()
 		v.Err = fmt.Errorf("chaos: injected reset on %s->%s seq %d: %w", src, dst, seq, carrier.ErrPeerReset)
 		return v
 	}
 	if i.dropRate > 0 && i.chance(saltDrop, key, seq) < i.dropRate {
+		cDrop.Inc()
 		v.Drop = true
 		return v
 	}
 	if i.corruptRate > 0 && payloadLen > 0 && i.chance(saltCorrupt, key, seq) < i.corruptRate {
+		cCorrupt.Inc()
 		v.CorruptByte = int(i.hash(saltCorruptIdx, key, seq) % uint64(payloadLen))
 	}
 	if i.delayRate > 0 && i.maxDelay > 0 && i.chance(saltDelay, key, seq) < i.delayRate {
+		cDelay.Inc()
 		v.Delay = vtime.Duration(i.hash(saltDelayLen, key, seq) % uint64(i.maxDelay))
 	}
 	return v

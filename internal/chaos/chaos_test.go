@@ -6,6 +6,7 @@ import (
 
 	"scsq/internal/carrier"
 	"scsq/internal/hw"
+	"scsq/internal/metrics"
 	"scsq/internal/vtime"
 )
 
@@ -188,5 +189,78 @@ func TestCorruptByteInRange(t *testing.T) {
 	}
 	if !fired {
 		t.Fatal("corruption never fired at 50%")
+	}
+}
+
+// TestFaultCountersExported checks the per-fault-kind registry export: each
+// injected fault kind increments its chaos.* counter, nil-safely.
+func TestFaultCountersExported(t *testing.T) {
+	var nilInj *Injector
+	nilInj.SetMetrics(metrics.NewRegistry()) // must not panic
+
+	reg := metrics.NewRegistry()
+	inj := New(7, ResetRate(0.2), DropRate(0.2), CorruptRate(0.2), DelayRate(0.2, vtime.Millisecond))
+	inj.SetMetrics(reg)
+
+	var resets, drops, corrupts, delays int64
+	for seq := uint64(0); seq < 500; seq++ {
+		v := inj.OnSend(ref(1), ref(2), seq, 0, 64, false)
+		if v.Err != nil {
+			resets++
+		}
+		if v.Drop {
+			drops++
+		}
+		if v.CorruptByte >= 0 {
+			corrupts++
+		}
+		if v.Delay > 0 {
+			delays++
+		}
+	}
+	inj.KillNode(hw.BlueGene, 3)
+	inj.KillNode(hw.BlueGene, 3) // re-kill must not double count
+	if err := inj.Dial(ref(0), ref(3)); err == nil {
+		t.Fatal("dial to dead node succeeded")
+	}
+	if v := inj.OnSend(ref(0), ref(3), 0, 0, 64, false); v.Err == nil {
+		t.Fatal("send to dead node succeeded")
+	}
+
+	snap := reg.Snapshot()
+	want := map[string]int64{
+		"chaos.reset":     resets,
+		"chaos.drop":      drops,
+		"chaos.corrupt":   corrupts,
+		"chaos.delay":     delays,
+		"chaos.crash":     1,
+		"chaos.dial_dead": 1,
+		"chaos.send_dead": 1,
+	}
+	for name, v := range want {
+		if got := snap.Counters[name]; got != v {
+			t.Fatalf("%s = %d, want %d (snapshot %v)", name, got, v, snap.Counters)
+		}
+	}
+	if resets == 0 || drops == 0 || corrupts == 0 || delays == 0 {
+		t.Fatalf("rate faults never fired: resets=%d drops=%d corrupts=%d delays=%d", resets, drops, corrupts, delays)
+	}
+}
+
+// TestDialTimeoutCounted exercises the injected-dial-failure counter.
+func TestDialTimeoutCounted(t *testing.T) {
+	reg := metrics.NewRegistry()
+	inj := New(1, FailFirstDials(2))
+	inj.SetMetrics(reg)
+	for i := 0; i < 2; i++ {
+		if err := inj.Dial(ref(0), ref(1)); err == nil {
+			t.Fatalf("dial %d unexpectedly succeeded", i)
+		}
+	}
+	if err := inj.Dial(ref(0), ref(1)); err != nil {
+		t.Fatalf("dial after budget: %v", err)
+	}
+	if got := reg.Snapshot().Counters["chaos.dial_timeout"]; got != 2 {
+		t.Fatalf("chaos.dial_timeout = %d, want 2", got)
 	}
 }

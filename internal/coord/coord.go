@@ -18,6 +18,7 @@ import (
 
 	"scsq/internal/cndb"
 	"scsq/internal/hw"
+	"scsq/internal/metrics"
 	"scsq/internal/rp"
 	"scsq/internal/vtime"
 )
@@ -55,6 +56,11 @@ type Coordinator struct {
 	rps   map[string]*rp.RP
 	beats map[string]vtime.Time
 
+	// Telemetry handles bound by SetMetrics; nil-safe no-ops without a
+	// registry. Guarded by mu alongside the state they count.
+	mBeats *metrics.Counter
+	mKills *metrics.Counter
+
 	// bgQueue holds BlueGene placement requests registered with this
 	// (front-end) coordinator, awaiting the BlueGene coordinator's poll.
 	// bgClosed marks the queue closed for submissions: the poller has shut
@@ -79,6 +85,15 @@ func New(env *hw.Env, c hw.ClusterName) (*Coordinator, error) {
 		beats:   make(map[string]vtime.Time),
 		bgQueue: make(chan *PlaceRequest, 1024),
 	}, nil
+}
+
+// SetMetrics attaches a telemetry registry: the coordinator counts received
+// heartbeats and node kills per cluster. Nil disables recording.
+func (c *Coordinator) SetMetrics(reg *metrics.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mBeats = reg.Counter("coord.beats." + string(c.cluster))
+	c.mKills = reg.Counter("coord.node_kills." + string(c.cluster))
 }
 
 // Cluster returns the coordinator's cluster.
@@ -116,6 +131,7 @@ func (c *Coordinator) Unregister(id string) {
 func (c *Coordinator) KillNode(node int, cause error) []string {
 	c.db.MarkDead(node)
 	c.mu.Lock()
+	c.mKills.Inc()
 	var victims []*rp.RP
 	for _, p := range c.rps {
 		if p.Node() == node {

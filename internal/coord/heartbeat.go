@@ -34,6 +34,7 @@ func (p HeartbeatPolicy) Threshold() vtime.Duration {
 func (c *Coordinator) Beat(id string, at vtime.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.mBeats.Inc()
 	if at > c.beats[id] {
 		c.beats[id] = at
 	}

@@ -24,6 +24,7 @@ import (
 	"scsq/internal/cndb"
 	"scsq/internal/coord"
 	"scsq/internal/hw"
+	"scsq/internal/metrics"
 	"scsq/internal/mpicar"
 	"scsq/internal/rp"
 	"scsq/internal/sqep"
@@ -59,6 +60,13 @@ type Engine struct {
 	retry carrier.RetryPolicy
 	hb    coord.HeartbeatPolicy // zero Interval disables the monitor
 	hbTau time.Duration         // wall-clock cadence of the stale sweep
+
+	// reg is the engine's telemetry registry — always present, accumulating
+	// across Reset so a finished query's counters remain queryable (e.g. by
+	// a follow-up monitor() statement). tracer is nil unless WithTracer
+	// enables frame-level tracing.
+	reg    *metrics.Registry
+	tracer *metrics.Tracer
 
 	mu        sync.Mutex
 	pacer     *vtime.Pacer
@@ -103,6 +111,7 @@ type engineConfig struct {
 	retry        carrier.RetryPolicy
 	hb           coord.HeartbeatPolicy
 	hbTau        time.Duration
+	tracer       *metrics.Tracer
 }
 
 type optionFunc func(*engineConfig)
@@ -215,6 +224,15 @@ func WithBGPollInterval(d time.Duration) Option {
 	return optionFunc(func(c *engineConfig) { c.pollInterval = d })
 }
 
+// WithTracer enables frame-level tracing: sender drivers assign each frame
+// a deterministic trace ID, carriers stamp hop timestamps into the frame
+// header, and the tracer collects the spans for Perfetto/Chrome-trace
+// export (metrics.Tracer.WriteJSON). Tracing only records virtual times
+// the engine computed anyway, so enabling it does not perturb schedules.
+func WithTracer(t *metrics.Tracer) Option {
+	return optionFunc(func(c *engineConfig) { c.tracer = t })
+}
+
 // NewEngine builds an engine. With no options it simulates the default
 // LOFAR environment.
 func NewEngine(opts ...Option) (*Engine, error) {
@@ -263,13 +281,18 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		retry:       cfg.retry,
 		hb:          cfg.hb,
 		hbTau:       cfg.hbTau,
+		reg:         metrics.NewRegistry(),
+		tracer:      cfg.tracer,
 	}
+	e.mpi.SetMetrics(e.reg)
+	e.tcp.SetMetrics(e.reg)
 	if cfg.supervise {
 		e.sup = &Supervisor{eng: e, budget: cfg.budget, restarts: make(map[string]int)}
 	}
 	if e.inj != nil {
 		e.mpi.SetInjector(e.inj)
 		e.tcp.SetInjector(e.inj)
+		e.inj.SetMetrics(e.reg)
 		e.inj.OnCrash(e.handleCrash)
 	}
 	for _, c := range []hw.ClusterName{hw.FrontEnd, hw.BackEnd, hw.BlueGene} {
@@ -277,6 +300,7 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
+		cc.SetMetrics(e.reg)
 		e.coords[c] = cc
 	}
 	poller, err := coord.NewBGPoller(e.coords[hw.FrontEnd], e.coords[hw.BlueGene], cfg.pollInterval)
@@ -299,6 +323,7 @@ func NewEngine(opts ...Option) (*Engine, error) {
 			return nil, err
 		}
 		uf.SetInjector(e.inj)
+		uf.SetMetrics(e.reg)
 		e.udp = uf
 	}
 	if e.hb.Interval > 0 {
@@ -314,6 +339,18 @@ func NewEngine(opts ...Option) (*Engine, error) {
 
 // Env returns the engine's hardware environment.
 func (e *Engine) Env() *hw.Env { return e.env }
+
+// Metrics returns the engine's telemetry registry. It is always non-nil and
+// accumulates for the engine's lifetime (Reset does not clear it, so a
+// finished query's counters remain queryable).
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// Tracer returns the frame-level tracer installed with WithTracer, or nil.
+func (e *Engine) Tracer() *metrics.Tracer { return e.tracer }
+
+// MetricsSnapshot captures the current state of every engine metric as a
+// JSON-serializable snapshot.
+func (e *Engine) MetricsSnapshot() metrics.Snapshot { return e.reg.Snapshot() }
 
 // Coordinator returns the cluster coordinator for c (nil for unknown
 // clusters).
@@ -444,6 +481,7 @@ func (e *Engine) failStaleRP(cc *coord.Coordinator, id string) {
 		return
 	}
 	node := sp.Node()
+	e.reg.Counter("heartbeat.lost").Inc()
 	cc.DB().MarkDead(node) // suspect: no further placements on this node
 	cc.KillNode(node, ErrHeartbeatLost)
 }
@@ -535,6 +573,7 @@ func (e *Engine) buildProc(sp *SP, node int) (*rp.RP, bool, error) {
 		return nil, false, err
 	}
 	proc := rp.New(sp.id, sp.cluster, node, ctx, func(*sqep.Ctx) (sqep.Operator, error) { return op, nil })
+	proc.SetMetrics(e.reg)
 	// Only free-running source RPs register as pacing agents: a reactive
 	// RP's timing derives from its (already paced) inputs, and pacing it
 	// would deadlock — it publishes no progress until data arrives.
@@ -742,6 +781,9 @@ func (e *Engine) connectAs(producers []*SP, cc hw.ClusterName, cn int, consumer 
 		// offsets are contiguous and the tracking is inert; under
 		// supervision it is what makes a replacement's replay exactly-once.
 		TrackOffsets: true,
+		Metrics:      e.reg,
+		Tracer:       e.tracer,
+		Consumer:     consumer,
 	}
 	switch cc {
 	case hw.BlueGene:
@@ -823,16 +865,21 @@ func (e *Engine) wireProducer(p *SP, proc *rp.RP, pn int, w wiring) error {
 			CPU:             prodNode.CPU,
 		}
 	}
-	scfg.Retry = e.retry
-	if err := proc.Subscribe(conn, scfg); err != nil {
-		return err
-	}
 	kind := "tcp"
 	switch {
 	case p.cluster == hw.BlueGene && w.cc == hw.BlueGene:
 		kind = "mpi"
 	case e.udp != nil && p.cluster == hw.BackEnd && w.cc == hw.BlueGene:
 		kind = "udp"
+	}
+	scfg.Retry = e.retry
+	scfg.Metrics = e.reg
+	scfg.Tracer = e.tracer
+	// The label matches the one the carrier caches at Dial, so sender-side
+	// send.* metrics and carrier-side link.* metrics key identically.
+	scfg.Link = fmt.Sprintf("%s:%s:%d->%s:%d", kind, p.cluster, pn, w.cc, w.cn)
+	if err := proc.Subscribe(conn, scfg); err != nil {
+		return err
 	}
 	e.recordEdge(Edge{
 		Producer:    p.id,

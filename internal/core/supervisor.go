@@ -74,12 +74,15 @@ func (s *Supervisor) onRPExit(sp *SP, cause error) {
 	used := s.restarts[sp.id]
 	s.mu.Unlock()
 	if used > s.budget {
+		s.eng.reg.Counter("supervisor.budget_exhausted").Inc()
 		s.poisonDownstream(sp, fmt.Errorf("%w (%d restarts): %s: %v", ErrRestartBudget, s.budget, sp.id, cause))
 		return
 	}
 	if err := s.replace(sp); err != nil {
 		s.poisonDownstream(sp, fmt.Errorf("core: re-placement of %s failed: %w", sp.id, err))
+		return
 	}
+	s.eng.reg.Counter("supervisor.replacements").Inc()
 }
 
 // replace moves sp to a fresh node and resumes it.
@@ -125,6 +128,7 @@ func (s *Supervisor) replace(sp *SP) error {
 // frames: a failed producer that cannot announce its own death (its node is
 // gone) still must not leave consumers blocked on a silent stream.
 func (s *Supervisor) poisonDownstream(sp *SP, cause error) {
+	s.eng.reg.Counter("supervisor.poisoned").Inc()
 	sp.mu.Lock()
 	wirings := append([]wiring(nil), sp.wirings...)
 	sp.mu.Unlock()

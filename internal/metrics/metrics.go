@@ -1,0 +1,391 @@
+// Package metrics is SCSQ's virtual-time telemetry subsystem. The paper's
+// thesis is that the stream engine *is* the measurement instrument; this
+// package turns the instrument on itself: a registry of counters, gauges
+// and virtual-time histograms fed by instrumentation hooks in the carriers
+// (frames/bytes/drops per link, delivery latency), the RP drivers (marshal
+// and flush latency, inbox depth), the chaos injector (faults by kind), the
+// coordinators (beats, node kills) and the supervisor (re-placements).
+//
+// Two rules keep telemetry compatible with the engine's measurement duty:
+//
+//  1. Metrics never perturb virtual time. Instrumentation records virtual
+//     instants and durations the engine already computed; it never charges
+//     a vtime.Resource. A run with telemetry on is bit-for-bit identical
+//     to a run with it off.
+//  2. Metrics are deterministic unless marked otherwise. Counter sums,
+//     histogram bucket contents and gauge maxima are order-independent, so
+//     concurrent goroutines racing to record produce the same snapshot;
+//     two same-seed runs yield identical snapshots. The only exception is
+//     wall-clock-dependent observations (e.g. instantaneous inbox queue
+//     depth), which by convention carry the name prefix "rt." and are
+//     excluded by Snapshot.Deterministic.
+//
+// All hot-path operations are single atomic instructions; registry lookups
+// happen once per connection or process at wiring time, and the handles are
+// cached. A nil *Registry (and the nil handles it returns) is valid and
+// records nothing, so instrumentation points need no conditionals.
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"scsq/internal/vtime"
+)
+
+// RTPrefix marks metric names whose values depend on wall-clock scheduling
+// rather than the deterministic virtual schedule (e.g. instantaneous queue
+// depths). Snapshot.Deterministic strips them.
+const RTPrefix = "rt."
+
+// Counter is a monotonically increasing count. The zero value is usable; a
+// nil *Counter records nothing.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be non-negative to keep the counter monotone).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value or high-water-mark observation. The zero value is
+// usable; a nil *Gauge records nothing.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// SetMax raises the gauge to v if v is larger — an order-independent
+// high-water mark, safe for concurrent writers.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of histogram buckets: bucket 0 holds
+// non-positive durations, bucket i (1..64) holds durations d with
+// 2^(i-1) <= d < 2^i nanoseconds.
+const histBuckets = 65
+
+// Histogram aggregates virtual durations into power-of-two buckets. All
+// operations are atomic; bucket contents, count, sum, min and max are
+// order-independent, so concurrent recording is deterministic. The zero
+// value is usable; a nil *Histogram records nothing.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0; initialized lazily
+	max     atomic.Int64
+	minInit sync.Once
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps a duration to its bucket.
+func bucketIndex(d vtime.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(d))
+}
+
+// Observe records one virtual duration.
+func (h *Histogram) Observe(d vtime.Duration) {
+	if h == nil {
+		return
+	}
+	h.minInit.Do(func() { h.min.Store(math.MaxInt64) })
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	h.buckets[bucketIndex(d)].Add(1)
+	for {
+		cur := h.min.Load()
+		if int64(d) >= cur || h.min.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// Count returns how many durations were observed.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// snapshot folds the histogram into its serializable form.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), SumNs: h.sum.Load()}
+	if s.Count > 0 {
+		s.MinNs = h.min.Load()
+		s.MaxNs = h.max.Load()
+	}
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			upper := int64(0)
+			if i > 0 && i < 64 {
+				upper = int64(1) << i
+			} else if i >= 64 {
+				upper = math.MaxInt64
+			}
+			s.Buckets = append(s.Buckets, Bucket{UpperNs: upper, Count: n})
+		}
+	}
+	return s
+}
+
+// Registry is a named collection of metrics. Handles are created on first
+// use and stable thereafter, so hot paths look a metric up once and cache
+// the pointer. A nil *Registry is valid: its lookups return nil handles,
+// which record nothing.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed (nil on a nil
+// registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed (nil on a nil
+// registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed (nil on a
+// nil registry).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Bucket is one non-empty histogram bucket: Count observations below
+// UpperNs (and at or above the previous bucket's bound). UpperNs 0 is the
+// bucket of non-positive durations.
+type Bucket struct {
+	UpperNs int64 `json:"upper_ns"`
+	Count   int64 `json:"count"`
+}
+
+// HistogramSnapshot is the serializable state of one histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	SumNs   int64    `json:"sum_ns"`
+	MinNs   int64    `json:"min_ns"`
+	MaxNs   int64    `json:"max_ns"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// MeanNs returns the mean observed duration in nanoseconds.
+func (h HistogramSnapshot) MeanNs() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.SumNs) / float64(h.Count)
+}
+
+// Snapshot is a point-in-time, JSON-serializable view of a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the registry's current state. It is safe to call while
+// writers are recording; each individual metric is read atomically. An
+// empty snapshot is returned for a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.snapshot()
+	}
+	return s
+}
+
+// Deterministic returns the snapshot minus wall-clock-dependent metrics
+// (names prefixed "rt."). Two same-seed runs produce identical
+// deterministic views; the full snapshot may differ in rt.* entries.
+func (s Snapshot) Deterministic() Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for k, v := range s.Counters {
+		if !strings.HasPrefix(k, RTPrefix) {
+			out.Counters[k] = v
+		}
+	}
+	for k, v := range s.Gauges {
+		if !strings.HasPrefix(k, RTPrefix) {
+			out.Gauges[k] = v
+		}
+	}
+	for k, v := range s.Histograms {
+		if !strings.HasPrefix(k, RTPrefix) {
+			out.Histograms[k] = v
+		}
+	}
+	return out
+}
+
+// SumCounters sums every counter whose name starts with prefix — e.g.
+// SumCounters("link.bytes.mpi:") is the total payload volume delivered over
+// MPI links.
+func (s Snapshot) SumCounters(prefix string) int64 {
+	var sum int64
+	for k, v := range s.Counters {
+		if strings.HasPrefix(k, prefix) {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// CounterNames returns the counter names sorted, for stable iteration.
+func (s Snapshot) CounterNames() []string {
+	return sortedKeys(s.Counters)
+}
+
+// GaugeNames returns the gauge names sorted.
+func (s Snapshot) GaugeNames() []string {
+	return sortedKeys(s.Gauges)
+}
+
+// HistogramNames returns the histogram names sorted.
+func (s Snapshot) HistogramNames() []string {
+	names := make([]string, 0, len(s.Histograms))
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sortedKeys(m map[string]int64) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,224 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"scsq/internal/vtime"
+)
+
+// DefaultTraceLimit bounds a tracer's buffered events; beyond it events are
+// counted as dropped rather than silently lost.
+const DefaultTraceLimit = 1 << 20
+
+// Event is one span (or instant, when Dur is zero and Instant is set) on
+// the virtual timeline. Proc and Thread name the Perfetto process/thread
+// lanes the event renders in; TraceID correlates every event of one frame's
+// journey across SP-graph hops.
+type Event struct {
+	Proc    string
+	Thread  string
+	Name    string
+	Start   vtime.Time
+	Dur     vtime.Duration
+	TraceID uint64
+	Bytes   int64
+	Instant bool
+}
+
+// Tracer collects frame-level trace events. It is optional and off by
+// default: a nil *Tracer records nothing, and the engine only assigns
+// frame trace IDs when a tracer is installed. Recording never charges
+// virtual time, so tracing cannot perturb schedules.
+type Tracer struct {
+	mu      sync.Mutex
+	events  []Event
+	limit   int
+	dropped int64
+}
+
+// NewTracer returns a tracer buffering at most limit events (0 or negative
+// selects DefaultTraceLimit).
+func NewTracer(limit int) *Tracer {
+	if limit <= 0 {
+		limit = DefaultTraceLimit
+	}
+	return &Tracer{limit: limit}
+}
+
+// Span records a complete event covering [start, end] on the virtual
+// timeline. A nil tracer records nothing.
+func (t *Tracer) Span(proc, thread, name string, traceID uint64, start, end vtime.Time, bytes int64) {
+	if t == nil {
+		return
+	}
+	t.record(Event{
+		Proc: proc, Thread: thread, Name: name,
+		Start: start, Dur: end.Sub(start),
+		TraceID: traceID, Bytes: bytes,
+	})
+}
+
+// Instant records a zero-duration waypoint (a frame passing a hop).
+func (t *Tracer) Instant(proc, thread, name string, traceID uint64, at vtime.Time) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Proc: proc, Thread: thread, Name: name, Start: at, TraceID: traceID, Instant: true})
+}
+
+func (t *Tracer) record(e Event) {
+	t.mu.Lock()
+	if len(t.events) >= t.limit {
+		t.dropped++
+	} else {
+		t.events = append(t.events, e)
+	}
+	t.mu.Unlock()
+}
+
+// Dropped reports how many events exceeded the buffer limit.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns a copy of the buffered events in deterministic order
+// (by start time, then lane, then name, then trace ID) — goroutine
+// recording order never shows through.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		if a.Thread != b.Thread {
+			return a.Thread < b.Thread
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.TraceID < b.TraceID
+	})
+	return out
+}
+
+// traceEvent is one entry of the Chrome trace event format ("ts"/"dur" in
+// microseconds), which Perfetto and chrome://tracing both load.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteJSON emits the buffered events as Chrome-trace JSON over the virtual
+// timeline (ts = virtual microseconds). Process and thread IDs are assigned
+// by sorting lane names, so same-seed runs emit byte-identical files.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	events := t.Events()
+
+	pids := map[string]int{}
+	tids := map[[2]string]int{}
+	var procNames []string
+	for _, e := range events {
+		if _, ok := pids[e.Proc]; !ok {
+			pids[e.Proc] = 0
+			procNames = append(procNames, e.Proc)
+		}
+		tids[[2]string{e.Proc, e.Thread}] = 0
+	}
+	sort.Strings(procNames)
+	for i, p := range procNames {
+		pids[p] = i + 1
+	}
+	var threadNames [][2]string
+	for k := range tids {
+		threadNames = append(threadNames, k)
+	}
+	sort.Slice(threadNames, func(i, j int) bool {
+		if threadNames[i][0] != threadNames[j][0] {
+			return threadNames[i][0] < threadNames[j][0]
+		}
+		return threadNames[i][1] < threadNames[j][1]
+	})
+	perProc := map[string]int{}
+	for _, k := range threadNames {
+		perProc[k[0]]++
+		tids[k] = perProc[k[0]]
+	}
+
+	out := traceFile{DisplayTimeUnit: "ms"}
+	for _, p := range procNames {
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pids[p],
+			Args: map[string]any{"name": p},
+		})
+	}
+	for _, k := range threadNames {
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: pids[k[0]], Tid: tids[k],
+			Args: map[string]any{"name": k[1]},
+		})
+	}
+	for _, e := range events {
+		te := traceEvent{
+			Name: e.Name,
+			Ts:   float64(e.Start) / 1e3,
+			Pid:  pids[e.Proc],
+			Tid:  tids[[2]string{e.Proc, e.Thread}],
+		}
+		args := map[string]any{}
+		if e.TraceID != 0 {
+			args["trace_id"] = fmt.Sprintf("%#x", e.TraceID)
+		}
+		if e.Bytes > 0 {
+			args["bytes"] = e.Bytes
+		}
+		if len(args) > 0 {
+			te.Args = args
+		}
+		if e.Instant {
+			te.Ph = "i"
+			te.S = "t"
+		} else {
+			te.Ph = "X"
+			dur := float64(e.Dur) / 1e3
+			te.Dur = &dur
+		}
+		out.TraceEvents = append(out.TraceEvents, te)
+	}
+	if d := t.Dropped(); d > 0 {
+		out.OtherData = map[string]any{"dropped_events": d}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"scsq/internal/vtime"
+)
+
+func TestTracerEventsDeterministicOrder(t *testing.T) {
+	mk := func(order []int) []Event {
+		tr := NewTracer(0)
+		spans := []struct {
+			proc string
+			at   vtime.Time
+		}{{"b", 10}, {"a", 10}, {"a", 5}}
+		for _, i := range order {
+			s := spans[i]
+			tr.Span(s.proc, "t", "n", 1, s.at, s.at.Add(2), 0)
+		}
+		return tr.Events()
+	}
+	e1 := mk([]int{0, 1, 2})
+	e2 := mk([]int{2, 1, 0})
+	if len(e1) != 3 {
+		t.Fatalf("got %d events", len(e1))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("order depends on recording order: %+v vs %+v", e1, e2)
+		}
+	}
+	if e1[0].Start != 5 || e1[1].Proc != "a" || e1[2].Proc != "b" {
+		t.Fatalf("unexpected sort: %+v", e1)
+	}
+}
+
+func TestTracerLimitCountsDrops(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Instant("p", "t", "hop", uint64(i+1), vtime.Time(i))
+	}
+	if got := len(tr.Events()); got != 2 {
+		t.Fatalf("buffered %d events, want 2", got)
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+}
+
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	tr.Span("p", "t", "n", 1, 0, 5, 10)
+	tr.Instant("p", "t", "n", 1, 0)
+	if tr.Events() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must record nothing")
+	}
+}
+
+func TestWriteJSONChromeTraceFormat(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Span("link-a", "send", "flush", 0xbeef, 1000, 3000, 512)
+	tr.Span("link-b", "net-0", "transfer", 0xbeef, 3000, 9000, 512)
+	tr.Instant("link-b", "hops", "fwd bg:2", 0xbeef, 5000)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			S    string         `json:"s"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+
+	var meta, complete, instant int
+	pidByProc := map[string]int{}
+	for _, e := range file.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+			if e.Name == "process_name" {
+				pidByProc[e.Args["name"].(string)] = e.Pid
+			}
+		case "X":
+			complete++
+			if e.Dur == nil {
+				t.Fatalf("complete event %q missing dur", e.Name)
+			}
+			if e.Name == "flush" {
+				if e.Ts != 1.0 || *e.Dur != 2.0 {
+					t.Fatalf("flush ts/dur = %v/%v µs, want 1/2", e.Ts, *e.Dur)
+				}
+				if e.Args["trace_id"] != "0xbeef" || e.Args["bytes"] != float64(512) {
+					t.Fatalf("flush args = %v", e.Args)
+				}
+			}
+		case "i":
+			instant++
+			if e.S != "t" {
+				t.Fatalf("instant scope = %q, want t", e.S)
+			}
+		default:
+			t.Fatalf("unknown phase %q", e.Ph)
+		}
+	}
+	if complete != 2 || instant != 1 {
+		t.Fatalf("events: %d complete, %d instant", complete, instant)
+	}
+	// 2 process metas + 3 thread metas.
+	if meta != 5 {
+		t.Fatalf("meta events = %d, want 5", meta)
+	}
+	// pids are assigned by sorted process name, so the file is reproducible.
+	if pidByProc["link-a"] != 1 || pidByProc["link-b"] != 2 {
+		t.Fatalf("pids = %v", pidByProc)
+	}
+
+	// Same events recorded in a different order produce the same bytes.
+	tr2 := NewTracer(0)
+	tr2.Instant("link-b", "hops", "fwd bg:2", 0xbeef, 5000)
+	tr2.Span("link-b", "net-0", "transfer", 0xbeef, 3000, 9000, 512)
+	tr2.Span("link-a", "send", "flush", 0xbeef, 1000, 3000, 512)
+	var buf2 bytes.Buffer
+	if err := tr2.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("trace JSON depends on recording order")
+	}
+}
+
+func TestTracerConcurrentRecording(t *testing.T) {
+	tr := NewTracer(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Span("p", "t", "s", uint64(w+1), vtime.Time(i), vtime.Time(i+1), 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != 2000 {
+		t.Fatalf("recorded %d events, want 2000", got)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"scsq/internal/carrier"
 	"scsq/internal/chaos"
 	"scsq/internal/hw"
+	"scsq/internal/metrics"
 	"scsq/internal/vtime"
 )
 
@@ -31,6 +32,7 @@ import (
 type Fabric struct {
 	env *hw.Env
 	inj *chaos.Injector
+	reg *metrics.Registry
 
 	mu        sync.Mutex
 	producers map[int]int // dst node -> producers dialed this epoch
@@ -48,6 +50,11 @@ func (f *Fabric) Env() *hw.Env { return f.env }
 // It must be called before the first Dial; a nil injector disables
 // injection.
 func (f *Fabric) SetInjector(inj *chaos.Injector) { f.inj = inj }
+
+// SetMetrics attaches a telemetry registry: every connection records
+// per-link frame/byte/drop counters and torus delivery-latency histograms.
+// It must be called before the first Dial; nil disables recording.
+func (f *Fabric) SetMetrics(reg *metrics.Registry) { f.reg = reg }
 
 // producerCount reports how many producers have dialed dst during the
 // current experiment epoch. The count is cumulative — it does not drop when
@@ -91,6 +98,15 @@ type Conn struct {
 	abort          chan struct{}
 	abortOnce      sync.Once
 
+	// Metric handles and hop names are resolved once at Dial: the per-frame
+	// hot path is atomic adds (nil-safe no-ops without a registry), and hop
+	// labels are only attached to traced frames.
+	mFrames  *metrics.Counter
+	mBytes   *metrics.Counter
+	mDrops   *metrics.Counter
+	hDeliver *metrics.Histogram
+	hopNames []string // names of the forwarding co-processors, then the destination's
+
 	mu     sync.Mutex
 	seq    uint64
 	closed bool
@@ -127,27 +143,39 @@ func (f *Fabric) Dial(src, dst int, mode carrier.Buffering, inbox carrier.Inbox)
 	}
 	// route lists the intermediate nodes followed by the destination.
 	fwdHops := make([]*hw.Node, 0, max(0, len(route)-1))
+	hopNames := make([]string, 0, len(route))
 	for _, mid := range route[:max(0, len(route)-1)] {
 		node, err := f.env.Node(hw.BlueGene, mid)
 		if err != nil {
 			return nil, fmt.Errorf("mpicar: %w", err)
 		}
 		fwdHops = append(fwdHops, node)
+		hopNames = append(hopNames, fmt.Sprintf("fwd bg:%d", mid))
 	}
+	hopNames = append(hopNames, fmt.Sprintf("coproc bg:%d", dst))
 	f.addProducer(dst)
-	return &Conn{
-		fabric:  f,
-		mode:    mode,
-		src:     src,
-		dst:     dst,
-		inbox:   inbox,
-		srcNode: srcNode,
-		dstNode: dstNode,
-		fwdHops: fwdHops,
-		srcRef:  srcRef,
-		dstRef:  dstRef,
-		abort:   make(chan struct{}),
-	}, nil
+	c := &Conn{
+		fabric:   f,
+		mode:     mode,
+		src:      src,
+		dst:      dst,
+		inbox:    inbox,
+		srcNode:  srcNode,
+		dstNode:  dstNode,
+		fwdHops:  fwdHops,
+		srcRef:   srcRef,
+		dstRef:   dstRef,
+		hopNames: hopNames,
+		abort:    make(chan struct{}),
+	}
+	if f.reg != nil {
+		link := fmt.Sprintf("mpi:bg:%d->bg:%d", src, dst)
+		c.mFrames = f.reg.Counter("link.frames." + link)
+		c.mBytes = f.reg.Counter("link.bytes." + link)
+		c.mDrops = f.reg.Counter("link.drops." + link)
+		c.hDeliver = f.reg.Histogram("link.deliver_vt.mpi")
+	}
+	return c, nil
 }
 
 // Send implements carrier.Conn. It charges the torus transfer and delivers
@@ -197,6 +225,7 @@ func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 	if v.Drop {
 		// The frame left the sender but never reaches a receiver driver;
 		// its pooled payload goes back to the pool here.
+		c.mDrops.Inc()
 		carrier.Recycle(&fr)
 		return senderFree, nil
 	}
@@ -206,9 +235,12 @@ func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 
 	// Intermediate co-processors forward the packets in order.
 	t := senderFree
-	for _, node := range c.fwdHops {
+	for i, node := range c.fwdHops {
 		fwdSvc := scaleDur(scaleDur(vtime.Duration(k)*m.PacketCost, m.FwdFactor), cf)
 		_, t = node.Coproc.Use(t, fwdSvc)
+		if fr.TraceID != 0 {
+			fr.Hops = append(fr.Hops, carrier.Hop{Name: c.hopNames[i], At: t})
+		}
 	}
 
 	// Receiver co-processor, with the merge switching penalty: the
@@ -220,13 +252,20 @@ func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 	}
 	_, arrived := c.dstNode.Coproc.Use(t, recvSvc)
 	arrived = arrived.Add(v.Delay)
+	if fr.TraceID != 0 {
+		fr.Hops = append(fr.Hops, carrier.Hop{Name: c.hopNames[len(c.hopNames)-1], At: arrived})
+	}
 
+	ready := fr.Ready
 	select {
 	case c.inbox <- carrier.Delivered{Frame: fr, At: arrived}:
 	case <-c.abort:
 		carrier.Recycle(&fr)
 		return senderFree, fmt.Errorf("mpicar: %d->%d aborted: %w", c.src, c.dst, carrier.ErrClosed)
 	}
+	c.mFrames.Inc()
+	c.mBytes.Add(int64(s))
+	c.hDeliver.Observe(arrived.Sub(ready))
 	return senderFree, nil
 }
 

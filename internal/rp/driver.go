@@ -3,9 +3,12 @@ package rp
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"strings"
 
 	"scsq/internal/carrier"
 	"scsq/internal/marshal"
+	"scsq/internal/metrics"
 	"scsq/internal/sqep"
 	"scsq/internal/vtime"
 )
@@ -38,6 +41,25 @@ type SenderConfig struct {
 	// timeout) is retried before it is reported. The zero value retries
 	// nothing.
 	Retry carrier.RetryPolicy
+	// Metrics receives the driver's telemetry (frames/bytes flushed, retry
+	// counts, marshal and flush latency in virtual time). Nil disables.
+	Metrics *metrics.Registry
+	// Tracer, if non-nil, enables frame-level tracing: the driver assigns
+	// each flushed frame a deterministic trace ID and emits its flush span.
+	Tracer *metrics.Tracer
+	// Link names the connection for per-link metrics and trace lanes, e.g.
+	// "mpi:bg:1->bg:0". The prefix before the first colon is the carrier
+	// kind, under which latency histograms aggregate.
+	Link string
+}
+
+// linkKind extracts the carrier kind ("mpi", "tcp", "udp") from a link
+// label for kind-aggregated histogram names.
+func linkKind(link string) string {
+	if i := strings.IndexByte(link, ':'); i > 0 {
+		return link[:i]
+	}
+	return "link"
 }
 
 // senderDriver marshals outgoing elements into send buffers and ships them
@@ -57,6 +79,17 @@ type senderDriver struct {
 
 	framesOut int64
 	bytesOut  int64
+
+	// Cached metric handles (nil-safe no-ops without a registry) and the
+	// deterministic trace-ID base: a hash of the stream identity, combined
+	// with the frame sequence number per flush, so trace IDs never depend
+	// on goroutine scheduling the way a shared counter would.
+	mFrames   *metrics.Counter
+	mBytes    *metrics.Counter
+	mRetries  *metrics.Counter
+	hMarshal  *metrics.Histogram
+	hFlush    *metrics.Histogram
+	traceBase uint64
 }
 
 func newSenderDriver(source string, conn carrier.Conn, cfg SenderConfig) (*senderDriver, error) {
@@ -66,7 +99,23 @@ func newSenderDriver(source string, conn carrier.Conn, cfg SenderConfig) (*sende
 	if cfg.Mode != carrier.SingleBuffered && cfg.Mode != carrier.DoubleBuffered {
 		return nil, fmt.Errorf("rp: invalid buffering mode %d", cfg.Mode)
 	}
-	return &senderDriver{cfg: cfg, conn: conn, source: source}, nil
+	d := &senderDriver{cfg: cfg, conn: conn, source: source}
+	if reg := cfg.Metrics; reg != nil {
+		kind := linkKind(cfg.Link)
+		d.mFrames = reg.Counter("send.frames." + cfg.Link)
+		d.mBytes = reg.Counter("send.bytes." + cfg.Link)
+		d.mRetries = reg.Counter("send.retries." + cfg.Link)
+		d.hMarshal = reg.Histogram("send.marshal_vt." + kind)
+		d.hFlush = reg.Histogram("send.flush_vt." + kind)
+	}
+	if cfg.Tracer != nil {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(cfg.Link))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(source))
+		d.traceBase = h.Sum64()
+	}
+	return d, nil
 }
 
 // bufferFreeAt reports when a send buffer is available for marshaling the
@@ -104,6 +153,7 @@ func (d *senderDriver) push(el sqep.Element) error {
 		done = ready.Add(svc)
 	}
 	d.pendReady = done
+	d.hMarshal.Observe(done.Sub(ready))
 
 	if d.cfg.FlushPerElement {
 		return d.flushFrame(len(d.pending), false)
@@ -135,25 +185,47 @@ func (d *senderDriver) flushFrame(n int, last bool) error {
 	// bytes successfully flushed before it: a replacement RP replaying its
 	// deterministic stream re-produces the same offsets, which is what lets
 	// a receiver discard the already-ingested prefix exactly once.
+	var traceID uint64
+	if d.cfg.Tracer != nil {
+		traceID = d.traceBase ^ uint64(d.framesOut+1)
+	}
+	attempts := 0
 	err := d.cfg.Retry.Do(func() error {
+		attempts++
 		var payload []byte
 		if n > 0 {
 			payload = carrier.GetBuf(n)
 			copy(payload, d.pending[:n])
 		}
-		var serr error
-		free, serr = d.conn.Send(carrier.Frame{
+		fr := carrier.Frame{
 			Source:  d.source,
 			Payload: payload,
 			Ready:   d.pendReady,
 			Offset:  uint64(d.bytesOut),
 			Last:    last,
 			Pooled:  payload != nil,
-		})
+			TraceID: traceID,
+		}
+		if traceID != 0 {
+			// Hops[0] names the link: it seeds the Perfetto lane receivers
+			// emit into, and carriers append their waypoints after it.
+			fr.Hops = []carrier.Hop{{Name: d.cfg.Link, At: d.pendReady}}
+		}
+		var serr error
+		free, serr = d.conn.Send(fr)
 		return serr
 	})
+	if attempts > 1 {
+		d.mRetries.Add(int64(attempts - 1))
+	}
 	if err != nil {
 		return err
+	}
+	d.mFrames.Inc()
+	d.mBytes.Add(int64(n))
+	d.hFlush.Observe(free.Sub(d.pendReady))
+	if traceID != 0 {
+		d.cfg.Tracer.Span(d.cfg.Link, "send", "flush", traceID, d.pendReady, free, int64(n))
 	}
 	// Shift the unflushed tail to the front of pending instead of
 	// re-slicing: pending = pending[n:] would retain the flushed head of
@@ -217,6 +289,14 @@ type ReceiverConfig struct {
 	// The engine enables this; hand-built tests that craft frames with zero
 	// offsets are unaffected by the default.
 	TrackOffsets bool
+	// Metrics receives the receiver's telemetry (frames/bytes ingested,
+	// de-marshal latency, inbox high-water depth). Nil disables.
+	Metrics *metrics.Registry
+	// Tracer, if non-nil, makes the receiver emit transfer/hop/de-marshal
+	// trace events for frames carrying a trace ID.
+	Tracer *metrics.Tracer
+	// Consumer names the ingesting RP (or client) in metric names.
+	Consumer string
 }
 
 // ErrUpstreamDown reports that a producer terminated its stream with a
@@ -253,6 +333,12 @@ type Receiver struct {
 
 	framesIn int64
 	bytesIn  int64
+
+	// Cached metric handles; nil-safe no-ops without a registry.
+	mFrames    *metrics.Counter
+	mBytes     *metrics.Counter
+	hDemarshal *metrics.Histogram
+	gDepth     *metrics.Gauge
 }
 
 var _ sqep.Operator = (*Receiver)(nil)
@@ -262,12 +348,22 @@ func NewReceiver(inbox carrier.Inbox, cfg ReceiverConfig) *Receiver {
 	if cfg.Producers < 1 {
 		cfg.Producers = 1
 	}
-	return &Receiver{
+	r := &Receiver{
 		cfg:     cfg,
 		inbox:   inbox,
 		bufs:    make(map[string][]byte),
 		nextOff: make(map[string]uint64),
 	}
+	if reg := cfg.Metrics; reg != nil {
+		r.mFrames = reg.Counter("recv.frames." + cfg.Consumer)
+		r.mBytes = reg.Counter("recv.bytes." + cfg.Consumer)
+		r.hDemarshal = reg.Histogram("recv.demarshal_vt." + cfg.Consumer)
+		// Instantaneous queue depth depends on wall-clock goroutine
+		// scheduling, not the virtual schedule: rt. marks it out of the
+		// determinism guarantee.
+		r.gDepth = reg.Gauge(metrics.RTPrefix + "inbox_depth." + cfg.Consumer)
+	}
+	return r
 }
 
 // Open implements sqep.Operator.
@@ -283,6 +379,7 @@ func (r *Receiver) Next() (sqep.Element, bool, error) {
 		if r.done {
 			return sqep.Element{}, false, nil
 		}
+		r.gDepth.SetMax(int64(len(r.inbox)))
 		fr, ok := <-r.inbox
 		if !ok {
 			return sqep.Element{}, false, fmt.Errorf("rp: inbox closed before end of stream")
@@ -352,6 +449,8 @@ func (r *Receiver) ingest(fr carrier.Delivered) error {
 
 	r.framesIn++
 	r.bytesIn += int64(len(payload))
+	r.mFrames.Inc()
+	r.mBytes.Add(int64(len(payload)))
 
 	var svc vtime.Duration
 	if fr.ViaTCP {
@@ -373,6 +472,23 @@ func (r *Receiver) ingest(fr carrier.Delivered) error {
 		done = ready.Add(svc)
 	}
 	r.cpuAt = done
+	r.hDemarshal.Observe(done.Sub(ready))
+
+	if t := r.cfg.Tracer; t != nil && fr.TraceID != 0 {
+		// The frame's journey renders in the lane its sender named in
+		// Hops[0]. Transfer spans of back-to-back frames overlap under
+		// double buffering, so they alternate between two net rows.
+		proc := fr.Source
+		if len(fr.Hops) > 0 {
+			proc = fr.Hops[0].Name
+		}
+		net := fmt.Sprintf("net-%d", r.framesIn&1)
+		t.Span(proc, net, "transfer", fr.TraceID, fr.Ready, fr.At, int64(len(fr.Payload)))
+		for _, h := range fr.Hops[1:] {
+			t.Instant(proc, "hops", h.Name, fr.TraceID, h.At)
+		}
+		t.Span(proc, "demarshal "+r.cfg.Consumer, "demarshal", fr.TraceID, ready, done, int64(len(payload)))
+	}
 
 	if len(payload) > 0 {
 		// Fast path: with no partial object pending from this producer,

@@ -14,6 +14,7 @@ import (
 
 	"scsq/internal/carrier"
 	"scsq/internal/hw"
+	"scsq/internal/metrics"
 	"scsq/internal/sqep"
 	"scsq/internal/vtime"
 )
@@ -24,7 +25,11 @@ import (
 // returned plan.
 type BuildFunc func(ctx *sqep.Ctx) (sqep.Operator, error)
 
-// Stats exposes an RP's execution-monitoring counters.
+// Stats exposes an RP's execution-monitoring counters. It is a
+// compatibility view: the counters live in a metrics.Registry (under
+// "rp.elements_out.<id>" and friends), and Stats reads them back, so there
+// is exactly one counting path whether callers go through RP.Stats or the
+// engine's telemetry surface.
 type Stats struct {
 	ElementsOut int64
 	BytesOut    int64
@@ -46,7 +51,6 @@ type RP struct {
 	subs    []*senderDriver
 	started bool
 	err     error
-	stats   Stats
 	onExit  func(error)
 	beat    func(id string, at vtime.Time)
 	beatAt  vtime.Duration
@@ -56,13 +60,21 @@ type RP struct {
 	done     chan struct{}
 	killed   chan struct{}
 	killOnce sync.Once
+
+	// Monitoring counters live in a registry (the engine's, or a private
+	// one for directly constructed RPs) and are accessed through cached
+	// handles; Stats() is a view over them.
+	mElems  *metrics.Counter
+	mBytes  *metrics.Counter
+	mFrames *metrics.Counter
+	mLast   *metrics.Gauge
 }
 
 // New creates an RP with the given identity and execution context. The RP
 // does not run until Start is called; subscribers must be attached before
 // then.
 func New(id string, cluster hw.ClusterName, node int, ctx sqep.Ctx, build BuildFunc) *RP {
-	return &RP{
+	r := &RP{
 		id:      id,
 		cluster: cluster,
 		node:    node,
@@ -71,6 +83,28 @@ func New(id string, cluster hw.ClusterName, node int, ctx sqep.Ctx, build BuildF
 		done:    make(chan struct{}),
 		killed:  make(chan struct{}),
 	}
+	r.bindMetrics(metrics.NewRegistry())
+	return r
+}
+
+// bindMetrics points the RP's counter handles at reg.
+func (r *RP) bindMetrics(reg *metrics.Registry) {
+	r.mElems = reg.Counter("rp.elements_out." + r.id)
+	r.mBytes = reg.Counter("rp.bytes_out." + r.id)
+	r.mFrames = reg.Counter("rp.frames_out." + r.id)
+	r.mLast = reg.Gauge("rp.last_out." + r.id)
+}
+
+// SetMetrics rebinds the RP's monitoring counters onto a shared registry
+// (the engine calls this at placement, so every RP's counters land in the
+// query's telemetry). It must be called before Start.
+func (r *RP) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.bindMetrics(reg)
 }
 
 // ID returns the RP's identity.
@@ -191,9 +225,12 @@ func (r *RP) Wait() error {
 
 // Stats returns a snapshot of the monitoring counters.
 func (r *RP) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	return Stats{
+		ElementsOut: r.mElems.Value(),
+		BytesOut:    r.mBytes.Value(),
+		FramesOut:   r.mFrames.Value(),
+		LastOut:     vtime.Time(r.mLast.Value()),
+	}
 }
 
 func (r *RP) setErr(err error) {
@@ -256,10 +293,10 @@ func (r *RP) run() {
 			break
 		}
 		r.pacer.Wait(el.At)
+		r.mElems.Inc()
+		r.mBytes.Add(int64(sqep.ValueBytes(el.Value)))
+		r.mLast.SetMax(int64(el.At))
 		r.mu.Lock()
-		r.stats.ElementsOut++
-		r.stats.BytesOut += int64(sqep.ValueBytes(el.Value))
-		r.stats.LastOut = vtime.MaxTime(r.stats.LastOut, el.At)
 		subs := r.subs
 		beat, due := r.beat, r.beatAt > 0 && el.At >= r.nextB
 		if due {
@@ -306,8 +343,6 @@ func (r *RP) terminateSubs() {
 		if err := s.close(); err != nil {
 			r.setErr(err)
 		}
-		r.mu.Lock()
-		r.stats.FramesOut += s.framesOut
-		r.mu.Unlock()
+		r.mFrames.Add(s.framesOut)
 	}
 }

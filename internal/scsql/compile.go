@@ -2,6 +2,7 @@ package scsql
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"scsq/internal/core"
@@ -224,6 +225,9 @@ func (ev *Evaluator) compileCall(call *Call, env *scope, b *core.PlanBuilder) (s
 		}
 		return sqep.NewLimit(in, n), nil
 
+	case "monitor":
+		return ev.compileMonitor(call, env)
+
 	case "radixcombine":
 		return ev.compileRadixCombine(call, env, b)
 
@@ -236,6 +240,65 @@ func (ev *Evaluator) compileCall(call *Call, env *scope, b *core.PlanBuilder) (s
 		}
 		return nil, errorfAt(call.Pos, "unknown function %q", call.Name)
 	}
+}
+
+// compileMonitor lowers monitor([prefix]) — the engine's telemetry registry
+// exposed as a queryable stream. Each element is a bag describing one
+// metric: {"counter", name, value}, {"gauge", name, value}, or
+// {"histogram", name, count, sum_ns, min_ns, max_ns}. Rows sort by kind
+// then name, so output order is deterministic. The snapshot is captured
+// when the plan opens (not at compile time), and the registry accumulates
+// across engine resets, so a monitor() statement issued after a query
+// reports that query's final counters. The optional string argument keeps
+// only metrics whose name starts with it.
+func (ev *Evaluator) compileMonitor(call *Call, env *scope) (sqep.Operator, error) {
+	prefix := ""
+	switch len(call.Args) {
+	case 0:
+	case 1:
+		v, err := ev.evalScalar(call.Args[0], env)
+		if err != nil {
+			return nil, err
+		}
+		s, ok := v.(string)
+		if !ok {
+			return nil, errorfAt(call.Args[0].ePos(), "monitor() prefix must be a string, got %T", v)
+		}
+		prefix = s
+	default:
+		return nil, errorfAt(call.Pos, "monitor() takes at most 1 argument, got %d", len(call.Args))
+	}
+	eng := ev.eng
+	return sqep.NewThunk("monitor", func() ([]any, error) {
+		snap := eng.MetricsSnapshot()
+		var rows []any
+		for _, name := range sortedMetricNames(snap.Counters) {
+			if strings.HasPrefix(name, prefix) {
+				rows = append(rows, []any{"counter", name, snap.Counters[name]})
+			}
+		}
+		for _, name := range sortedMetricNames(snap.Gauges) {
+			if strings.HasPrefix(name, prefix) {
+				rows = append(rows, []any{"gauge", name, snap.Gauges[name]})
+			}
+		}
+		for _, name := range sortedMetricNames(snap.Histograms) {
+			if strings.HasPrefix(name, prefix) {
+				h := snap.Histograms[name]
+				rows = append(rows, []any{"histogram", name, h.Count, h.SumNs, h.MinNs, h.MaxNs})
+			}
+		}
+		return rows, nil
+	}), nil
+}
+
+func sortedMetricNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // compileRadixCombine lowers radixcombine(merge({odd, even})): the merged

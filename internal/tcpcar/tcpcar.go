@@ -24,6 +24,7 @@ import (
 	"scsq/internal/carrier"
 	"scsq/internal/chaos"
 	"scsq/internal/hw"
+	"scsq/internal/metrics"
 	"scsq/internal/vtime"
 )
 
@@ -31,6 +32,7 @@ import (
 type Fabric struct {
 	env    *hw.Env
 	inj    *chaos.Injector
+	reg    *metrics.Registry
 	nextID atomic.Int64
 }
 
@@ -46,6 +48,12 @@ func (f *Fabric) Env() *hw.Env { return f.env }
 // It must be called before the first Dial; a nil injector disables
 // injection.
 func (f *Fabric) SetInjector(inj *chaos.Injector) { f.inj = inj }
+
+// SetMetrics attaches a telemetry registry: every connection records
+// per-link frame/byte/drop counters and delivery-latency histograms. It
+// must be called before the first Dial; nil disables recording. The socket
+// carrier (NetFabric) inherits it through the charging fabric.
+func (f *Fabric) SetMetrics(reg *metrics.Registry) { f.reg = reg }
 
 // Endpoint names one side of a TCP connection.
 type Endpoint struct {
@@ -71,6 +79,13 @@ type Conn struct {
 	srcRef, dstRef chaos.NodeRef
 	abort          chan struct{}
 	abortOnce      sync.Once
+
+	// Metric handles resolved once at Dial; nil-safe no-ops without a
+	// registry.
+	mFrames  *metrics.Counter
+	mBytes   *metrics.Counter
+	mDrops   *metrics.Counter
+	hDeliver *metrics.Histogram
 
 	mu     sync.Mutex
 	seq    uint64
@@ -128,6 +143,13 @@ func (f *Fabric) Dial(src, dst Endpoint, inbox carrier.Inbox) (*Conn, error) {
 		}
 		c.ion = ion
 	}
+	if f.reg != nil {
+		link := fmt.Sprintf("tcp:%s->%s", src, dst)
+		c.mFrames = f.reg.Counter("link.frames." + link)
+		c.mBytes = f.reg.Counter("link.bytes." + link)
+		c.mDrops = f.reg.Counter("link.drops." + link)
+		c.hDeliver = f.reg.Histogram("link.deliver_vt.tcp")
+	}
 	return c, nil
 }
 
@@ -172,9 +194,17 @@ func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 
 // deliver hands the frame to the receiving inbox, unless the connection is
 // aborted (a torn stream must not wedge its producer on flow control).
+// Successful deliveries are the single counting point for the link's
+// frame/byte counters and latency histogram (sizes are captured before the
+// channel send: the receiver owns the frame afterwards).
 func (c *Conn) deliver(d carrier.Delivered) error {
+	s := len(d.Payload)
+	ready, at := d.Ready, d.At
 	select {
 	case c.inbox <- d:
+		c.mFrames.Inc()
+		c.mBytes.Add(int64(s))
+		c.hDeliver.Observe(at.Sub(ready))
 		return nil
 	case <-c.abort:
 		carrier.Recycle(&d.Frame)
@@ -194,6 +224,7 @@ func (c *Conn) sendIntoBG(fr carrier.Frame, v chaos.Verdict) (vtime.Time, error)
 	}
 	_, senderFree := c.srcNode.NIC.Use(fr.Ready, nicSvc)
 	if v.Drop {
+		c.mDrops.Inc()
 		carrier.Recycle(&fr)
 		return senderFree, nil
 	}
@@ -212,6 +243,13 @@ func (c *Conn) sendIntoBG(fr carrier.Frame, v chaos.Verdict) (vtime.Time, error)
 	}
 	_, t := c.ion.Forwarder.Use(senderFree, fwdSvc)
 	_, arrived := c.ion.Tree.Use(t, byteDur(m.TreeByte, s))
+	if fr.TraceID != 0 {
+		fr.Hops = append(fr.Hops,
+			carrier.Hop{Name: "nic " + c.src.String(), At: senderFree},
+			carrier.Hop{Name: fmt.Sprintf("iofwd io:%d", c.ion.ID), At: t},
+			carrier.Hop{Name: fmt.Sprintf("tree io:%d", c.ion.ID), At: arrived},
+		)
+	}
 
 	if err := c.deliver(carrier.Delivered{Frame: fr, At: arrived.Add(v.Delay), ViaTCP: true}); err != nil {
 		return senderFree, err
@@ -228,9 +266,11 @@ func (c *Conn) sendOutOfBG(fr carrier.Frame, v chaos.Verdict) (vtime.Time, error
 	_, t := c.ion.Tree.Use(fr.Ready, byteDur(m.TreeByte, s))
 	senderFree := t
 	if v.Drop {
+		c.mDrops.Inc()
 		carrier.Recycle(&fr)
 		return senderFree, nil
 	}
+	treeAt := t
 	_, t = c.ion.Forwarder.Use(t, byteDur(m.IOByte, s))
 
 	perByte := m.FENICByte
@@ -238,6 +278,13 @@ func (c *Conn) sendOutOfBG(fr carrier.Frame, v chaos.Verdict) (vtime.Time, error
 		perByte = m.BeNICByte
 	}
 	_, arrived := c.dstNode.NIC.Use(t, m.BeMsgCost+byteDur(perByte, s))
+	if fr.TraceID != 0 {
+		fr.Hops = append(fr.Hops,
+			carrier.Hop{Name: fmt.Sprintf("tree io:%d", c.ion.ID), At: treeAt},
+			carrier.Hop{Name: fmt.Sprintf("iofwd io:%d", c.ion.ID), At: t},
+			carrier.Hop{Name: "nic " + c.dst.String(), At: arrived},
+		)
+	}
 
 	if err := c.deliver(carrier.Delivered{Frame: fr, At: arrived.Add(v.Delay), ViaTCP: true}); err != nil {
 		return senderFree, err
@@ -262,10 +309,17 @@ func (c *Conn) sendLinuxToLinux(fr carrier.Frame, v chaos.Verdict) (vtime.Time, 
 	}
 	_, senderFree := c.srcNode.NIC.Use(fr.Ready, m.BeMsgCost+byteDur(perByteSrc, s))
 	if v.Drop {
+		c.mDrops.Inc()
 		carrier.Recycle(&fr)
 		return senderFree, nil
 	}
 	_, arrived := c.dstNode.NIC.Use(senderFree, byteDur(perByteDst, s))
+	if fr.TraceID != 0 {
+		fr.Hops = append(fr.Hops,
+			carrier.Hop{Name: "nic " + c.src.String(), At: senderFree},
+			carrier.Hop{Name: "nic " + c.dst.String(), At: arrived},
+		)
+	}
 
 	if err := c.deliver(carrier.Delivered{Frame: fr, At: arrived.Add(v.Delay), ViaTCP: true}); err != nil {
 		return senderFree, err

@@ -23,6 +23,7 @@ import (
 	"scsq/internal/carrier"
 	"scsq/internal/chaos"
 	"scsq/internal/hw"
+	"scsq/internal/metrics"
 	"scsq/internal/tcpcar"
 	"scsq/internal/vtime"
 )
@@ -31,6 +32,7 @@ import (
 type Fabric struct {
 	env      *hw.Env
 	inj      *chaos.Injector
+	reg      *metrics.Registry
 	lossRate float64
 	nextID   atomic.Int64
 }
@@ -52,6 +54,12 @@ func (f *Fabric) Env() *hw.Env { return f.env }
 // injection.
 func (f *Fabric) SetInjector(inj *chaos.Injector) { f.inj = inj }
 
+// SetMetrics attaches a telemetry registry: every connection records
+// per-link frame/byte counters, loss counts, and delivery-latency
+// histograms. It must be called before the first Dial; nil disables
+// recording.
+func (f *Fabric) SetMetrics(reg *metrics.Registry) { f.reg = reg }
+
 // Conn is a UDP stream connection from a back-end node into the BlueGene.
 type Conn struct {
 	fabric   *Fabric
@@ -66,6 +74,13 @@ type Conn struct {
 	srcRef, dstRef chaos.NodeRef
 	abort          chan struct{}
 	abortOnce      sync.Once
+
+	// Metric handles resolved once at Dial; nil-safe no-ops without a
+	// registry.
+	mFrames  *metrics.Counter
+	mBytes   *metrics.Counter
+	mDrops   *metrics.Counter
+	hDeliver *metrics.Histogram
 
 	mu      sync.Mutex
 	seq     uint64
@@ -97,12 +112,20 @@ func (f *Fabric) Dial(src, dst tcpcar.Endpoint, inbox carrier.Inbox) (*Conn, err
 	}
 	id := f.nextID.Add(1)
 	f.env.RegisterInbound(fmt.Sprintf("udp-%d-%s-%s", id, src, dst), src.Node, ion.ID)
-	return &Conn{
+	c := &Conn{
 		fabric: f, id: id, src: src, dst: dst, inbox: inbox,
 		srcNode: srcNode, ion: ion,
 		srcRef: srcRef, dstRef: dstRef,
 		abort: make(chan struct{}),
-	}, nil
+	}
+	if f.reg != nil {
+		link := fmt.Sprintf("udp:%s->%s", src, dst)
+		c.mFrames = f.reg.Counter("link.frames." + link)
+		c.mBytes = f.reg.Counter("link.bytes." + link)
+		c.mDrops = f.reg.Counter("link.drops." + link)
+		c.hDeliver = f.reg.Histogram("link.deliver_vt.udp")
+	}
+	return c, nil
 }
 
 // Send implements carrier.Conn. Dropped frames consume sender-side costs
@@ -149,6 +172,7 @@ func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 		c.mu.Lock()
 		c.dropped++
 		c.mu.Unlock()
+		c.mDrops.Inc()
 		// The frame never reaches a receiver driver, so its pooled payload
 		// must be recycled here.
 		carrier.Recycle(&fr)
@@ -164,13 +188,24 @@ func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 	}
 	_, t := c.ion.Forwarder.Use(senderFree, fwdSvc)
 	_, arrived := c.ion.Tree.Use(t, vtime.Duration(m.TreeByte*float64(s)))
+	if fr.TraceID != 0 {
+		fr.Hops = append(fr.Hops,
+			carrier.Hop{Name: "nic " + c.src.String(), At: senderFree},
+			carrier.Hop{Name: fmt.Sprintf("iofwd io:%d", c.ion.ID), At: t},
+			carrier.Hop{Name: fmt.Sprintf("tree io:%d", c.ion.ID), At: arrived},
+		)
+	}
 
+	ready := fr.Ready
 	select {
 	case c.inbox <- carrier.Delivered{Frame: fr, At: arrived.Add(v.Delay), ViaTCP: true}:
 	case <-c.abort:
 		carrier.Recycle(&fr)
 		return senderFree, fmt.Errorf("udpcar: %s->%s aborted: %w", c.src, c.dst, carrier.ErrClosed)
 	}
+	c.mFrames.Inc()
+	c.mBytes.Add(int64(s))
+	c.hDeliver.Observe(arrived.Add(v.Delay).Sub(ready))
 	return senderFree, nil
 }
 

@@ -36,11 +36,13 @@ package scsq
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"scsq/internal/carrier"
 	"scsq/internal/core"
 	"scsq/internal/hw"
+	"scsq/internal/metrics"
 	"scsq/internal/scsql"
 	"scsq/internal/sqep"
 )
@@ -57,8 +59,10 @@ type Engine struct {
 type Option interface{ apply(*config) error }
 
 type config struct {
-	envOpts  []hw.Option
-	coreOpts []core.Option
+	envOpts    []hw.Option
+	coreOpts   []core.Option
+	tracing    bool
+	traceLimit int
 }
 
 type optionFunc func(*config) error
@@ -168,6 +172,22 @@ func WithArraySource(name string, arrays ...[]float64) Option {
 	})
 }
 
+// WithTracing enables frame-level tracing: every stream frame carries a
+// deterministic trace id and per-hop virtual timestamps, buffered as spans
+// the engine writes out as Chrome/Perfetto trace-event JSON (WriteTrace).
+// limit bounds the buffered event count (<= 0 uses the default); events
+// beyond the limit are counted but dropped. Tracing records virtual
+// instants the simulation already computed, so enabling it does not perturb
+// virtual-time schedules — measured bandwidths are bit-identical either
+// way.
+func WithTracing(limit int) Option {
+	return optionFunc(func(c *config) error {
+		c.tracing = true
+		c.traceLimit = limit
+		return nil
+	})
+}
+
 // New builds an engine over a freshly simulated LOFAR environment.
 func New(opts ...Option) (*Engine, error) {
 	var cfg config
@@ -181,6 +201,9 @@ func New(opts ...Option) (*Engine, error) {
 		return nil, err
 	}
 	coreOpts := append([]core.Option{core.WithEnv(env)}, cfg.coreOpts...)
+	if cfg.tracing {
+		coreOpts = append(coreOpts, core.WithTracer(metrics.NewTracer(cfg.traceLimit)))
+	}
 	c, err := core.NewEngine(coreOpts...)
 	if err != nil {
 		return nil, err
@@ -195,6 +218,31 @@ func (e *Engine) Close() error { return e.core.Close() }
 // are released and every virtual resource rewinds to time zero. Function
 // definitions are kept.
 func (e *Engine) Reset() { e.core.Reset() }
+
+// MetricsSnapshot is a point-in-time copy of the engine's telemetry: counter
+// and gauge values plus virtual-time latency histograms, keyed by metric
+// name. It is JSON-serializable.
+type MetricsSnapshot = metrics.Snapshot
+
+// MetricsSnapshot captures the engine's telemetry registry: per-link frame
+// and byte counters, virtual-time latency histograms, retry and fault
+// counts. The registry accumulates across Reset, so a snapshot taken after
+// a drained query reports that query's totals. The same data is queryable
+// in SCSQL via monitor().
+func (e *Engine) MetricsSnapshot() MetricsSnapshot {
+	return e.core.MetricsSnapshot()
+}
+
+// WriteTrace writes the buffered frame trace as Chrome/Perfetto trace-event
+// JSON (load it at ui.perfetto.dev). It fails unless the engine was built
+// with WithTracing.
+func (e *Engine) WriteTrace(w io.Writer) error {
+	t := e.core.Tracer()
+	if t == nil {
+		return errors.New("scsq: tracing not enabled; build the engine with WithTracing")
+	}
+	return t.WriteJSON(w)
+}
 
 // Result is the outcome of one SCSQL statement.
 type Result struct {
