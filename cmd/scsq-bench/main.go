@@ -9,6 +9,7 @@
 //	scsq-bench -fig 15                # Figure 15 (inbound Queries 1-6)
 //	scsq-bench -fig ablation          # naive vs topology-aware node selection
 //	scsq-bench -fig udp               # extension: inbound streaming over lossy UDP
+//	scsq-bench -fig mt                # extension: multi-tenant contention sweep
 //	scsq-bench -fig all -csv          # everything, machine readable
 //	scsq-bench -fig 15 -paper-scale   # the paper's 100 × 3 MB arrays
 //	scsq-bench -perf                  # data-plane microbenchmarks → BENCH_dataplane.json
@@ -38,7 +39,7 @@ func main() {
 
 func run() error {
 	var (
-		fig        = flag.String("fig", "all", "figure to regenerate: 6, 8, 15, ablation, udp or all")
+		fig        = flag.String("fig", "all", "figure to regenerate: 6, 8, 15, ablation, udp, mt or all")
 		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
 		paperScale = flag.Bool("paper-scale", false, "use the paper's 100 × 3 MB arrays (slow)")
 		repeats    = flag.Int("repeats", 5, "measurement repetitions per point")
@@ -141,6 +142,25 @@ func run() error {
 			return err
 		}
 		if err := bench.WriteUDPLoss(out, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("mt") {
+		cfg := bench.DefaultMultiTenant()
+		cfg.Repeats = *repeats
+		if *paperScale {
+			cfg.ArrayBytes, cfg.ArrayCount = bench.PaperArrayBytes, bench.PaperArrayCount
+		}
+		rows, err := bench.RunMultiTenant(cfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			if err := bench.CSVMultiTenant(out, rows); err != nil {
+				return err
+			}
+		} else if err := bench.WriteMultiTenant(out, rows); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

@@ -11,9 +11,13 @@
 //
 // Backslash meta commands inspect the engine between statements:
 // "\stats [prefix]" prints the telemetry registry (counters, gauges and
-// virtual-time histograms), optionally filtered by name prefix. The
-// registry accumulates across statements, so \stats after a query reports
-// that query's totals.
+// virtual-time histograms), optionally filtered by name prefix; a session
+// id ("\stats q3" or "\stats @q3") scopes the dump to that query's
+// metrics. The registry accumulates across statements, so \stats after a
+// query reports that query's totals. "\ps" prints the scheduler's session
+// table and "\cancel <qid>" cancels a session — queries submitted through
+// the SCSQL surface run as scheduler sessions (see ps() and cancel() in
+// SCSQL itself).
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strings"
 	"time"
@@ -173,7 +178,9 @@ func (s *shell) execute(stmt string) error {
 			fmt.Fprintf(s.out, "--   %-12s (%s) --%s--> %s (%s)\n", ed.Producer, ed.From, ed.Carrier, ed.Consumer, ed.To)
 		}
 	}
-	s.eng.Reset()
+	if err := s.eng.Reset(); err != nil {
+		return fmt.Errorf("reset after statement: %w", err)
+	}
 	return nil
 }
 
@@ -191,14 +198,35 @@ func (s *shell) meta(cmd string) error {
 		}
 		s.printStats(prefix)
 		return nil
+	case "ps":
+		for _, in := range s.eng.Sessions() {
+			fmt.Fprintf(s.out, "%-4s %-10s prio=%d nodes=%d %s\n",
+				in.ID, in.State, in.Priority, in.Nodes, strings.Join(strings.Fields(in.Statement), " "))
+		}
+		return nil
+	case "cancel":
+		if len(fields) != 2 {
+			return fmt.Errorf(`\cancel takes one query id (try \ps)`)
+		}
+		if err := s.eng.CancelSession(fields[1]); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "-- cancelled %s\n", fields[1])
+		return nil
 	default:
-		return fmt.Errorf(`unknown meta command \%s (try \stats)`, fields[0])
+		return fmt.Errorf(`unknown meta command \%s (try \stats, \ps, \cancel)`, fields[0])
 	}
 }
 
-// printStats dumps the telemetry registry, sorted by metric name.
+// printStats dumps the telemetry registry, sorted by metric name. A prefix
+// of the form @q3 (or a bare session id like q3) instead scopes the dump to
+// that query's metrics — the per-session view of a multi-tenant engine.
 func (s *shell) printStats(prefix string) {
 	snap := s.eng.MetricsSnapshot()
+	if qid := queryScope(prefix); qid != "" {
+		snap = snap.ForQuery(qid)
+		prefix = ""
+	}
 	shown := 0
 	for _, name := range sortedKeys(snap.Counters) {
 		if strings.HasPrefix(name, prefix) {
@@ -229,6 +257,20 @@ func (s *shell) printStats(prefix string) {
 		fmt.Fprintln(s.out)
 	}
 }
+
+// queryScope recognizes a \stats argument naming a query session: "@q3"
+// explicitly, or a bare id of the engine's "q<n>" form.
+func queryScope(prefix string) string {
+	if strings.HasPrefix(prefix, "@") {
+		return prefix[1:]
+	}
+	if qidRe.MatchString(prefix) {
+		return prefix
+	}
+	return ""
+}
+
+var qidRe = regexp.MustCompile(`^q\d+$`)
 
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))

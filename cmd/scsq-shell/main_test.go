@@ -137,3 +137,46 @@ select extract(a) from sp a where a=sp(iota(1,3), 'be');
 		t.Fatal("unknown meta command did not fail")
 	}
 }
+
+func TestShellPSAndQueryScopedStats(t *testing.T) {
+	eng, err := scsq.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var sb strings.Builder
+	sh := &shell{eng: eng, out: &sb}
+
+	ses, err := eng.Submit(`select extract(a) from sp a where a=sp(iota(1,3), 'be');`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ses.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sh.execute(`\ps`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), ses.ID()) || !strings.Contains(sb.String(), "done") {
+		t.Fatalf("\\ps output missing session %s:\n%s", ses.ID(), sb.String())
+	}
+	sb.Reset()
+
+	// \stats <qid> scopes the dump to the session's own metrics.
+	if err := sh.execute(`\stats ` + ses.ID()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, ses.ID()+"/") {
+		t.Fatalf("query-scoped \\stats shows no %s metrics:\n%s", ses.ID(), out)
+	}
+	if strings.Contains(out, "sched.submitted") {
+		t.Fatalf("query-scoped \\stats leaked engine-wide metrics:\n%s", out)
+	}
+	sb.Reset()
+
+	if err := sh.execute(`\cancel nope`); err == nil {
+		t.Fatal("\\cancel of unknown session succeeded")
+	}
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallMultiTenant keeps the contention sweep test-sized.
+func smallMultiTenant() MultiTenantConfig {
+	return MultiTenantConfig{
+		Tenants:    []int{1, 2},
+		Streams:    2,
+		ArrayBytes: 60_000,
+		ArrayCount: 10,
+		Repeats:    2,
+	}
+}
+
+func TestMultiTenantShape(t *testing.T) {
+	rows, err := RunMultiTenant(smallMultiTenant())
+	if err != nil {
+		t.Fatalf("RunMultiTenant: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Aggregate.MeanMbps <= 0 || r.PerQuery.MeanMbps <= 0 || r.Serialized.MeanMbps <= 0 {
+			t.Fatalf("k=%d: non-positive bandwidth in %+v", r.Tenants, r)
+		}
+		if r.Aggregate.Runs != 2 {
+			t.Fatalf("k=%d: runs = %d, want 2", r.Tenants, r.Aggregate.Runs)
+		}
+	}
+	// A lone tenant is fully deterministic in virtual time, and its
+	// "concurrent" batch is by definition the serialized baseline.
+	k1 := rows[0]
+	if k1.Aggregate.StdevMbps != 0 {
+		t.Fatalf("k=1 aggregate stdev = %v, want 0 (deterministic repeats)", k1.Aggregate.StdevMbps)
+	}
+	if k1.Aggregate.MeanMbps != k1.Serialized.MeanMbps {
+		t.Fatalf("k=1 aggregate %v != serialized %v", k1.Aggregate.MeanMbps, k1.Serialized.MeanMbps)
+	}
+	// The acceptance criterion: two concurrent Query-1 instances deliver
+	// strictly more aggregate bandwidth than running them back to back.
+	k2 := rows[1]
+	if k2.Aggregate.MeanMbps <= k2.Serialized.MeanMbps {
+		t.Fatalf("k=2 aggregate %.3f Mbps not strictly above serialized %.3f Mbps",
+			k2.Aggregate.MeanMbps, k2.Serialized.MeanMbps)
+	}
+
+	var tbl, csv bytes.Buffer
+	if err := WriteMultiTenant(&tbl, rows); err != nil {
+		t.Fatalf("WriteMultiTenant: %v", err)
+	}
+	if !strings.Contains(tbl.String(), "tenants") || !strings.Contains(tbl.String(), "serialized") {
+		t.Fatalf("table missing headers:\n%s", tbl.String())
+	}
+	if err := CSVMultiTenant(&csv, rows); err != nil {
+		t.Fatalf("CSVMultiTenant: %v", err)
+	}
+	if got := strings.Count(csv.String(), "\n"); got != 3 {
+		t.Fatalf("csv has %d lines, want 3 (header + 2 rows):\n%s", got, csv.String())
+	}
+}

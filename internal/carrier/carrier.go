@@ -11,9 +11,22 @@ package carrier
 
 import (
 	"errors"
+	"strings"
 
 	"scsq/internal/vtime"
 )
+
+// QueryOf extracts the owning query id from an RP identity. The engine names
+// every process of query q3 with a "q3/" prefix ("q3/rp-bg-1", "q3/client"),
+// so carriers can attribute hardware charges to the tenant whose frame they
+// move without widening the Dial APIs. An unprefixed identity (single-query
+// programmatic use, unit tests) yields "".
+func QueryOf(id string) string {
+	if i := strings.IndexByte(id, '/'); i > 0 {
+		return id[:i]
+	}
+	return ""
+}
 
 // Buffering selects the MPI driver's buffer discipline (paper §2.3: the MPI
 // sender and receiver drivers contain double buffers so that one buffer can

@@ -14,6 +14,7 @@ package cndb
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"scsq/internal/hw"
@@ -64,10 +65,18 @@ type DB struct {
 	exclusive bool
 
 	mu        sync.Mutex
-	allocated map[int]int // node id -> RP count
+	allocated map[int]int            // node id -> RP count
+	leases    map[string]map[int]int // owner (query id) -> node id -> RP count
 	dead      map[int]bool
 	size      int
 	rr        int
+}
+
+// Lease is one owner's reservation count on one node, as reported by Leases.
+type Lease struct {
+	Owner string // query id ("" for anonymous single-query allocations)
+	Node  int
+	Count int
 }
 
 // New builds the CNDB for cluster c of environment env.
@@ -80,6 +89,7 @@ func New(env *hw.Env, c hw.ClusterName) (*DB, error) {
 		cluster:   c,
 		exclusive: c == hw.BlueGene,
 		allocated: make(map[int]int),
+		leases:    make(map[string]map[int]int),
 		dead:      make(map[int]bool),
 		size:      n,
 	}, nil
@@ -100,10 +110,17 @@ func (db *DB) Exclusive() bool { return db.exclusive }
 // sequence is chosen, consuming sequence positions; if a full cycle yields
 // no available node, ErrNoAvailableNode is returned.
 func (db *DB) Select(seq *Sequence) (int, error) {
+	return db.SelectFor("", seq)
+}
+
+// SelectFor is Select with the allocation recorded as a lease held by owner
+// (a query id). Leases are released by ReleaseFor and inspected via Leases;
+// they are how the scheduler proves release-on-completion.
+func (db *DB) SelectFor(owner string, seq *Sequence) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if seq == nil {
-		return db.selectNaive()
+		return db.selectNaive(owner)
 	}
 	for i := 0; i < seq.Period(); i++ {
 		id := seq.next()
@@ -113,17 +130,17 @@ func (db *DB) Select(seq *Sequence) (int, error) {
 		if db.dead[id] || (db.exclusive && db.allocated[id] > 0) {
 			continue
 		}
-		db.allocated[id]++
+		db.grant(owner, id)
 		return id, nil
 	}
 	return 0, fmt.Errorf("%w (cluster %q)", ErrNoAvailableNode, db.cluster)
 }
 
-func (db *DB) selectNaive() (int, error) {
+func (db *DB) selectNaive(owner string) (int, error) {
 	if db.exclusive {
 		for id := 0; id < db.size; id++ {
 			if db.allocated[id] == 0 && !db.dead[id] {
-				db.allocated[id]++
+				db.grant(owner, id)
 				return id, nil
 			}
 		}
@@ -135,15 +152,34 @@ func (db *DB) selectNaive() (int, error) {
 		if db.dead[id] {
 			continue
 		}
-		db.allocated[id]++
+		db.grant(owner, id)
 		return id, nil
 	}
 	return 0, fmt.Errorf("%w (cluster %q)", ErrNoAvailableNode, db.cluster)
 }
 
+// grant records an allocation and its lease. db.mu must be held.
+func (db *DB) grant(owner string, id int) {
+	db.allocated[id]++
+	m := db.leases[owner]
+	if m == nil {
+		m = make(map[int]int)
+		db.leases[owner] = m
+	}
+	m[id]++
+}
+
 // Release returns a node allocation. Releasing a node that is not allocated
 // is a no-op.
 func (db *DB) Release(id int) {
+	db.ReleaseFor("", id)
+}
+
+// ReleaseFor returns a node allocation held under the given owner's lease.
+// Releasing a node the owner does not lease is a no-op on the lease table
+// but still decrements the aggregate allocation count if positive (matching
+// Release's historic tolerance).
+func (db *DB) ReleaseFor(owner string, id int) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.allocated[id] > 0 {
@@ -152,6 +188,57 @@ func (db *DB) Release(id int) {
 			delete(db.allocated, id)
 		}
 	}
+	if m := db.leases[owner]; m[id] > 0 {
+		m[id]--
+		if m[id] == 0 {
+			delete(m, id)
+		}
+		if len(m) == 0 {
+			delete(db.leases, owner)
+		}
+	}
+}
+
+// Leases returns the live lease table sorted by owner, then node id.
+func (db *DB) Leases() []Lease {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []Lease
+	for owner, m := range db.leases {
+		for id, n := range m {
+			out = append(out, Lease{Owner: owner, Node: id, Count: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Owner != out[j].Owner {
+			return out[i].Owner < out[j].Owner
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// LeaseCount reports how many node reservations the owner currently holds.
+func (db *DB) LeaseCount(owner string) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	n := 0
+	for _, c := range db.leases[owner] {
+		n += c
+	}
+	return n
+}
+
+// LeasedNodes returns the node ids the owner holds leases on, sorted.
+func (db *DB) LeasedNodes(owner string) []int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ids := make([]int, 0, len(db.leases[owner]))
+	for id := range db.leases[owner] {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // AllocatedCount reports how many RPs are currently placed on node id.
@@ -192,6 +279,7 @@ func (db *DB) Reset() {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.allocated = make(map[int]int)
+	db.leases = make(map[string]map[int]int)
 	db.dead = make(map[int]bool)
 	db.rr = 0
 }

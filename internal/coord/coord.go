@@ -41,7 +41,10 @@ type PlaceResult struct {
 }
 
 // PlaceRequest asks for a BlueGene node allocation; bgCC answers on Reply.
+// Owner is the query id whose lease the allocation is recorded under ("" for
+// anonymous single-query use).
 type PlaceRequest struct {
+	Owner string
 	Seq   *cndb.Sequence
 	Reply chan PlaceResult
 }
@@ -108,8 +111,18 @@ func (c *Coordinator) Place(seq *cndb.Sequence) (int, error) {
 	return c.db.Select(seq)
 }
 
+// PlaceFor is Place with the allocation recorded as a cndb lease held by
+// owner (a query id), so a query's reservations can be torn down and audited
+// as a unit.
+func (c *Coordinator) PlaceFor(owner string, seq *cndb.Sequence) (int, error) {
+	return c.db.SelectFor(owner, seq)
+}
+
 // Release returns a node allocation.
 func (c *Coordinator) Release(node int) { c.db.Release(node) }
+
+// ReleaseFor returns a node allocation held under the given owner's lease.
+func (c *Coordinator) ReleaseFor(owner string, node int) { c.db.ReleaseFor(owner, node) }
 
 // Register records a started RP with its coordinator.
 func (c *Coordinator) Register(p *rp.RP) {
@@ -161,6 +174,12 @@ func (c *Coordinator) RPCount() int {
 // BlueGene coordinator polls it. The returned channel receives exactly one
 // result.
 func (c *Coordinator) SubmitBGPlacement(seq *cndb.Sequence) (<-chan PlaceResult, error) {
+	return c.SubmitBGPlacementFor("", seq)
+}
+
+// SubmitBGPlacementFor is SubmitBGPlacement with the eventual allocation
+// recorded under the given owner's lease.
+func (c *Coordinator) SubmitBGPlacementFor(owner string, seq *cndb.Sequence) (<-chan PlaceResult, error) {
 	if c.cluster != hw.FrontEnd {
 		return nil, fmt.Errorf("coord: BG placements must be registered with the front-end coordinator, not %q", c.cluster)
 	}
@@ -169,7 +188,7 @@ func (c *Coordinator) SubmitBGPlacement(seq *cndb.Sequence) (<-chan PlaceResult,
 	if c.bgClosed {
 		return nil, ErrBGPollerStopped
 	}
-	req := &PlaceRequest{Seq: seq, Reply: make(chan PlaceResult, 1)}
+	req := &PlaceRequest{Owner: owner, Seq: seq, Reply: make(chan PlaceResult, 1)}
 	select {
 	case c.bgQueue <- req:
 		return req.Reply, nil
@@ -236,13 +255,13 @@ func (p *BGPoller) loop() {
 		select {
 		case <-ticker.C:
 			for _, req := range p.fe.pollBG() {
-				node, err := p.bg.Place(req.Seq)
+				node, err := p.bg.PlaceFor(req.Owner, req.Seq)
 				req.Reply <- PlaceResult{Node: node, Err: err}
 			}
 		case <-p.stop:
 			// Final drain so no submitted request is left unanswered.
 			for _, req := range p.fe.pollBG() {
-				node, err := p.bg.Place(req.Seq)
+				node, err := p.bg.PlaceFor(req.Owner, req.Seq)
 				req.Reply <- PlaceResult{Node: node, Err: err}
 			}
 			return

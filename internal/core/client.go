@@ -14,6 +14,7 @@ import (
 // cluster where the user interacts with SCSQ.
 type ClientStream struct {
 	eng  *Engine
+	qc   *queryCtx // the query this stream consumes; Drain operates on it only
 	recv sqep.Operator
 	ctx  sqep.Ctx
 
@@ -22,6 +23,13 @@ type ClientStream struct {
 	makespan vtime.Time
 	err      error
 }
+
+// QueryID returns the id of the query this stream consumes ("q1", ...).
+func (s *ClientStream) QueryID() string { return s.qc.id }
+
+// Query returns the per-query handle of the stream's query, usable to
+// cancel it mid-drain.
+func (s *ClientStream) Query() *Query { return &Query{qc: s.qc} }
 
 // Extract returns the client-side stream of process p's output (the
 // top-level extract(p) of a query).
@@ -51,26 +59,48 @@ func (e *Engine) ClientPlan(build Subquery) (*ClientStream, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &PlanBuilder{eng: e, cluster: hw.FrontEnd, node: e.clientNode, spID: "client"}
+	// The plan joins the current build target (SPs already built ahead of
+	// this call, or an explicit BuildAs bracket); absent one it opens a
+	// fresh implicit query. SPs built inside the plan body attach to the
+	// same query, so e.cur stays set until the build returns.
+	qc := e.buildTarget(false)
+	e.mu.Lock()
+	hadCur := e.cur != nil
+	if !hadCur {
+		e.cur = qc
+	}
+	e.mu.Unlock()
+	b := &PlanBuilder{eng: e, cluster: hw.FrontEnd, node: e.clientNode, spID: qc.id + "/client"}
 	root, err := build(b)
+	e.mu.Lock()
+	if !hadCur && e.cur == qc {
+		// An implicit build ends with its plan; an explicit BuildAs bracket
+		// clears the target itself.
+		e.cur = nil
+	}
+	e.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
 	return &ClientStream{
 		eng: e,
+		qc:  qc,
 		ctx: sqep.Ctx{
 			CPU:     node.CPU,
 			Cost:    e.env.Cost,
 			Files:   e.files,
 			Sources: e.sources,
+			Owner:   qc.id,
 		},
 		recv: root,
 	}, nil
 }
 
-// Drain starts every stream process of the query, consumes the result
-// stream to completion, waits for all RPs to terminate, and releases their
-// node allocations. It returns the result elements. Drain is idempotent.
+// Drain starts every stream process of this stream's query, consumes the
+// result stream to completion, waits for the query's RPs to terminate, and
+// releases their node leases. It returns the result elements. Drain is
+// idempotent, and touches only its own query: concurrent queries' processes
+// and reservations are invisible to it.
 func (s *ClientStream) Drain() ([]sqep.Element, error) {
 	if s.drained {
 		return s.elements, s.err
@@ -78,9 +108,9 @@ func (s *ClientStream) Drain() ([]sqep.Element, error) {
 	s.drained = true
 
 	e := s.eng
-	e.mu.Lock()
-	sps := append([]*SP(nil), e.sps...)
-	e.mu.Unlock()
+	qc := s.qc
+	qc.markStarted()
+	sps := qc.snapshot()
 
 	var errs []error
 	for _, sp := range sps {
@@ -110,7 +140,9 @@ func (s *ClientStream) Drain() ([]sqep.Element, error) {
 	}
 
 	// Quiesce: RPs may have dynamically started new RPs while running
-	// (paper §2.2), so wait rounds until no new process appears.
+	// (paper §2.2), so wait rounds until no new process appears in this
+	// query. Releasing goes through the query's lease, so the cndb lease
+	// table empties exactly when the query's last RP resolves.
 	waited := make(map[string]bool, len(sps))
 	for {
 		for _, sp := range sps {
@@ -123,14 +155,11 @@ func (s *ClientStream) Drain() ([]sqep.Element, error) {
 			if err := sp.WaitResolved(); err != nil {
 				errs = append(errs, err)
 			}
-			e.coords[sp.cluster].Release(sp.Node())
+			e.coords[sp.cluster].ReleaseFor(qc.id, sp.Node())
 			e.coords[sp.cluster].Unregister(sp.id)
 		}
-		e.mu.Lock()
-		all := append([]*SP(nil), e.sps...)
-		e.mu.Unlock()
 		var fresh []*SP
-		for _, sp := range all {
+		for _, sp := range qc.snapshot() {
 			if !waited[sp.id] {
 				fresh = append(fresh, sp)
 			}
@@ -140,9 +169,8 @@ func (s *ClientStream) Drain() ([]sqep.Element, error) {
 		}
 		sps = fresh
 	}
-	e.mu.Lock()
-	e.sps = nil
-	e.mu.Unlock()
+	qc.markFinished()
+	e.removeQuery(qc.id)
 
 	s.err = errors.Join(errs...)
 	return s.elements, s.err

@@ -90,10 +90,7 @@ func TestDynamicRPCreation(t *testing.T) {
 	}
 
 	// The quiescence loop released everything.
-	e.mu.Lock()
-	leftover := len(e.sps)
-	e.mu.Unlock()
-	if leftover != 0 {
+	if leftover := len(e.allSPs()); leftover != 0 {
 		t.Errorf("%d stream processes leaked after drain", leftover)
 	}
 }

@@ -15,7 +15,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"strconv"
 	"sync"
 	"time"
 
@@ -33,10 +32,14 @@ import (
 	"scsq/internal/vtime"
 )
 
-// Engine is a SCSQ instance over a (simulated) hardware environment. An
-// engine executes one continuous query at a time: build the SP graph with
-// SP/SPV, consume it with Extract/MergeExtract + Drain, then Reset to run
-// the next query against fresh virtual time.
+// Engine is a SCSQ instance over a (simulated) hardware environment. The
+// engine is multi-tenant: each query gets its own queryCtx — owning its
+// stream processes, its pacing group, and its node-reservation leases — so
+// several continuous queries can build, run, and cancel concurrently. The
+// classic single-query surface (build with SP/SPV, consume with
+// Extract/MergeExtract + Drain, Reset between runs) still works unchanged:
+// it operates on an implicitly created query. Multi-query sessions go
+// through BeginQuery/BuildAs (used by internal/sched).
 type Engine struct {
 	env    *hw.Env
 	mpi    *mpicar.Fabric
@@ -68,11 +71,16 @@ type Engine struct {
 	reg    *metrics.Registry
 	tracer *metrics.Tracer
 
+	// buildMu serializes SP-graph construction across queries: placement
+	// must see a consistent node pool, which makes admission deterministic.
+	buildMu sync.Mutex
+
 	mu        sync.Mutex
-	pacer     *vtime.Pacer
-	sps       []*SP
+	queries   map[string]*queryCtx // live query contexts by id
+	cur       *queryCtx            // current build target (nil outside builds)
+	qSeq      int                  // query id allocator; never rewound
+	sched     QueryScheduler       // attached multi-tenant scheduler, or nil
 	edges     []Edge
-	nextID    int
 	closed    bool
 	hbStop    chan struct{}
 	hbStopped sync.WaitGroup
@@ -81,8 +89,9 @@ type Engine struct {
 // Edge describes one carrier connection of the current query's process
 // graph, for topology introspection (the shell's -explain flag).
 type Edge struct {
+	Query       string // owning query id ("q1", ...)
 	Producer    string // producer SP id
-	Consumer    string // consumer SP id, or "client" for the client manager
+	Consumer    string // consumer SP id, or "<qid>/client" for the client manager
 	FromCluster hw.ClusterName
 	FromNode    int
 	ToCluster   hw.ClusterName
@@ -276,7 +285,7 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		buffering:   cfg.buffering,
 		window:      cfg.window,
 		horizon:     cfg.horizon,
-		pacer:       vtime.NewPacer(cfg.horizon),
+		queries:     make(map[string]*queryCtx),
 		inj:         cfg.inj,
 		retry:       cfg.retry,
 		hb:          cfg.hb,
@@ -360,8 +369,13 @@ func (e *Engine) Coordinator(c hw.ClusterName) *coord.Coordinator { return e.coo
 func (e *Engine) FileTable() sqep.FileTable { return e.files }
 
 // Close shuts the engine down (stopping the bgCC polling loop). Queries in
-// flight must be drained first.
+// flight must be drained, cancelled, or waited first: Close returns
+// ErrQueriesActive while any query's streams are still moving, instead of
+// tearing the control plane out from under them.
 func (e *Engine) Close() error {
+	if e.activeQueries() > 0 {
+		return ErrQueriesActive
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -380,15 +394,27 @@ func (e *Engine) Close() error {
 }
 
 // Reset releases any leftover SP allocations and rewinds every virtual
-// resource, preparing the engine for an independent query run.
-func (e *Engine) Reset() {
+// resource, preparing the engine for an independent query run. While any
+// query's streams are still draining it refuses with ErrQueriesActive —
+// resetting under an active stream would leave RP goroutines blocked on
+// dead inboxes. Built-but-never-started queries are torn down as before.
+func (e *Engine) Reset() error {
+	if e.activeQueries() > 0 {
+		return ErrQueriesActive
+	}
 	e.mu.Lock()
-	sps := e.sps
-	e.sps = nil
+	qcs := make([]*queryCtx, 0, len(e.queries))
+	for _, qc := range e.queries {
+		qcs = append(qcs, qc)
+	}
+	e.queries = make(map[string]*queryCtx)
+	e.cur = nil
 	e.mu.Unlock()
-	for _, s := range sps {
-		e.coords[s.cluster].Release(s.Node())
-		e.coords[s.cluster].Unregister(s.id)
+	for _, qc := range qcs {
+		for _, s := range qc.snapshot() {
+			e.coords[s.cluster].ReleaseFor(qc.id, s.Node())
+			e.coords[s.cluster].Unregister(s.id)
+		}
 	}
 	for _, cc := range e.coords {
 		cc.DB().Reset()
@@ -399,9 +425,9 @@ func (e *Engine) Reset() {
 		e.sup.reset()
 	}
 	e.mu.Lock()
-	e.pacer = vtime.NewPacer(e.horizon)
 	e.edges = nil
 	e.mu.Unlock()
+	return nil
 }
 
 // handleCrash is the injector's crash listener: it relays a node death to
@@ -415,10 +441,7 @@ func (e *Engine) handleCrash(ref chaos.NodeRef) {
 	if cc, ok := e.coords[ref.Cluster]; ok {
 		cc.KillNode(ref.Node, cause)
 	}
-	e.mu.Lock()
-	sps := append([]*SP(nil), e.sps...)
-	e.mu.Unlock()
-	for _, sp := range sps {
+	for _, sp := range e.allSPs() {
 		for _, w := range sp.wiringsTo(ref.Cluster, ref.Node) {
 			poisonInbox(w.inbox, "coordinator", cause)
 		}
@@ -468,15 +491,13 @@ func (e *Engine) heartbeatMonitor() {
 var ErrHeartbeatLost = errors.New("core: heartbeat lost")
 
 func (e *Engine) failStaleRP(cc *coord.Coordinator, id string) {
-	e.mu.Lock()
 	var sp *SP
-	for _, s := range e.sps {
+	for _, s := range e.allSPs() {
 		if s.id == id {
 			sp = s
 			break
 		}
 	}
-	e.mu.Unlock()
 	if sp == nil {
 		return
 	}
@@ -500,30 +521,24 @@ func (e *Engine) recordEdge(ed Edge) {
 	e.edges = append(e.edges, ed)
 }
 
-func (e *Engine) newID(prefix string) string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.nextID++
-	return prefix + strconv.Itoa(e.nextID)
-}
-
-// place allocates a compute node in cluster c. BlueGene placements go
-// through the front-end coordinator and are picked up by bgCC's polling
-// loop, because CNK offers no server capabilities.
-func (e *Engine) place(c hw.ClusterName, seq *cndb.Sequence) (int, error) {
+// place allocates a compute node in cluster c under the owning query's
+// lease. BlueGene placements go through the front-end coordinator and are
+// picked up by bgCC's polling loop, because CNK offers no server
+// capabilities.
+func (e *Engine) place(owner string, c hw.ClusterName, seq *cndb.Sequence) (int, error) {
 	cc, ok := e.coords[c]
 	if !ok {
 		return 0, fmt.Errorf("core: unknown cluster %q", c)
 	}
 	if c == hw.BlueGene {
-		reply, err := e.coords[hw.FrontEnd].SubmitBGPlacement(seq)
+		reply, err := e.coords[hw.FrontEnd].SubmitBGPlacementFor(owner, seq)
 		if err != nil {
 			return 0, err
 		}
 		res := <-reply
 		return res.Node, res.Err
 	}
-	return cc.Place(seq)
+	return cc.PlaceFor(owner, seq)
 }
 
 // SP assigns a subquery to a new stream process in cluster c, optionally
@@ -531,15 +546,16 @@ func (e *Engine) place(c hw.ClusterName, seq *cndb.Sequence) (int, error) {
 // sp(s, c, alloc)). The returned handle is a first-class object usable in
 // further subqueries via PlanBuilder.Extract/Merge.
 func (e *Engine) SP(sub Subquery, c hw.ClusterName, seq *cndb.Sequence) (*SP, error) {
-	node, err := e.place(c, seq)
+	qc := e.buildTarget(true)
+	node, err := e.place(qc.id, c, seq)
 	if err != nil {
 		return nil, fmt.Errorf("core: sp(%q): %w", c, err)
 	}
-	id := e.newID("rp-" + string(c) + "-")
-	sp := &SP{eng: e, cluster: c, id: id, sub: sub, seq: seq, node: node}
+	id := qc.newRPID(string(c))
+	sp := &SP{eng: e, qc: qc, cluster: c, id: id, sub: sub, seq: seq, node: node}
 	proc, hasInputs, err := e.buildProc(sp, node)
 	if err != nil {
-		e.coords[c].Release(node)
+		e.coords[c].ReleaseFor(qc.id, node)
 		return nil, err
 	}
 	// Only input-free source RPs are recoverable: their streams are
@@ -547,9 +563,7 @@ func (e *Engine) SP(sub Subquery, c hw.ClusterName, seq *cndb.Sequence) (*SP, er
 	sp.recoverable = !hasInputs
 	sp.rp = proc
 	e.coords[c].Register(proc)
-	e.mu.Lock()
-	e.sps = append(e.sps, sp)
-	e.mu.Unlock()
+	qc.addSP(sp)
 	return sp, nil
 }
 
@@ -566,6 +580,7 @@ func (e *Engine) buildProc(sp *SP, node int) (*rp.RP, bool, error) {
 		Cost:    e.env.Cost,
 		Files:   e.files,
 		Sources: e.sources,
+		Owner:   sp.qc.id,
 	}
 	b := &PlanBuilder{eng: e, cluster: sp.cluster, node: node, spID: sp.id}
 	op, err := sp.sub(b)
@@ -577,11 +592,10 @@ func (e *Engine) buildProc(sp *SP, node int) (*rp.RP, bool, error) {
 	// Only free-running source RPs register as pacing agents: a reactive
 	// RP's timing derives from its (already paced) inputs, and pacing it
 	// would deadlock — it publishes no progress until data arrives.
+	// Pacing groups are per query: one tenant's sources gate on each
+	// other, never on another tenant's progress.
 	if !b.hasInputs {
-		e.mu.Lock()
-		agent := e.pacer.Register()
-		e.mu.Unlock()
-		proc.SetPacer(agent)
+		proc.SetPacer(sp.qc.pacer.Register())
 	}
 	if e.sup != nil {
 		proc.SetOnExit(func(err error) { e.sup.onRPExit(sp, err) })
@@ -614,6 +628,7 @@ func (e *Engine) SPV(subs []Subquery, c hw.ClusterName, seq *cndb.Sequence) ([]*
 // behind the handle may be swapped by a re-placement; the id is stable.
 type SP struct {
 	eng     *Engine
+	qc      *queryCtx // owning query
 	cluster hw.ClusterName
 	id      string
 
@@ -882,6 +897,7 @@ func (e *Engine) wireProducer(p *SP, proc *rp.RP, pn int, w wiring) error {
 		return err
 	}
 	e.recordEdge(Edge{
+		Query:       p.qc.id,
 		Producer:    p.id,
 		Consumer:    w.consumer,
 		FromCluster: p.cluster,

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"scsq/internal/vtime"
+)
+
+// ErrQueriesActive is returned by Reset and Close while a query's streams
+// are still draining: tearing the engine down under an active stream would
+// leave RP goroutines blocked on dead inboxes. Cancel or Wait the active
+// queries first (the scheduler's cancel-then-reset does exactly that).
+var ErrQueriesActive = errors.New("core: queries active (drain, cancel or wait before Reset/Close)")
+
+// ErrQueryCancelled is the cause planted into a query's processes by
+// Query.Cancel; every RP of the cancelled query fails with it and the
+// query's Drain surfaces it.
+var ErrQueryCancelled = errors.New("core: query cancelled")
+
+// queryCtx is the engine-side identity of one query: the unit of SP/RP
+// ownership, pacing, vtime attribution, and reservation leasing. Every SP
+// the engine builds belongs to exactly one queryCtx; Cancel, Drain, and
+// crash supervision operate on that query's processes and leases only.
+type queryCtx struct {
+	eng *Engine
+	id  string // "q1", "q2", ... — the owner tag of leases, metrics, charges
+
+	// pacer is the query's own conservative-pacing group: the source RPs of
+	// one query gate on each other's virtual progress, never on another
+	// tenant's, so one slow query cannot stall a co-resident one.
+	pacer *vtime.Pacer
+
+	mu        sync.Mutex
+	sps       []*SP
+	nextID    int // per-query RP counter, so ids don't depend on admission order
+	started   bool
+	finished  bool
+	cancelled bool
+	cause     error
+}
+
+func (qc *queryCtx) addSP(sp *SP) {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	qc.sps = append(qc.sps, sp)
+}
+
+func (qc *queryCtx) snapshot() []*SP {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	return append([]*SP(nil), qc.sps...)
+}
+
+func (qc *queryCtx) newRPID(cluster string) string {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	qc.nextID++
+	return fmt.Sprintf("%s/rp-%s-%d", qc.id, cluster, qc.nextID)
+}
+
+func (qc *queryCtx) markStarted() {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	qc.started = true
+}
+
+func (qc *queryCtx) markFinished() {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	qc.finished = true
+}
+
+// active reports a query whose streams may still be moving: started by a
+// Drain that has not completed yet.
+func (qc *queryCtx) active() bool {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	return qc.started && !qc.finished
+}
+
+// cancel fails every process of this query (and only this query). The
+// failures propagate Down frames through the query's own SP graph, so its
+// Drain unwinds, releases the node leases, and reports the cause. Other
+// queries' processes, inboxes, and reservations are untouched.
+func (qc *queryCtx) cancel(cause error) {
+	qc.mu.Lock()
+	if qc.finished || qc.cancelled {
+		qc.mu.Unlock()
+		return
+	}
+	qc.cancelled = true
+	qc.cause = cause
+	sps := append([]*SP(nil), qc.sps...)
+	qc.mu.Unlock()
+	for _, sp := range sps {
+		sp.proc().Fail(cause)
+	}
+	// Failing an RP only interrupts it between elements; one blocked on a
+	// silent inbox (its producers idle or already gone) would never notice.
+	// Poison every consumer inbox of the query's streams — including the
+	// client's — so each receiver observes the cancellation as a Down frame
+	// and the Drain unwinds.
+	for _, sp := range sps {
+		sp.mu.Lock()
+		wirings := append([]wiring(nil), sp.wirings...)
+		sp.mu.Unlock()
+		for _, w := range wirings {
+			poisonInbox(w.inbox, sp.id, cause)
+		}
+	}
+}
+
+// Query is the exported per-query handle: the scheduler's lever on the
+// ownership machinery. It is created by BeginQuery, populated by building
+// SPs and a client plan inside BuildAs, and torn down by the stream's Drain
+// (or rolled back by a failed BuildAs).
+type Query struct {
+	qc *queryCtx
+}
+
+// ID returns the engine-assigned query id ("q1", "q2", ...).
+func (q *Query) ID() string { return q.qc.id }
+
+// Cancel fails every stream process of this query with ErrQueryCancelled
+// (wrapped with cause if non-nil). The query's Drain observes the failure,
+// releases its node leases, and returns; concurrent queries are unaffected.
+// Cancelling a finished query is a no-op.
+func (q *Query) Cancel(cause error) {
+	if cause == nil {
+		cause = ErrQueryCancelled
+	} else if !errors.Is(cause, ErrQueryCancelled) {
+		cause = fmt.Errorf("%w: %w", ErrQueryCancelled, cause)
+	}
+	q.qc.cancel(cause)
+}
+
+// Cancelled reports whether Cancel was called, and the planted cause.
+func (q *Query) Cancelled() (bool, error) {
+	q.qc.mu.Lock()
+	defer q.qc.mu.Unlock()
+	return q.qc.cancelled, q.qc.cause
+}
+
+// SPIDs returns the ids of the query's stream processes, in build order.
+func (q *Query) SPIDs() []string {
+	sps := q.qc.snapshot()
+	ids := make([]string, len(sps))
+	for i, sp := range sps {
+		ids[i] = sp.id
+	}
+	return ids
+}
+
+// SPCount returns how many stream processes the query built.
+func (q *Query) SPCount() int {
+	q.qc.mu.Lock()
+	defer q.qc.mu.Unlock()
+	return len(q.qc.sps)
+}
+
+// BeginQuery allocates a fresh query identity without making it the build
+// target. Pair with BuildAs to construct the query's SP graph under that
+// identity.
+func (e *Engine) BeginQuery() (*Query, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, errors.New("core: engine closed")
+	}
+	return &Query{qc: e.newQueryLocked()}, nil
+}
+
+// newQueryLocked creates and registers a queryCtx. e.mu must be held.
+func (e *Engine) newQueryLocked() *queryCtx {
+	e.qSeq++
+	qc := &queryCtx{
+		eng:   e,
+		id:    fmt.Sprintf("q%d", e.qSeq),
+		pacer: vtime.NewPacer(e.horizon),
+	}
+	e.queries[qc.id] = qc
+	return qc
+}
+
+// BuildAs runs build with q as the engine's build target: every SP and
+// client plan created inside belongs to q. Builds are serialized across the
+// engine (placement must see a consistent node pool), which is what makes
+// admission deterministic. On error the query's partial placements are
+// rolled back — its nodes released, its leases dropped, its identity
+// retired — so a failed admission attempt leaves no residue.
+func (e *Engine) BuildAs(q *Query, build func() error) error {
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	e.mu.Lock()
+	prev := e.cur
+	e.cur = q.qc
+	e.mu.Unlock()
+	err := build()
+	e.mu.Lock()
+	e.cur = prev
+	e.mu.Unlock()
+	if err != nil {
+		e.rollbackQuery(q.qc, err)
+		return err
+	}
+	return nil
+}
+
+// rollbackQuery undoes a failed build: failing the query's (unstarted)
+// processes, releasing its node leases, and rewinding its per-query state so
+// the same identity can attempt another build later (the scheduler re-tries
+// a queued query when capacity frees up). The identity itself stays
+// registered; Retire discards it for good.
+func (e *Engine) rollbackQuery(qc *queryCtx, cause error) {
+	qc.mu.Lock()
+	sps := qc.sps
+	qc.sps = nil
+	qc.nextID = 0
+	// Fresh pacing group: agents registered by the rolled-back processes
+	// never advance, and would gate a future attempt's sources forever.
+	qc.pacer = vtime.NewPacer(e.horizon)
+	qc.mu.Unlock()
+	for _, sp := range sps {
+		if p := sp.proc(); p != nil {
+			p.Fail(fmt.Errorf("core: build rolled back: %w", cause))
+		}
+		e.coords[sp.cluster].ReleaseFor(qc.id, sp.Node())
+		e.coords[sp.cluster].Unregister(sp.id)
+	}
+}
+
+// Retire discards a query identity that never ran (a rejected or
+// cancelled-while-queued admission). Queries that ran are retired by their
+// stream's Drain.
+func (q *Query) Retire() {
+	q.qc.markFinished()
+	q.qc.eng.removeQuery(q.qc.id)
+}
+
+// LeaseCount sums the node reservations the query holds across all cluster
+// CNDBs — zero once the query drained or was cancelled.
+func (e *Engine) LeaseCount(qid string) int {
+	n := 0
+	for _, cc := range e.coords {
+		n += cc.DB().LeaseCount(qid)
+	}
+	return n
+}
+
+func (e *Engine) removeQuery(id string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.queries, id)
+	if e.cur != nil && e.cur.id == id {
+		e.cur = nil
+	}
+}
+
+// buildTarget resolves the queryCtx new SPs attach to: the explicit build
+// target when one is set (BuildAs, or an implicit build in progress), else —
+// when joinLive is true — the single live query (dynamic RP creation from
+// inside a running RP, paper §2.2), else a fresh implicit query — the
+// classic single-query programmatic path, where SP/Extract/Drain never
+// mention query identities. Client plans pass joinLive false: a client-only
+// statement such as ps() or monitor() issued while a query runs is a new
+// session observing it, not part of its graph.
+func (e *Engine) buildTarget(joinLive bool) *queryCtx {
+	e.mu.Lock()
+	if e.cur != nil {
+		qc := e.cur
+		e.mu.Unlock()
+		return qc
+	}
+	qcs := make([]*queryCtx, 0, len(e.queries))
+	for _, qc := range e.queries {
+		qcs = append(qcs, qc)
+	}
+	e.mu.Unlock()
+	if joinLive {
+		var liveQC *queryCtx
+		n := 0
+		for _, qc := range qcs {
+			if qc.active() {
+				liveQC = qc
+				n++
+			}
+		}
+		if n == 1 {
+			// Exactly one query is running: a runtime Engine.SP call is that
+			// query dynamically growing its own graph. (With several live
+			// queries dynamic creation must go through BuildAs.)
+			return liveQC
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cur == nil {
+		e.cur = e.newQueryLocked()
+	}
+	return e.cur
+}
+
+// allSPs snapshots every query's stream processes — the engine-wide view
+// crash handling needs (a node failure hits all tenants resident on it).
+func (e *Engine) allSPs() []*SP {
+	e.mu.Lock()
+	qcs := make([]*queryCtx, 0, len(e.queries))
+	for _, qc := range e.queries {
+		qcs = append(qcs, qc)
+	}
+	e.mu.Unlock()
+	var out []*SP
+	for _, qc := range qcs {
+		out = append(out, qc.snapshot()...)
+	}
+	return out
+}
+
+// activeQueries counts queries whose streams may still be moving.
+func (e *Engine) activeQueries() int {
+	e.mu.Lock()
+	qcs := make([]*queryCtx, 0, len(e.queries))
+	for _, qc := range e.queries {
+		qcs = append(qcs, qc)
+	}
+	e.mu.Unlock()
+	n := 0
+	for _, qc := range qcs {
+		if qc.active() {
+			n++
+		}
+	}
+	return n
+}
+
+// LeasedNodes returns the node ids the query currently leases in cluster c,
+// sorted — the audit surface for release-on-completion and cancel.
+func (e *Engine) LeasedNodes(c string, qid string) []int {
+	for name, cc := range e.coords {
+		if string(name) == c {
+			return cc.DB().LeasedNodes(qid)
+		}
+	}
+	return nil
+}
+
+// QueryStatus is one row of the scheduler's session table, surfaced to
+// SCSQL's ps() through the QueryScheduler interface.
+type QueryStatus struct {
+	ID        string
+	State     string
+	Priority  int
+	Statement string
+	Nodes     int // node reservations currently leased
+}
+
+// QueryScheduler is the engine's hook to an attached multi-tenant scheduler
+// (internal/sched implements it). The indirection exists because the
+// scheduler builds on the SCSQL evaluator, which builds on this package: the
+// engine can only know the scheduler by interface.
+type QueryScheduler interface {
+	// QueryStatuses lists the scheduler's sessions in submission order.
+	QueryStatuses() []QueryStatus
+	// CancelQuery cancels the identified session.
+	CancelQuery(id string) error
+}
+
+// SetQueryScheduler attaches a scheduler to the engine, making it visible
+// to SCSQL's ps() and cancel() functions.
+func (e *Engine) SetQueryScheduler(s QueryScheduler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sched = s
+}
+
+// Scheduler returns the attached query scheduler, or nil.
+func (e *Engine) Scheduler() QueryScheduler {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sched
+}

@@ -91,16 +91,16 @@ func (s *Supervisor) replace(sp *SP) error {
 	cc := e.coords[sp.cluster]
 
 	oldNode := sp.Node()
-	cc.Release(oldNode)
+	cc.ReleaseFor(sp.qc.id, oldNode)
 	cc.Unregister(sp.id)
 
-	node, err := e.place(sp.cluster, sp.seq)
+	node, err := e.place(sp.qc.id, sp.cluster, sp.seq)
 	if err != nil {
 		return err
 	}
 	proc, _, err := e.buildProc(sp, node)
 	if err != nil {
-		cc.Release(node)
+		cc.ReleaseFor(sp.qc.id, node)
 		return err
 	}
 	// Re-dial every outgoing stream from the new node into the original
@@ -111,7 +111,7 @@ func (s *Supervisor) replace(sp *SP) error {
 	sp.mu.Unlock()
 	for _, w := range wirings {
 		if err := e.wireProducer(sp, proc, node, w); err != nil {
-			cc.Release(node)
+			cc.ReleaseFor(sp.qc.id, node)
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"scsq/internal/hw"
@@ -34,7 +35,7 @@ func TestEdgesRecordTopology(t *testing.T) {
 		t.Errorf("edge endpoints must be named: %+v", mpi)
 	}
 	tcp := edges[1]
-	if tcp.Carrier != "tcp" || tcp.Consumer != "client" || tcp.ToCluster != hw.FrontEnd {
+	if tcp.Carrier != "tcp" || !strings.HasSuffix(tcp.Consumer, "/client") || tcp.ToCluster != hw.FrontEnd {
 		t.Errorf("client edge = %+v", tcp)
 	}
 

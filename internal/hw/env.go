@@ -310,6 +310,26 @@ func (e *Env) StreamsOnIO(p int) int {
 	return n
 }
 
+// SetFairSlice bounds single reservations on the environment's shared
+// transport devices — I/O-node forwarders and trees, and Linux-cluster NICs
+// — so concurrent queries' frames interleave on a contended device instead
+// of serializing behind one tenant's transfer (see vtime.SetFairSlice).
+// Compute resources (CPUs, co-processors) are left unsliced: they are
+// per-node and, on the exclusive BlueGene, per-query anyway. Zero restores
+// whole-reservation placement.
+func (e *Env) SetFairSlice(d vtime.Duration) {
+	for _, n := range e.be {
+		n.NIC.SetFairSlice(d)
+	}
+	for _, n := range e.fe {
+		n.NIC.SetFairSlice(d)
+	}
+	for _, n := range e.io {
+		n.Forwarder.SetFairSlice(d)
+		n.Tree.SetFairSlice(d)
+	}
+}
+
 // Reset returns every resource in the environment to virtual time zero and
 // clears the inbound-stream registry. Use between experiment repetitions.
 func (e *Env) Reset() {

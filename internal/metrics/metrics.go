@@ -348,6 +348,53 @@ func (s Snapshot) Deterministic() Snapshot {
 	return out
 }
 
+// QueryScoped reports whether a metric name belongs to the given query id.
+// The engine embeds query ids into process identities as path segments
+// ("rp.elements_out.q1/rp-bg-2", "recv.bytes.q1/client") and scheduler
+// metrics carry the id as a dotted suffix ("sched.nodes.q1"); both forms
+// match, and "q1" never matches "q12".
+func QueryScoped(name, qid string) bool {
+	if qid == "" {
+		return false
+	}
+	if i := strings.Index(name, qid+"/"); i >= 0 {
+		// A path segment: the id must start the identity part, i.e. follow
+		// a '.' separator (or start the name).
+		if i == 0 || name[i-1] == '.' {
+			return true
+		}
+	}
+	return strings.HasSuffix(name, "."+qid)
+}
+
+// ForQuery filters the snapshot down to one query's metrics: every counter,
+// gauge, and histogram whose name is scoped to qid (see QueryScoped). This
+// is what lets monitor() and the shell's \stats inspect a single tenant of
+// a multi-query engine.
+func (s Snapshot) ForQuery(qid string) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for k, v := range s.Counters {
+		if QueryScoped(k, qid) {
+			out.Counters[k] = v
+		}
+	}
+	for k, v := range s.Gauges {
+		if QueryScoped(k, qid) {
+			out.Gauges[k] = v
+		}
+	}
+	for k, v := range s.Histograms {
+		if QueryScoped(k, qid) {
+			out.Histograms[k] = v
+		}
+	}
+	return out
+}
+
 // SumCounters sums every counter whose name starts with prefix — e.g.
 // SumCounters("link.bytes.mpi:") is the total payload volume delivered over
 // MPI links.

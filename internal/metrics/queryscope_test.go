@@ -1,0 +1,47 @@
+package metrics
+
+import "testing"
+
+func TestQueryScoped(t *testing.T) {
+	cases := []struct {
+		name, qid string
+		want      bool
+	}{
+		// Path-segment form: the query id prefixes the process identity.
+		{"rp.elements_out.q1/rp-bg-2", "q1", true},
+		{"recv.bytes.q1/client", "q1", true},
+		// Dotted-suffix form used by scheduler gauges.
+		{"sched.nodes.q1", "q1", true},
+		{"rt.sched.admission_wait_us.q1", "q1", true},
+		// "q1" must not match "q12" in either form.
+		{"rp.elements_out.q12/rp-bg-2", "q1", false},
+		{"sched.nodes.q12", "q1", false},
+		// Nor may the id match mid-identity or as a bare substring.
+		{"rp.elements_out.freq1/rp", "q1", false},
+		{"sched.submitted", "q1", false},
+		{"anything", "", false},
+	}
+	for _, c := range cases {
+		if got := QueryScoped(c.name, c.qid); got != c.want {
+			t.Errorf("QueryScoped(%q, %q) = %v, want %v", c.name, c.qid, got, c.want)
+		}
+	}
+}
+
+func TestSnapshotForQuery(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rp.elements_out.q1/rp-bg-1").Add(7)
+	reg.Counter("rp.elements_out.q2/rp-bg-1").Add(9)
+	reg.Counter("rp.elements_out.q12/rp-bg-1").Add(11)
+	reg.Counter("sched.submitted").Add(3)
+	reg.Gauge("sched.nodes.q1").Set(4)
+	reg.Gauge("sched.nodes.q2").Set(5)
+
+	snap := reg.Snapshot().ForQuery("q1")
+	if len(snap.Counters) != 1 || snap.Counters["rp.elements_out.q1/rp-bg-1"] != 7 {
+		t.Errorf("ForQuery counters = %v, want only q1's rp counter", snap.Counters)
+	}
+	if len(snap.Gauges) != 1 || snap.Gauges["sched.nodes.q1"] != 4 {
+		t.Errorf("ForQuery gauges = %v, want only sched.nodes.q1", snap.Gauges)
+	}
+}

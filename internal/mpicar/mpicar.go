@@ -210,6 +210,7 @@ func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 	s := len(fr.Payload)
 	k := m.Packets(s)
 	cf := m.CacheFactor(s)
+	owner := carrier.QueryOf(fr.Source)
 
 	// Sender co-processor: k packets, plus the double-buffer bookkeeping.
 	sendSvc := scaleDur(vtime.Duration(k)*m.PacketCost, cf)
@@ -221,7 +222,7 @@ func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 			sendSvc += m.OddPacketStall
 		}
 	}
-	_, senderFree := c.srcNode.Coproc.Use(fr.Ready, sendSvc)
+	_, senderFree := c.srcNode.Coproc.UseAs(owner, fr.Ready, sendSvc)
 	if v.Drop {
 		// The frame left the sender but never reaches a receiver driver;
 		// its pooled payload goes back to the pool here.
@@ -237,7 +238,7 @@ func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 	t := senderFree
 	for i, node := range c.fwdHops {
 		fwdSvc := scaleDur(scaleDur(vtime.Duration(k)*m.PacketCost, m.FwdFactor), cf)
-		_, t = node.Coproc.Use(t, fwdSvc)
+		_, t = node.Coproc.UseAs(owner, t, fwdSvc)
 		if fr.TraceID != 0 {
 			fr.Hops = append(fr.Hops, carrier.Hop{Name: c.hopNames[i], At: t})
 		}
@@ -250,7 +251,7 @@ func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 	if p := c.fabric.producerCount(c.dst); p > 1 {
 		recvSvc += scaleDur(m.CoprocSwitchCost, float64(p-1)/float64(p))
 	}
-	_, arrived := c.dstNode.Coproc.Use(t, recvSvc)
+	_, arrived := c.dstNode.Coproc.UseAs(owner, t, recvSvc)
 	arrived = arrived.Add(v.Delay)
 	if fr.TraceID != 0 {
 		fr.Hops = append(fr.Hops, carrier.Hop{Name: c.hopNames[len(c.hopNames)-1], At: arrived})

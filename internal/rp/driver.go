@@ -148,7 +148,7 @@ func (d *senderDriver) push(el sqep.Element) error {
 	ready = vtime.MaxTime(ready, d.pendReady)
 	var done vtime.Time
 	if d.cfg.CPU != nil {
-		_, done = d.cfg.CPU.Use(ready, svc)
+		_, done = d.cfg.CPU.UseAs(carrier.QueryOf(d.source), ready, svc)
 	} else {
 		done = ready.Add(svc)
 	}
@@ -467,7 +467,7 @@ func (r *Receiver) ingest(fr carrier.Delivered) error {
 	ready := vtime.MaxTime(fr.At, r.cpuAt)
 	var done vtime.Time
 	if r.cfg.CPU != nil {
-		_, done = r.cfg.CPU.Use(ready, svc)
+		_, done = r.cfg.CPU.UseAs(carrier.QueryOf(r.cfg.Consumer), ready, svc)
 	} else {
 		done = ready.Add(svc)
 	}

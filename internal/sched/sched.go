@@ -1,0 +1,666 @@
+// Package sched is the multi-tenant query scheduler: it turns the
+// single-query SCSQ engine into a system that runs many SCSQL sessions
+// concurrently. Each submitted statement becomes a query session with a
+// lifecycle (queued → admitted → running → done/failed/cancelled); an
+// admission controller reserves compute nodes through the engine's CNDB
+// allocation sequences before a query may start, queues queries whose
+// sequences cannot currently be satisfied, and admits them deterministically
+// — FIFO within priority — as completing queries release their leases.
+//
+// Determinism contract: admission order is a pure function of the submission
+// order and priorities, never of goroutine timing. Builds are serialized by
+// the engine (core.BuildAs), so the node pool each admission sees is exactly
+// the pool left by the previously admitted queries. Virtual-time results of
+// an admitted query depend only on which queries run concurrently with it,
+// not on wall-clock interleaving — that is the engine's virtual-time
+// contract, which the scheduler preserves by never injecting wall time into
+// any decision.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"scsq/internal/cndb"
+	"scsq/internal/core"
+	"scsq/internal/metrics"
+	"scsq/internal/scsql"
+	"scsq/internal/sqep"
+	"scsq/internal/vtime"
+)
+
+// State is a query session's lifecycle state.
+type State int
+
+// Session lifecycle. Queued, Admitted and Running are live states; Done,
+// Failed and Cancelled are final.
+const (
+	Queued    State = iota + 1 // parsed, waiting for node reservations
+	Admitted                   // nodes reserved, SP graph built, about to stream
+	Running                    // stream draining
+	Done                       // completed, result available
+	Failed                     // build or runtime error
+	Cancelled                  // cancelled by the user (queued or mid-stream)
+)
+
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Admitted:
+		return "admitted"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Cancelled:
+		return "cancelled"
+	}
+	return "unknown"
+}
+
+// Final reports whether the state is terminal.
+func (s State) Final() bool { return s == Done || s == Failed || s == Cancelled }
+
+// Scheduler errors.
+var (
+	// ErrQueueFull is returned by Submit when the admission queue is at
+	// capacity.
+	ErrQueueFull = errors.New("sched: admission queue full")
+	// ErrUnknownQuery is returned for ids no session was ever created under.
+	ErrUnknownQuery = errors.New("sched: unknown query")
+	// ErrQueryFinished is returned by Cancel on a session already in a final
+	// state.
+	ErrQueryFinished = errors.New("sched: query already finished")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("sched: scheduler closed")
+	// ErrUnsatisfiable is returned (wrapped around cndb.ErrNoAvailableNode)
+	// when a query's allocation sequence cannot be satisfied even on an
+	// otherwise idle system — queueing it would block the queue forever.
+	ErrUnsatisfiable = errors.New("sched: allocation sequence unsatisfiable")
+	// ErrCancelled aliases the engine's cancellation cause for callers that
+	// only import sched.
+	ErrCancelled = core.ErrQueryCancelled
+)
+
+// Option configures New.
+type Option func(*Scheduler)
+
+// WithQueueCap bounds the number of queued (not yet admitted) sessions;
+// Submit returns ErrQueueFull beyond it. Zero or negative means unbounded.
+// Default 64.
+func WithQueueCap(n int) Option { return func(s *Scheduler) { s.queueCap = n } }
+
+// WithMaxConcurrent bounds how many sessions may be admitted at once,
+// independent of node availability. Zero (the default) means limited only by
+// the node pool.
+func WithMaxConcurrent(n int) Option { return func(s *Scheduler) { s.maxConc = n } }
+
+// WithFairSlice enables fair-sharing of the environment's shared transport
+// devices: a single reservation on a contended NIC, forwarder or tree is
+// bounded to d of service, so concurrent tenants' frames interleave instead
+// of serializing behind one tenant's transfer. Off by default because slicing
+// changes intra-query schedules (the single-tenant paper figures are
+// calibrated without it).
+func WithFairSlice(d vtime.Duration) Option {
+	return func(s *Scheduler) { s.fairSlice = d }
+}
+
+// SubmitOption configures one Submit.
+type SubmitOption func(*submitCfg)
+
+type submitCfg struct{ priority int }
+
+// WithPriority sets the session's admission priority (higher admits first;
+// default 0). Within a priority level admission is FIFO.
+func WithPriority(p int) SubmitOption {
+	return func(c *submitCfg) { c.priority = p }
+}
+
+// Scheduler multiplexes SCSQL query sessions onto one engine.
+type Scheduler struct {
+	eng *core.Engine
+	ev  *scsql.Evaluator
+
+	queueCap  int
+	maxConc   int
+	fairSlice vtime.Duration
+
+	// admitMu serializes admission attempts; the build itself is further
+	// serialized engine-wide by core.BuildAs.
+	admitMu sync.Mutex
+
+	mu      sync.Mutex
+	closed  bool
+	seq     int
+	queries map[string]*Query
+	order   []*Query // submission order, for List
+	pending []*Query // admission queue: priority desc, then submission asc
+	running int
+
+	mSubmitted, mAdmitted, mCompleted *metrics.Counter
+	mFailed, mCancelled, mRejected    *metrics.Counter
+	gQueued, gRunning                 *metrics.Gauge
+}
+
+// New builds a scheduler over eng, evaluating statements against cat (nil
+// for a fresh catalog), and attaches it to the engine so SCSQL's ps() and
+// cancel() reach it.
+func New(eng *core.Engine, cat *scsql.Catalog, opts ...Option) *Scheduler {
+	s := &Scheduler{
+		eng:      eng,
+		ev:       scsql.NewEvaluator(eng, cat),
+		queueCap: 64,
+		queries:  make(map[string]*Query),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	reg := eng.Metrics()
+	s.mSubmitted = reg.Counter("sched.submitted")
+	s.mAdmitted = reg.Counter("sched.admitted")
+	s.mCompleted = reg.Counter("sched.completed")
+	s.mFailed = reg.Counter("sched.failed")
+	s.mCancelled = reg.Counter("sched.cancelled")
+	s.mRejected = reg.Counter("sched.rejected")
+	s.gQueued = reg.Gauge("rt.sched.queued")
+	s.gRunning = reg.Gauge("rt.sched.running")
+	if s.fairSlice > 0 {
+		eng.Env().SetFairSlice(s.fairSlice)
+	}
+	eng.SetQueryScheduler(s)
+	return s
+}
+
+// Catalog returns the catalog Submit's statements are evaluated against —
+// shared with any interactive evaluator over the same engine.
+func (s *Scheduler) Catalog() *scsql.Catalog { return s.ev.Catalog() }
+
+// Query is one scheduled session.
+type Query struct {
+	s    *Scheduler
+	seq  int
+	prio int
+	src  string
+	stmt *scsql.Statement
+	cq   *core.Query
+
+	mu        sync.Mutex
+	state     State
+	cancelReq bool
+	stream    *core.ClientStream
+	elements  []sqep.Element
+	err       error
+	makespan  vtime.Time
+	submitted time.Time
+	admitWait time.Duration
+	done      chan struct{}
+}
+
+// ID returns the engine-assigned session id ("q1", "q2", ...). It tags the
+// session's RPs, leases, vtime charges and metrics.
+func (q *Query) ID() string { return q.cq.ID() }
+
+// Statement returns the submitted SCSQL source.
+func (q *Query) Statement() string { return q.src }
+
+// Priority returns the admission priority.
+func (q *Query) Priority() int { return q.prio }
+
+// State returns the session's current lifecycle state.
+func (q *Query) State() State {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.state
+}
+
+// Done returns a channel closed when the session reaches a final state.
+func (q *Query) Done() <-chan struct{} { return q.done }
+
+// Wait blocks until the session reaches a final state and returns its
+// result stream's elements and error (nil elements for def statements and
+// sessions cancelled before running).
+func (q *Query) Wait() ([]sqep.Element, error) {
+	<-q.done
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.elements, q.err
+}
+
+// Err returns the session's terminal error, nil while live or Done.
+func (q *Query) Err() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.err
+}
+
+// Makespan returns the virtual completion time of the session's stream
+// (zero until Done).
+func (q *Query) Makespan() vtime.Time {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.makespan
+}
+
+// AdmissionWait returns how long the session waited between submission and
+// admission (wall clock; zero until admitted).
+func (q *Query) AdmissionWait() time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.admitWait
+}
+
+// Cancel cancels the session: a queued session is removed from the admission
+// queue; an admitted or running one has its stream processes failed, which
+// unwinds its Drain and releases its node leases without perturbing other
+// sessions.
+func (q *Query) Cancel() error { return q.s.Cancel(q.ID()) }
+
+// Nodes returns how many node reservations the session currently holds.
+func (q *Query) Nodes() int { return q.s.eng.LeaseCount(q.ID()) }
+
+// Submit parses src and schedules it. Syntax errors are returned
+// synchronously. Function definitions execute immediately (they touch only
+// the catalog) and return a session already in Done. Query statements enter
+// the admission queue and are admitted as soon as their allocation sequences
+// can be satisfied, in FIFO-within-priority order.
+func (s *Scheduler) Submit(src string, opts ...SubmitOption) (*Query, error) {
+	stmt, err := scsql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var cfg submitCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if stmt.Query != nil && s.queueCap > 0 && len(s.pending) >= s.queueCap {
+		s.mu.Unlock()
+		s.mRejected.Inc()
+		return nil, fmt.Errorf("%w (cap %d)", ErrQueueFull, s.queueCap)
+	}
+	s.mu.Unlock()
+
+	cq, err := s.eng.BeginQuery()
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{
+		s:         s,
+		prio:      cfg.priority,
+		src:       src,
+		stmt:      stmt,
+		cq:        cq,
+		state:     Queued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+
+	if stmt.Def != nil {
+		// Definitions touch only the catalog: no nodes, no admission.
+		_, err := s.ev.ExecStatement(stmt)
+		cq.Retire()
+		if err != nil {
+			return nil, err
+		}
+		q.state = Done
+		close(q.done)
+		s.mu.Lock()
+		s.seq++
+		q.seq = s.seq
+		s.queries[q.ID()] = q
+		s.order = append(s.order, q)
+		s.mu.Unlock()
+		s.mSubmitted.Inc()
+		s.mCompleted.Inc()
+		return q, nil
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cq.Retire()
+		return nil, ErrClosed
+	}
+	s.seq++
+	q.seq = s.seq
+	s.queries[q.ID()] = q
+	s.order = append(s.order, q)
+	s.enqueueLocked(q)
+	s.mu.Unlock()
+	s.mSubmitted.Inc()
+	s.admit()
+	return q, nil
+}
+
+// enqueueLocked inserts q into the admission queue keeping it sorted by
+// priority (descending) then submission sequence (ascending). s.mu held.
+func (s *Scheduler) enqueueLocked(q *Query) {
+	i := sort.Search(len(s.pending), func(i int) bool {
+		p := s.pending[i]
+		if p.prio != q.prio {
+			return p.prio < q.prio
+		}
+		return p.seq > q.seq
+	})
+	s.pending = append(s.pending, nil)
+	copy(s.pending[i+1:], s.pending[i:])
+	s.pending[i] = q
+	s.gQueued.Set(int64(len(s.pending)))
+}
+
+// unqueueLocked removes q from the admission queue if present. s.mu held.
+func (s *Scheduler) unqueueLocked(q *Query) bool {
+	for i, p := range s.pending {
+		if p == q {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			s.gQueued.Set(int64(len(s.pending)))
+			return true
+		}
+	}
+	return false
+}
+
+// admit drives the admission loop: while the head of the queue can be built
+// (its allocation sequences satisfied against the current node pool), build
+// it, reserve its nodes, and start it running. A head whose sequences cannot
+// currently be satisfied blocks the queue — strict FIFO-within-priority, so
+// admission order is deterministic and small queries cannot starve a large
+// one — unless the system is idle, in which case the sequence can never be
+// satisfied and the query is rejected.
+func (s *Scheduler) admit() {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	for {
+		s.mu.Lock()
+		if len(s.pending) == 0 || (s.maxConc > 0 && s.running >= s.maxConc) {
+			s.mu.Unlock()
+			return
+		}
+		q := s.pending[0]
+		idle := s.running == 0
+		s.mu.Unlock()
+
+		q.mu.Lock()
+		if q.cancelReq {
+			// Cancelled while queued (between admit iterations).
+			q.mu.Unlock()
+			s.finishQueued(q, Cancelled, ErrCancelled)
+			continue
+		}
+		q.mu.Unlock()
+
+		err := s.build(q)
+		if errors.Is(err, cndb.ErrNoAvailableNode) {
+			if idle {
+				// Nothing else holds leases: this sequence can never be
+				// satisfied. Reject instead of blocking the queue forever.
+				s.finishQueued(q, Failed, fmt.Errorf("%w: %w", ErrUnsatisfiable, err))
+				s.mRejected.Inc()
+				continue
+			}
+			return // head-of-line: wait for a completion to free nodes
+		}
+		if err != nil {
+			s.finishQueued(q, Failed, err)
+			continue
+		}
+
+		s.mu.Lock()
+		s.unqueueLocked(q)
+		s.running++
+		s.gRunning.Set(int64(s.running))
+		s.mu.Unlock()
+
+		q.mu.Lock()
+		q.state = Admitted
+		q.admitWait = time.Since(q.submitted)
+		wait := q.admitWait
+		cancelled := q.cancelReq
+		q.mu.Unlock()
+
+		reg := s.eng.Metrics()
+		s.mAdmitted.Inc()
+		reg.Gauge("rt.sched.admission_wait_us." + q.ID()).Set(wait.Microseconds())
+		reg.Gauge("sched.nodes." + q.ID()).Set(int64(q.cq.SPCount()))
+		if cancelled {
+			// Cancel raced the build: unwind through the normal run path so
+			// the leases release exactly once.
+			q.cq.Cancel(nil)
+		}
+		go s.run(q)
+	}
+}
+
+// build constructs q's SP graph under its engine identity. On error the
+// engine has already rolled back q's placements and leases.
+func (s *Scheduler) build(q *Query) error {
+	return s.eng.BuildAs(q.cq, func() error {
+		res, err := s.ev.ExecStatement(q.stmt)
+		if err != nil {
+			return err
+		}
+		if res.Stream == nil {
+			return fmt.Errorf("sched: statement %q produced no stream", q.src)
+		}
+		q.mu.Lock()
+		q.stream = res.Stream
+		q.mu.Unlock()
+		return nil
+	})
+}
+
+// finishQueued finalizes a session that never ran: removes it from the
+// queue, retires its engine identity, records the outcome.
+func (s *Scheduler) finishQueued(q *Query, st State, err error) {
+	s.mu.Lock()
+	s.unqueueLocked(q)
+	s.mu.Unlock()
+	q.cq.Retire()
+	q.mu.Lock()
+	q.state = st
+	q.err = err
+	q.mu.Unlock()
+	close(q.done)
+	switch st {
+	case Failed:
+		s.mFailed.Inc()
+	case Cancelled:
+		s.mCancelled.Inc()
+	}
+}
+
+// run drains q's stream to completion and finalizes the session, then
+// re-enters the admission loop: the leases this query released may satisfy
+// the head of the queue.
+func (s *Scheduler) run(q *Query) {
+	q.mu.Lock()
+	q.state = Running
+	stream := q.stream
+	q.mu.Unlock()
+
+	els, err := stream.Drain()
+
+	q.mu.Lock()
+	q.elements = els
+	q.makespan = stream.Makespan()
+	cancelled := q.cancelReq
+	switch {
+	case cancelled && err != nil:
+		q.state = Cancelled
+		q.err = err
+	case err != nil:
+		q.state = Failed
+		q.err = err
+	default:
+		q.state = Done
+	}
+	st := q.state
+	q.mu.Unlock()
+	close(q.done)
+
+	s.eng.Metrics().Gauge("sched.nodes." + q.ID()).Set(0)
+	switch st {
+	case Done:
+		s.mCompleted.Inc()
+	case Failed:
+		s.mFailed.Inc()
+	case Cancelled:
+		s.mCancelled.Inc()
+	}
+	s.mu.Lock()
+	s.running--
+	s.gRunning.Set(int64(s.running))
+	s.mu.Unlock()
+	s.admit()
+}
+
+// Cancel cancels the identified session. Queued sessions leave the queue
+// immediately; admitted/running ones have their stream processes failed with
+// ErrCancelled, which unwinds their Drain and releases their node leases.
+// Cancelling a finished session returns ErrQueryFinished.
+func (s *Scheduler) Cancel(id string) error {
+	s.mu.Lock()
+	q := s.queries[id]
+	s.mu.Unlock()
+	if q == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownQuery, id)
+	}
+	q.mu.Lock()
+	st := q.state
+	switch st {
+	case Queued:
+		q.cancelReq = true
+		q.mu.Unlock()
+		s.mu.Lock()
+		removed := s.unqueueLocked(q)
+		s.mu.Unlock()
+		if removed {
+			q.cq.Retire()
+			q.mu.Lock()
+			q.state = Cancelled
+			q.err = ErrCancelled
+			q.mu.Unlock()
+			close(q.done)
+			s.mCancelled.Inc()
+			s.admit()
+		}
+		// Not in the queue: the admission loop is mid-build on it and will
+		// observe cancelReq.
+		return nil
+	case Admitted, Running:
+		q.cancelReq = true
+		q.mu.Unlock()
+		q.cq.Cancel(nil)
+		return nil
+	default:
+		q.mu.Unlock()
+		return fmt.Errorf("%w: %s is %s", ErrQueryFinished, id, st)
+	}
+}
+
+// Get returns the session with the given id.
+func (s *Scheduler) Get(id string) (*Query, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q := s.queries[id]; q != nil {
+		return q, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownQuery, id)
+}
+
+// Info is one row of the session table.
+type Info struct {
+	ID            string
+	State         State
+	Priority      int
+	Statement     string
+	Nodes         int // node reservations currently held
+	AdmissionWait time.Duration
+}
+
+// List returns every session in submission order.
+func (s *Scheduler) List() []Info {
+	s.mu.Lock()
+	qs := append([]*Query(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]Info, 0, len(qs))
+	for _, q := range qs {
+		q.mu.Lock()
+		in := Info{
+			ID:            q.ID(),
+			State:         q.state,
+			Priority:      q.prio,
+			Statement:     q.src,
+			AdmissionWait: q.admitWait,
+		}
+		q.mu.Unlock()
+		in.Nodes = s.eng.LeaseCount(in.ID)
+		out = append(out, in)
+	}
+	return out
+}
+
+// Active reports how many sessions are not in a final state.
+func (s *Scheduler) Active() int {
+	s.mu.Lock()
+	qs := append([]*Query(nil), s.order...)
+	s.mu.Unlock()
+	n := 0
+	for _, q := range qs {
+		if !q.State().Final() {
+			n++
+		}
+	}
+	return n
+}
+
+// QueryStatuses implements core.QueryScheduler for SCSQL's ps().
+func (s *Scheduler) QueryStatuses() []core.QueryStatus {
+	infos := s.List()
+	out := make([]core.QueryStatus, len(infos))
+	for i, in := range infos {
+		out[i] = core.QueryStatus{
+			ID:        in.ID,
+			State:     in.State.String(),
+			Priority:  in.Priority,
+			Statement: in.Statement,
+			Nodes:     in.Nodes,
+		}
+	}
+	return out
+}
+
+// CancelQuery implements core.QueryScheduler for SCSQL's cancel(qid).
+func (s *Scheduler) CancelQuery(id string) error { return s.Cancel(id) }
+
+// Close cancels every live session, waits for them to unwind, and refuses
+// further submissions. The engine itself is left open.
+func (s *Scheduler) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	qs := append([]*Query(nil), s.order...)
+	s.mu.Unlock()
+	for _, q := range qs {
+		if !q.State().Final() {
+			_ = s.Cancel(q.ID())
+		}
+	}
+	for _, q := range qs {
+		<-q.done
+	}
+	return nil
+}

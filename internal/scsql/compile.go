@@ -228,6 +228,12 @@ func (ev *Evaluator) compileCall(call *Call, env *scope, b *core.PlanBuilder) (s
 	case "monitor":
 		return ev.compileMonitor(call, env)
 
+	case "ps":
+		return ev.compilePS(call)
+
+	case "cancel":
+		return ev.compileCancel(call, env)
+
 	case "radixcombine":
 		return ev.compileRadixCombine(call, env, b)
 
@@ -250,7 +256,9 @@ func (ev *Evaluator) compileCall(call *Call, env *scope, b *core.PlanBuilder) (s
 // when the plan opens (not at compile time), and the registry accumulates
 // across engine resets, so a monitor() statement issued after a query
 // reports that query's final counters. The optional string argument keeps
-// only metrics whose name starts with it.
+// only metrics whose name starts with it; the form monitor('@q3') instead
+// keeps the metrics scoped to query q3 (names carrying a "q3/" path segment
+// or a ".q3" suffix) — the per-session view of a multi-tenant engine.
 func (ev *Evaluator) compileMonitor(call *Call, env *scope) (sqep.Operator, error) {
 	prefix := ""
 	switch len(call.Args) {
@@ -268,9 +276,17 @@ func (ev *Evaluator) compileMonitor(call *Call, env *scope) (sqep.Operator, erro
 	default:
 		return nil, errorfAt(call.Pos, "monitor() takes at most 1 argument, got %d", len(call.Args))
 	}
+	qid := ""
+	if strings.HasPrefix(prefix, "@") {
+		qid = prefix[1:]
+		prefix = ""
+	}
 	eng := ev.eng
 	return sqep.NewThunk("monitor", func() ([]any, error) {
 		snap := eng.MetricsSnapshot()
+		if qid != "" {
+			snap = snap.ForQuery(qid)
+		}
 		var rows []any
 		for _, name := range sortedMetricNames(snap.Counters) {
 			if strings.HasPrefix(name, prefix) {
@@ -289,6 +305,56 @@ func (ev *Evaluator) compileMonitor(call *Call, env *scope) (sqep.Operator, erro
 			}
 		}
 		return rows, nil
+	}), nil
+}
+
+// compilePS lowers ps() — the attached scheduler's session table as a
+// stream. Each element is a bag {id, state, priority, nodes, statement} in
+// submission order. Requires an engine with a query scheduler attached
+// (scsq.New installs one; a bare evaluator has none).
+func (ev *Evaluator) compilePS(call *Call) (sqep.Operator, error) {
+	if len(call.Args) != 0 {
+		return nil, errorfAt(call.Pos, "ps() takes no arguments, got %d", len(call.Args))
+	}
+	eng := ev.eng
+	return sqep.NewThunk("ps", func() ([]any, error) {
+		sch := eng.Scheduler()
+		if sch == nil {
+			return nil, fmt.Errorf("scsql: ps(): no query scheduler attached to this engine")
+		}
+		var rows []any
+		for _, st := range sch.QueryStatuses() {
+			rows = append(rows, []any{st.ID, st.State, int64(st.Priority), int64(st.Nodes), st.Statement})
+		}
+		return rows, nil
+	}), nil
+}
+
+// compileCancel lowers cancel('q3') — cancelling the identified session of
+// the attached scheduler. It yields a single confirmation bag {id,
+// "cancelled"}; an unknown or finished session is an error.
+func (ev *Evaluator) compileCancel(call *Call, env *scope) (sqep.Operator, error) {
+	if len(call.Args) != 1 {
+		return nil, errorfAt(call.Pos, "cancel() takes 1 argument, got %d", len(call.Args))
+	}
+	v, err := ev.evalScalar(call.Args[0], env)
+	if err != nil {
+		return nil, err
+	}
+	qid, ok := v.(string)
+	if !ok {
+		return nil, errorfAt(call.Args[0].ePos(), "cancel() takes a query id string, got %T", v)
+	}
+	eng := ev.eng
+	return sqep.NewThunk("cancel", func() ([]any, error) {
+		sch := eng.Scheduler()
+		if sch == nil {
+			return nil, fmt.Errorf("scsql: cancel(): no query scheduler attached to this engine")
+		}
+		if err := sch.CancelQuery(qid); err != nil {
+			return nil, err
+		}
+		return []any{[]any{qid, "cancelled"}}, nil
 	}), nil
 }
 

@@ -1,0 +1,154 @@
+package scsql_test
+
+// External test package: these tests exercise the SCSQL surface of the
+// multi-tenant scheduler (ps(), cancel(), monitor('@qid')), and the sched
+// package itself imports scsql — an internal test would cycle.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"scsq/internal/core"
+	"scsq/internal/sched"
+	"scsq/internal/scsql"
+	"scsq/internal/sqep"
+)
+
+func newSchedEngine(t *testing.T) (*core.Engine, *sched.Scheduler, *scsql.Evaluator) {
+	t.Helper()
+	e, err := core.NewEngine()
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	t.Cleanup(func() { e.Close() })
+	s := sched.New(e, nil)
+	t.Cleanup(func() { s.Close() })
+	// The interactive evaluator shares the engine (and thereby the attached
+	// scheduler) and the catalog with the scheduler's own evaluator.
+	return e, s, scsql.NewEvaluator(e, s.Catalog())
+}
+
+func drainRows(t *testing.T, ev *scsql.Evaluator, src string) []sqep.Element {
+	t.Helper()
+	res, err := ev.Exec(src)
+	if err != nil {
+		t.Fatalf("exec %q: %v", src, err)
+	}
+	if res.Stream == nil {
+		t.Fatalf("no stream from %q", src)
+	}
+	els, err := res.Stream.Drain()
+	if err != nil {
+		t.Fatalf("drain %q: %v", src, err)
+	}
+	return els
+}
+
+func TestPSListsSessions(t *testing.T) {
+	_, s, ev := newSchedEngine(t)
+
+	q, err := s.Submit(scsql.Figure5Query(30_000, 4))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := q.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+
+	rows := drainRows(t, ev, `select ps();`)
+	found := false
+	for _, el := range rows {
+		bag, ok := el.Value.([]any)
+		if !ok || len(bag) < 5 {
+			t.Fatalf("ps row = %#v, want {id, state, priority, nodes, statement}", el.Value)
+		}
+		if bag[0] == q.ID() {
+			found = true
+			if bag[1] != "done" {
+				t.Fatalf("ps state for %s = %v, want done", q.ID(), bag[1])
+			}
+			if bag[3] != int64(0) {
+				t.Fatalf("ps nodes for finished %s = %v, want 0", q.ID(), bag[3])
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("ps() rows %v do not mention session %s", rows, q.ID())
+	}
+}
+
+func TestCancelBuiltinCancelsSession(t *testing.T) {
+	_, s, ev := newSchedEngine(t)
+
+	q, err := s.Submit(scsql.Figure5Query(30_000, 500))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	rows := drainRows(t, ev, `select cancel('`+q.ID()+`');`)
+	if len(rows) != 1 {
+		t.Fatalf("cancel() yielded %d rows, want 1", len(rows))
+	}
+	if _, err := q.Wait(); !errors.Is(err, sched.ErrCancelled) {
+		t.Fatalf("session err = %v, want ErrCancelled", err)
+	}
+
+	// Cancelling a finished session surfaces the scheduler's typed error.
+	res, err := ev.Exec(`select cancel('` + q.ID() + `');`)
+	if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	if _, err := res.Stream.Drain(); !errors.Is(err, sched.ErrQueryFinished) {
+		t.Fatalf("re-cancel err = %v, want ErrQueryFinished", err)
+	}
+}
+
+func TestPSWithoutSchedulerErrors(t *testing.T) {
+	e, err := core.NewEngine()
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	defer e.Close()
+	ev := scsql.NewEvaluator(e, nil)
+	res, err := ev.Exec(`select ps();`)
+	if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	if _, err := res.Stream.Drain(); err == nil || !strings.Contains(err.Error(), "no query scheduler") {
+		t.Fatalf("err = %v, want no-scheduler error", err)
+	}
+}
+
+func TestMonitorQueryScoped(t *testing.T) {
+	_, s, ev := newSchedEngine(t)
+
+	a, err := s.Submit(scsql.Figure5Query(30_000, 3))
+	if err != nil {
+		t.Fatalf("submit a: %v", err)
+	}
+	b, err := s.Submit(scsql.Figure5Query(30_000, 3))
+	if err != nil {
+		t.Fatalf("submit b: %v", err)
+	}
+	if _, err := a.Wait(); err != nil {
+		t.Fatalf("a: %v", err)
+	}
+	if _, err := b.Wait(); err != nil {
+		t.Fatalf("b: %v", err)
+	}
+
+	rows := drainRows(t, ev, `select monitor('@`+a.ID()+`');`)
+	if len(rows) == 0 {
+		t.Fatalf("monitor('@%s') yielded no rows", a.ID())
+	}
+	for _, el := range rows {
+		bag := el.Value.([]any)
+		name := bag[1].(string)
+		if strings.Contains(name, b.ID()+"/") || strings.HasSuffix(name, "."+b.ID()) {
+			t.Fatalf("scoped monitor leaked %s's metric %q", b.ID(), name)
+		}
+		if !strings.Contains(name, a.ID()+"/") && !strings.HasSuffix(name, "."+a.ID()) {
+			t.Fatalf("metric %q in monitor('@%s') is not scoped to it", name, a.ID())
+		}
+	}
+}

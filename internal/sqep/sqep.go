@@ -56,6 +56,9 @@ type Ctx struct {
 	Files FileTable
 	// Sources resolves receiver(name) to external stream sources.
 	Sources map[string]SourceFunc
+	// Owner is the query id CPU charges are attributed to in the per-owner
+	// busy accounting of shared resources ("" = anonymous).
+	Owner string
 }
 
 // Charge charges the context CPU for service time starting no earlier than
@@ -65,7 +68,7 @@ func (c *Ctx) Charge(ready vtime.Time, service vtime.Duration) vtime.Time {
 	if c == nil || c.CPU == nil {
 		return ready.Add(service)
 	}
-	_, end := c.CPU.Use(ready, service)
+	_, end := c.CPU.UseAs(c.Owner, ready, service)
 	return end
 }
 

@@ -217,12 +217,13 @@ func (c *Conn) sendIntoBG(fr carrier.Frame, v chaos.Verdict) (vtime.Time, error)
 	env := c.fabric.env
 	m := env.Cost
 	s := len(fr.Payload)
+	owner := carrier.QueryOf(fr.Source)
 
 	nicSvc := m.BeMsgCost + byteDur(m.BeNICByte, s)
 	if c.src.Cluster == hw.FrontEnd {
 		nicSvc = m.BeMsgCost + byteDur(m.FENICByte, s)
 	}
-	_, senderFree := c.srcNode.NIC.Use(fr.Ready, nicSvc)
+	_, senderFree := c.srcNode.NIC.UseAs(owner, fr.Ready, nicSvc)
 	if v.Drop {
 		c.mDrops.Inc()
 		carrier.Recycle(&fr)
@@ -241,8 +242,8 @@ func (c *Conn) sendIntoBG(fr carrier.Frame, v chaos.Verdict) (vtime.Time, error)
 			fwdSvc += vtime.Duration(peers-1) * m.CiodPeerCost
 		}
 	}
-	_, t := c.ion.Forwarder.Use(senderFree, fwdSvc)
-	_, arrived := c.ion.Tree.Use(t, byteDur(m.TreeByte, s))
+	_, t := c.ion.Forwarder.UseAs(owner, senderFree, fwdSvc)
+	_, arrived := c.ion.Tree.UseAs(owner, t, byteDur(m.TreeByte, s))
 	if fr.TraceID != 0 {
 		fr.Hops = append(fr.Hops,
 			carrier.Hop{Name: "nic " + c.src.String(), At: senderFree},
@@ -262,8 +263,9 @@ func (c *Conn) sendOutOfBG(fr carrier.Frame, v chaos.Verdict) (vtime.Time, error
 	env := c.fabric.env
 	m := env.Cost
 	s := len(fr.Payload)
+	owner := carrier.QueryOf(fr.Source)
 
-	_, t := c.ion.Tree.Use(fr.Ready, byteDur(m.TreeByte, s))
+	_, t := c.ion.Tree.UseAs(owner, fr.Ready, byteDur(m.TreeByte, s))
 	senderFree := t
 	if v.Drop {
 		c.mDrops.Inc()
@@ -271,13 +273,13 @@ func (c *Conn) sendOutOfBG(fr carrier.Frame, v chaos.Verdict) (vtime.Time, error
 		return senderFree, nil
 	}
 	treeAt := t
-	_, t = c.ion.Forwarder.Use(t, byteDur(m.IOByte, s))
+	_, t = c.ion.Forwarder.UseAs(owner, t, byteDur(m.IOByte, s))
 
 	perByte := m.FENICByte
 	if c.dst.Cluster == hw.BackEnd {
 		perByte = m.BeNICByte
 	}
-	_, arrived := c.dstNode.NIC.Use(t, m.BeMsgCost+byteDur(perByte, s))
+	_, arrived := c.dstNode.NIC.UseAs(owner, t, m.BeMsgCost+byteDur(perByte, s))
 	if fr.TraceID != 0 {
 		fr.Hops = append(fr.Hops,
 			carrier.Hop{Name: fmt.Sprintf("tree io:%d", c.ion.ID), At: treeAt},
@@ -298,6 +300,7 @@ func (c *Conn) sendLinuxToLinux(fr carrier.Frame, v chaos.Verdict) (vtime.Time, 
 	env := c.fabric.env
 	m := env.Cost
 	s := len(fr.Payload)
+	owner := carrier.QueryOf(fr.Source)
 
 	perByteSrc := m.FENICByte
 	if c.src.Cluster == hw.BackEnd {
@@ -307,13 +310,13 @@ func (c *Conn) sendLinuxToLinux(fr carrier.Frame, v chaos.Verdict) (vtime.Time, 
 	if c.dst.Cluster == hw.BackEnd {
 		perByteDst = m.BeNICByte
 	}
-	_, senderFree := c.srcNode.NIC.Use(fr.Ready, m.BeMsgCost+byteDur(perByteSrc, s))
+	_, senderFree := c.srcNode.NIC.UseAs(owner, fr.Ready, m.BeMsgCost+byteDur(perByteSrc, s))
 	if v.Drop {
 		c.mDrops.Inc()
 		carrier.Recycle(&fr)
 		return senderFree, nil
 	}
-	_, arrived := c.dstNode.NIC.Use(senderFree, byteDur(perByteDst, s))
+	_, arrived := c.dstNode.NIC.UseAs(owner, senderFree, byteDur(perByteDst, s))
 	if fr.TraceID != 0 {
 		fr.Hops = append(fr.Hops,
 			carrier.Hop{Name: "nic " + c.src.String(), At: senderFree},

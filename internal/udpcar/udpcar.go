@@ -163,10 +163,11 @@ func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 	env := c.fabric.env
 	m := env.Cost
 	s := len(fr.Payload)
+	owner := carrier.QueryOf(fr.Source)
 
 	// The datagram always leaves the back-end NIC.
 	nicSvc := m.BeMsgCost + vtime.Duration(m.BeNICByte*float64(s))
-	_, senderFree := c.srcNode.NIC.Use(fr.Ready, nicSvc)
+	_, senderFree := c.srcNode.NIC.UseAs(owner, fr.Ready, nicSvc)
 
 	if !fr.Last && (v.Drop || c.fabric.drop(c.id, seq)) {
 		c.mu.Lock()
@@ -186,8 +187,8 @@ func (c *Conn) Send(fr carrier.Frame) (vtime.Time, error) {
 	if peers := env.DistinctBeNodes(); peers > 1 {
 		fwdSvc += vtime.Duration(peers-1) * m.CiodPeerCost
 	}
-	_, t := c.ion.Forwarder.Use(senderFree, fwdSvc)
-	_, arrived := c.ion.Tree.Use(t, vtime.Duration(m.TreeByte*float64(s)))
+	_, t := c.ion.Forwarder.UseAs(owner, senderFree, fwdSvc)
+	_, arrived := c.ion.Tree.UseAs(owner, t, vtime.Duration(m.TreeByte*float64(s)))
 	if fr.TraceID != 0 {
 		fr.Hops = append(fr.Hops,
 			carrier.Hop{Name: "nic " + c.src.String(), At: senderFree},

@@ -97,6 +97,9 @@ type Resource struct {
 	hwm     Time     // ready high-water mark
 	floor   Time     // prune floor: everything before it is treated as busy
 	horizon Duration // 0 = DefaultBackfillHorizon, < 0 = never prune
+
+	usedBy    map[string]Duration // per-owner busy time (UseAs); nil until first owner
+	fairSlice Duration            // 0 = whole-reservation placement (default)
 }
 
 type interval struct {
@@ -120,9 +123,31 @@ func (r *Resource) SetBackfillHorizon(d Duration) {
 	r.horizon = d
 }
 
+// SetFairSlice bounds the length of a single contiguous reservation: a
+// request longer than d is placed as a chain of earliest-fit chunks of at
+// most d each, so frames of concurrent queries interleave on a contended
+// device instead of serializing behind one tenant's large transfer. Zero
+// (the default) restores whole-reservation placement — single-query virtual
+// schedules are then identical to an unsliced resource.
+func (r *Resource) SetFairSlice(d Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	r.fairSlice = d
+}
+
 // Use reserves the resource for service virtual nanoseconds, starting no
 // earlier than ready. It returns the granted interval [start, end).
 func (r *Resource) Use(ready Time, service Duration) (start, end Time) {
+	return r.UseAs("", ready, service)
+}
+
+// UseAs is Use with the reservation attributed to owner (a query id) in the
+// per-owner busy accounting reported by OwnerBusy. An empty owner charges
+// only the aggregate total.
+func (r *Resource) UseAs(owner string, ready Time, service Duration) (start, end Time) {
 	if ready < 0 {
 		ready = 0
 	}
@@ -132,6 +157,38 @@ func (r *Resource) Use(ready Time, service Duration) (start, end Time) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.used += service
+	if owner != "" {
+		if r.usedBy == nil {
+			r.usedBy = make(map[string]Duration)
+		}
+		r.usedBy[owner] += service
+	}
+	if slice := r.fairSlice; slice > 0 && service > slice {
+		// Chunked placement: each chunk is earliest-fit at or after the
+		// previous chunk's end, leaving the gaps between chunks free for
+		// other tenants' requests.
+		start = Time(-1)
+		at := ready
+		for remaining := service; remaining > 0; {
+			chunk := slice
+			if remaining < chunk {
+				chunk = remaining
+			}
+			cs, ce := r.place(at, chunk)
+			if start < 0 {
+				start = cs
+			}
+			at = ce
+			end = ce
+			remaining -= chunk
+		}
+		return start, end
+	}
+	return r.place(ready, service)
+}
+
+// place grants one contiguous earliest-fit reservation. r.mu must be held.
+func (r *Resource) place(ready Time, service Duration) (start, end Time) {
 	if ready < r.floor {
 		// The gaps before the prune floor are gone: treat them as busy.
 		ready = r.floor
@@ -238,8 +295,31 @@ func (r *Resource) BusyTime() Duration {
 	return r.used
 }
 
+// BusyTimeBy reports the virtual time charged by the given owner via UseAs.
+func (r *Resource) BusyTimeBy(owner string) Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.usedBy[owner]
+}
+
+// OwnerBusy returns a copy of the per-owner busy accounting: owner (query
+// id) to total virtual service time charged via UseAs. Anonymous Use calls
+// are not included.
+func (r *Resource) OwnerBusy() map[string]Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.usedBy) == 0 {
+		return nil
+	}
+	out := make(map[string]Duration, len(r.usedBy))
+	for k, v := range r.usedBy {
+		out[k] = v
+	}
+	return out
+}
+
 // Reset returns the resource to the free-at-zero state. Used between
-// experiment repetitions. The backfill horizon is kept.
+// experiment repetitions. The backfill horizon and fair slice are kept.
 func (r *Resource) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -249,6 +329,7 @@ func (r *Resource) Reset() {
 	r.lastEnd = 0
 	r.hwm = 0
 	r.floor = 0
+	r.usedBy = nil
 }
 
 // Clock tracks the high-water mark of virtual time observed by an

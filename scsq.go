@@ -43,16 +43,22 @@ import (
 	"scsq/internal/core"
 	"scsq/internal/hw"
 	"scsq/internal/metrics"
+	"scsq/internal/sched"
 	"scsq/internal/scsql"
 	"scsq/internal/sqep"
+	"scsq/internal/vtime"
 )
 
 // Engine is a SCSQ instance: a client manager, three cluster coordinators
-// and a simulated LOFAR hardware environment. An engine runs one continuous
-// query at a time; Reset prepares it for the next one.
+// and a simulated LOFAR hardware environment. Exec/Query run one statement
+// synchronously on the calling goroutine; Submit hands statements to the
+// engine's multi-tenant query scheduler, which runs many sessions
+// concurrently under admission control. Reset prepares the engine for an
+// independent run once no session is live.
 type Engine struct {
-	core *core.Engine
-	ev   *scsql.Evaluator
+	core  *core.Engine
+	ev    *scsql.Evaluator
+	sched *sched.Scheduler
 }
 
 // Option configures New.
@@ -61,6 +67,7 @@ type Option interface{ apply(*config) error }
 type config struct {
 	envOpts    []hw.Option
 	coreOpts   []core.Option
+	schedOpts  []sched.Option
 	tracing    bool
 	traceLimit int
 }
@@ -188,6 +195,45 @@ func WithTracing(limit int) Option {
 	})
 }
 
+// WithAdmissionQueueCap bounds how many submitted sessions may wait for
+// admission; Submit fails once the queue is full (default 64; <= 0 means
+// unbounded).
+func WithAdmissionQueueCap(n int) Option {
+	return optionFunc(func(c *config) error {
+		c.schedOpts = append(c.schedOpts, sched.WithQueueCap(n))
+		return nil
+	})
+}
+
+// WithMaxConcurrentQueries bounds how many sessions may run at once,
+// independent of node availability (default: limited only by the node
+// pool).
+func WithMaxConcurrentQueries(n int) Option {
+	return optionFunc(func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("scsq: max concurrent queries must be >= 0, got %d", n)
+		}
+		c.schedOpts = append(c.schedOpts, sched.WithMaxConcurrent(n))
+		return nil
+	})
+}
+
+// WithFairShareSlice bounds single reservations on the shared transport
+// devices (Linux-cluster NICs, I/O-node forwarders and trees) to d of
+// virtual service time, so concurrent sessions' frames interleave on a
+// contended device instead of serializing behind one tenant's transfer. Off
+// by default: slicing changes intra-query schedules, and the single-tenant
+// paper figures are calibrated without it.
+func WithFairShareSlice(d time.Duration) Option {
+	return optionFunc(func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("scsq: fair-share slice must be >= 0, got %v", d)
+		}
+		c.schedOpts = append(c.schedOpts, sched.WithFairSlice(vtime.Duration(d.Nanoseconds())))
+		return nil
+	})
+}
+
 // New builds an engine over a freshly simulated LOFAR environment.
 func New(opts ...Option) (*Engine, error) {
 	var cfg config
@@ -208,16 +254,37 @@ func New(opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{core: c, ev: scsql.NewEvaluator(c, nil)}, nil
+	// The scheduler and the synchronous evaluator share one catalog: a
+	// function defined interactively is visible to submitted sessions and
+	// vice versa.
+	sch := sched.New(c, nil, cfg.schedOpts...)
+	return &Engine{core: c, ev: scsql.NewEvaluator(c, sch.Catalog()), sched: sch}, nil
 }
 
-// Close shuts the engine down. Pending queries must be drained first.
-func (e *Engine) Close() error { return e.core.Close() }
+// ErrQueriesActive is returned by Reset and Close while sessions are still
+// live: cancel or wait them first.
+var ErrQueriesActive = core.ErrQueriesActive
+
+// Close shuts the engine down: live scheduler sessions are cancelled and
+// waited, then the core engine closes.
+func (e *Engine) Close() error {
+	if err := e.sched.Close(); err != nil {
+		return err
+	}
+	return e.core.Close()
+}
 
 // Reset prepares the engine for an independent query run: node allocations
 // are released and every virtual resource rewinds to time zero. Function
-// definitions are kept.
-func (e *Engine) Reset() { e.core.Reset() }
+// definitions are kept. Reset refuses (with ErrQueriesActive) while any
+// query's streams are still draining — cancel or wait the live sessions
+// first.
+func (e *Engine) Reset() error {
+	if e.sched.Active() > 0 {
+		return fmt.Errorf("%w: %d scheduler session(s) live", ErrQueriesActive, e.sched.Active())
+	}
+	return e.core.Reset()
+}
 
 // MetricsSnapshot is a point-in-time copy of the engine's telemetry: counter
 // and gauge values plus virtual-time latency histograms, keyed by metric
@@ -404,3 +471,130 @@ func (e *Engine) Utilization(s *Stream, top int) []ResourceUsage {
 	}
 	return out
 }
+
+// SessionOption configures one Submit.
+type SessionOption = sched.SubmitOption
+
+// WithPriority sets a submitted session's admission priority (higher admits
+// first; default 0). Within a priority level admission is FIFO.
+func WithPriority(p int) SessionOption { return sched.WithPriority(p) }
+
+// SessionState is a session's lifecycle state as reported by the scheduler:
+// "queued", "admitted", "running", "done", "failed" or "cancelled".
+type SessionState = sched.State
+
+// Session states.
+const (
+	SessionQueued    = sched.Queued
+	SessionAdmitted  = sched.Admitted
+	SessionRunning   = sched.Running
+	SessionDone      = sched.Done
+	SessionFailed    = sched.Failed
+	SessionCancelled = sched.Cancelled
+)
+
+// ErrCancelled is the terminal error of a cancelled session.
+var ErrCancelled = sched.ErrCancelled
+
+// Session is one scheduled SCSQL query: a handle on its lifecycle, result
+// and resource footprint.
+type Session struct {
+	q *sched.Query
+}
+
+// ID returns the session id ("q1", "q2", ...) — the tag of its processes,
+// node leases and metrics, and the argument of cancel() and ps() rows.
+func (s *Session) ID() string { return s.q.ID() }
+
+// State returns the session's current lifecycle state.
+func (s *Session) State() SessionState { return s.q.State() }
+
+// Statement returns the submitted SCSQL source.
+func (s *Session) Statement() string { return s.q.Statement() }
+
+// Wait blocks until the session finishes and returns its result elements.
+func (s *Session) Wait() ([]Element, error) {
+	els, err := s.q.Wait()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Element, 0, len(els))
+	for _, el := range els {
+		out = append(out, Element{
+			Value:  el.Value,
+			At:     el.At.Sub(0).Std(),
+			Source: el.Src,
+		})
+	}
+	return out, nil
+}
+
+// Cancel cancels the session: queued sessions leave the admission queue;
+// running ones unwind their streams and release their node reservations,
+// without perturbing concurrent sessions.
+func (s *Session) Cancel() error { return s.q.Cancel() }
+
+// Makespan returns the session's virtual completion time (zero until done).
+func (s *Session) Makespan() time.Duration {
+	return s.q.Makespan().Sub(0).Std()
+}
+
+// BandwidthMbps computes the session's measured streaming bandwidth:
+// payloadBytes communicated during the virtual makespan, in Mbit/s.
+func (s *Session) BandwidthMbps(payloadBytes int64) float64 {
+	mk := s.Makespan()
+	if mk <= 0 {
+		return 0
+	}
+	return float64(payloadBytes) * 8 / mk.Seconds() / 1e6
+}
+
+// AdmissionWait returns how long the session waited for admission.
+func (s *Session) AdmissionWait() time.Duration { return s.q.AdmissionWait() }
+
+// Nodes returns how many node reservations the session currently holds.
+func (s *Session) Nodes() int { return s.q.Nodes() }
+
+// Submit schedules an SCSQL statement as a concurrent session. Syntax
+// errors surface synchronously; placement happens under admission control —
+// a session whose allocation sequences cannot currently be satisfied waits
+// in the queue (FIFO within priority) until completing sessions release
+// their nodes. Definitions execute immediately.
+func (e *Engine) Submit(statement string, opts ...SessionOption) (*Session, error) {
+	q, err := e.sched.Submit(statement, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{q: q}, nil
+}
+
+// SessionInfo is one row of the scheduler's session table (also available
+// in SCSQL as ps()).
+type SessionInfo struct {
+	ID            string
+	State         SessionState
+	Priority      int
+	Statement     string
+	Nodes         int // node reservations currently held
+	AdmissionWait time.Duration
+}
+
+// Sessions lists every session of this engine in submission order.
+func (e *Engine) Sessions() []SessionInfo {
+	infos := e.sched.List()
+	out := make([]SessionInfo, len(infos))
+	for i, in := range infos {
+		out[i] = SessionInfo{
+			ID:            in.ID,
+			State:         in.State,
+			Priority:      in.Priority,
+			Statement:     in.Statement,
+			Nodes:         in.Nodes,
+			AdmissionWait: in.AdmissionWait,
+		}
+	}
+	return out
+}
+
+// CancelSession cancels the identified session (see Session.Cancel).
+func (e *Engine) CancelSession(id string) error { return e.sched.Cancel(id) }

@@ -282,7 +282,7 @@ and   a=sp(gen_array(10000,2), 'bg', 1);`)
 	if edges[0].Carrier != "mpi" || edges[0].From != "bg:1" || edges[0].To != "bg:0" {
 		t.Errorf("mpi edge = %+v", edges[0])
 	}
-	if edges[1].Consumer != "client" {
+	if !strings.HasSuffix(edges[1].Consumer, "/client") {
 		t.Errorf("client edge = %+v", edges[1])
 	}
 }
@@ -297,5 +297,71 @@ func TestCloseIdempotent(t *testing.T) {
 	}
 	if err := eng.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSessionsPublicAPI(t *testing.T) {
+	eng := newEngine(t)
+	src := `
+select extract(b)
+from sp a, sp b
+where b=sp(streamof(count(extract(a))), 'bg')
+and   a=sp(gen_array(30000,8), 'bg');`
+	s1, err := eng.Submit(src)
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	s2, err := eng.Submit(src)
+	if err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	for i, s := range []*Session{s1, s2} {
+		els, err := s.Wait()
+		if err != nil {
+			t.Fatalf("session %d: %v", i+1, err)
+		}
+		if got := els[len(els)-1].Value; got != int64(8) {
+			t.Fatalf("session %d count = %v, want 8", i+1, got)
+		}
+		if s.State() != SessionDone {
+			t.Fatalf("session %d state = %v, want done", i+1, s.State())
+		}
+		if s.Nodes() != 0 {
+			t.Fatalf("session %d still holds %d nodes", i+1, s.Nodes())
+		}
+	}
+	if s1.ID() == s2.ID() {
+		t.Fatalf("sessions share id %s", s1.ID())
+	}
+	infos := eng.Sessions()
+	if len(infos) != 2 {
+		t.Fatalf("Sessions() returned %d rows, want 2", len(infos))
+	}
+	if err := eng.Reset(); err != nil {
+		t.Fatalf("reset after completion: %v", err)
+	}
+}
+
+func TestResetRefusesWhileSessionLive(t *testing.T) {
+	eng := newEngine(t)
+	s, err := eng.Submit(`
+select extract(b)
+from sp a, sp b
+where b=sp(streamof(count(extract(a))), 'bg')
+and   a=sp(gen_array(30000,500), 'bg');`)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := eng.Reset(); err == nil {
+		t.Fatal("Reset succeeded under a live session")
+	}
+	if err := eng.CancelSession(s.ID()); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	if _, err := s.Wait(); err == nil {
+		t.Fatal("cancelled session drained cleanly")
+	}
+	if err := eng.Reset(); err != nil {
+		t.Fatalf("reset after cancel: %v", err)
 	}
 }
