@@ -109,7 +109,10 @@ func (s *ClientStream) Drain() ([]sqep.Element, error) {
 
 	e := s.eng
 	qc := s.qc
-	qc.markStarted()
+	if err := e.beginDrain(qc); err != nil {
+		s.err = err
+		return nil, s.err
+	}
 	sps := qc.snapshot()
 
 	var errs []error

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -172,6 +173,103 @@ func TestResetReleasesNodesAndEdges(t *testing.T) {
 	els, err := cs.Drain()
 	if err != nil || len(els) != 4 {
 		t.Errorf("post-reset drain = %d elements, %v", len(els), err)
+	}
+}
+
+func TestDrainAfterResetFailsFast(t *testing.T) {
+	e, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	a, err := e.SP(func(*PlanBuilder) (sqep.Operator, error) {
+		return sqep.NewIota(1, 2), nil
+	}, hw.BackEnd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := e.Extract(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reset(); err != nil {
+		t.Fatalf("reset with no active stream: %v", err)
+	}
+	// The stream was built before the Reset: its identity and placements
+	// are gone, so it must fail fast instead of starting RPs on the reset
+	// engine.
+	if _, err := cs.Drain(); !errors.Is(err, ErrStaleQuery) {
+		t.Errorf("drain after reset err = %v, want ErrStaleQuery", err)
+	}
+}
+
+func TestDrainAfterCloseFailsFast(t *testing.T) {
+	e, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.SP(func(*PlanBuilder) (sqep.Operator, error) {
+		return sqep.NewIota(1, 2), nil
+	}, hw.BackEnd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := e.Extract(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("close with no active stream: %v", err)
+	}
+	if _, err := cs.Drain(); !errors.Is(err, ErrStaleQuery) {
+		t.Errorf("drain after close err = %v, want ErrStaleQuery", err)
+	}
+}
+
+// TestResetRacesDrain races Reset against a Drain starting: exactly one
+// side must win. Either Reset sees the active (or about-to-complete) stream
+// — ErrQueriesActive or a clean pass after it drained — or the Drain
+// observes the reset and fails fast with ErrStaleQuery. Reset must never
+// succeed while the Drain also proceeds on the torn-down engine.
+func TestResetRacesDrain(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		e, err := NewEngine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := e.SP(func(*PlanBuilder) (sqep.Operator, error) {
+			return sqep.NewIota(1, 50), nil
+		}, hw.BackEnd, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := e.Extract(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drainErr := make(chan error, 1)
+		go func() {
+			_, err := cs.Drain()
+			drainErr <- err
+		}()
+		resetErr := e.Reset()
+		derr := <-drainErr
+		switch {
+		case resetErr == nil:
+			// Reset won: the stream had not started (or had fully
+			// finished) — a not-yet-started one must fail fast.
+			if derr != nil && !errors.Is(derr, ErrStaleQuery) {
+				t.Fatalf("reset won but drain err = %v, want nil or ErrStaleQuery", derr)
+			}
+		case errors.Is(resetErr, ErrQueriesActive):
+			// Drain won: it must complete untouched.
+			if derr != nil {
+				t.Fatalf("drain won but failed: %v", derr)
+			}
+		default:
+			t.Fatalf("reset err = %v", resetErr)
+		}
+		e.Close()
 	}
 }
 

@@ -373,13 +373,15 @@ func (e *Engine) FileTable() sqep.FileTable { return e.files }
 // ErrQueriesActive while any query's streams are still moving, instead of
 // tearing the control plane out from under them.
 func (e *Engine) Close() error {
-	if e.activeQueries() > 0 {
-		return ErrQueriesActive
-	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		return nil
+	}
+	// Checked under e.mu so no Drain can start (beginDrain) between the
+	// check and the teardown.
+	if e.activeQueriesLocked() > 0 {
+		return ErrQueriesActive
 	}
 	e.closed = true
 	if e.hbStop != nil {
@@ -399,10 +401,14 @@ func (e *Engine) Close() error {
 // resetting under an active stream would leave RP goroutines blocked on
 // dead inboxes. Built-but-never-started queries are torn down as before.
 func (e *Engine) Reset() error {
-	if e.activeQueries() > 0 {
+	e.mu.Lock()
+	// Checked under e.mu so no Drain can start (beginDrain) between the
+	// check and the identity sweep; a stream built before this Reset that
+	// drains after it fails fast with ErrStaleQuery.
+	if e.activeQueriesLocked() > 0 {
+		e.mu.Unlock()
 		return ErrQueriesActive
 	}
-	e.mu.Lock()
 	qcs := make([]*queryCtx, 0, len(e.queries))
 	for _, qc := range e.queries {
 		qcs = append(qcs, qc)

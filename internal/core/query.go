@@ -19,6 +19,12 @@ var ErrQueriesActive = errors.New("core: queries active (drain, cancel or wait b
 // query's Drain surfaces it.
 var ErrQueryCancelled = errors.New("core: query cancelled")
 
+// ErrStaleQuery is returned by Drain when the engine was Reset or Closed
+// between building the stream and draining it: the query's identity and
+// placements are gone, so starting its processes would run them on a
+// torn-down engine.
+var ErrStaleQuery = errors.New("core: query identity retired (engine Reset or Closed since build)")
+
 // queryCtx is the engine-side identity of one query: the unit of SP/RP
 // ownership, pacing, vtime attribution, and reservation leasing. Every SP
 // the engine builds belongs to exactly one queryCtx; Cancel, Drain, and
@@ -318,21 +324,32 @@ func (e *Engine) allSPs() []*SP {
 	return out
 }
 
-// activeQueries counts queries whose streams may still be moving.
-func (e *Engine) activeQueries() int {
-	e.mu.Lock()
-	qcs := make([]*queryCtx, 0, len(e.queries))
-	for _, qc := range e.queries {
-		qcs = append(qcs, qc)
-	}
-	e.mu.Unlock()
+// activeQueriesLocked counts queries whose streams may still be moving.
+// e.mu must be held, which makes the count atomic with teardown decisions
+// against beginDrain (lock order: e.mu then qc.mu).
+func (e *Engine) activeQueriesLocked() int {
 	n := 0
-	for _, qc := range qcs {
+	for _, qc := range e.queries {
 		if qc.active() {
 			n++
 		}
 	}
 	return n
+}
+
+// beginDrain gates a stream start against engine teardown: it marks the
+// query started under e.mu — the same lock Close and Reset hold while
+// verifying no query is active — so a Drain either wins the race (and the
+// teardown returns ErrQueriesActive) or observes the teardown and fails
+// fast with ErrStaleQuery instead of starting RPs on a dead engine.
+func (e *Engine) beginDrain(qc *queryCtx) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || e.queries[qc.id] != qc {
+		return ErrStaleQuery
+	}
+	qc.markStarted()
+	return nil
 }
 
 // LeasedNodes returns the node ids the query currently leases in cluster c,

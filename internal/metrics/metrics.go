@@ -357,12 +357,21 @@ func QueryScoped(name, qid string) bool {
 	if qid == "" {
 		return false
 	}
-	if i := strings.Index(name, qid+"/"); i >= 0 {
-		// A path segment: the id must start the identity part, i.e. follow
-		// a '.' separator (or start the name).
+	// A path segment: the id must start the identity part, i.e. follow a
+	// '.' separator (or start the name). Check every occurrence — an
+	// earlier non-segment hit ("x.freq1.q1/client" for "q1") must not mask
+	// a genuine one.
+	seg := qid + "/"
+	for off := 0; ; {
+		i := strings.Index(name[off:], seg)
+		if i < 0 {
+			break
+		}
+		i += off
 		if i == 0 || name[i-1] == '.' {
 			return true
 		}
+		off = i + 1
 	}
 	return strings.HasSuffix(name, "."+qid)
 }

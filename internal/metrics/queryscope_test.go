@@ -18,6 +18,8 @@ func TestQueryScoped(t *testing.T) {
 		{"sched.nodes.q12", "q1", false},
 		// Nor may the id match mid-identity or as a bare substring.
 		{"rp.elements_out.freq1/rp", "q1", false},
+		// A non-segment occurrence before a genuine segment must not mask it.
+		{"rp.freq1/merge.q1/rp-bg-1", "q1", true},
 		{"sched.submitted", "q1", false},
 		{"anything", "", false},
 	}

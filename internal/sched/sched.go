@@ -331,6 +331,15 @@ func (s *Scheduler) Submit(src string, opts ...SubmitOption) (*Query, error) {
 		cq.Retire()
 		return nil, ErrClosed
 	}
+	if s.queueCap > 0 && len(s.pending) >= s.queueCap {
+		// Re-check in the critical section that enqueues: the early check
+		// above is only a fast path, and concurrent Submits may have filled
+		// the queue while this one was in BeginQuery.
+		s.mu.Unlock()
+		cq.Retire()
+		s.mRejected.Inc()
+		return nil, fmt.Errorf("%w (cap %d)", ErrQueueFull, s.queueCap)
+	}
 	s.seq++
 	q.seq = s.seq
 	s.queries[q.ID()] = q
@@ -386,37 +395,59 @@ func (s *Scheduler) admit() {
 			s.mu.Unlock()
 			return
 		}
+		// Claim the head by removing it from the queue before touching it.
+		// A concurrent Cancel of a queued session then either still finds it
+		// in the queue (removes it and finalizes it itself) or finds it
+		// claimed (sets cancelReq and leaves finalization to this loop) —
+		// never both, so each session is finalized exactly once.
 		q := s.pending[0]
+		s.pending = s.pending[1:]
+		s.gQueued.Set(int64(len(s.pending)))
 		idle := s.running == 0
 		s.mu.Unlock()
 
 		q.mu.Lock()
-		if q.cancelReq {
+		cancelled := q.cancelReq
+		q.mu.Unlock()
+		if cancelled {
 			// Cancelled while queued (between admit iterations).
-			q.mu.Unlock()
-			s.finishQueued(q, Cancelled, ErrCancelled)
+			s.finishQueued(q, Cancelled, ErrCancelled, s.mCancelled)
 			continue
 		}
-		q.mu.Unlock()
 
 		err := s.build(q)
 		if errors.Is(err, cndb.ErrNoAvailableNode) {
 			if idle {
 				// Nothing else holds leases: this sequence can never be
 				// satisfied. Reject instead of blocking the queue forever.
-				s.finishQueued(q, Failed, fmt.Errorf("%w: %w", ErrUnsatisfiable, err))
-				s.mRejected.Inc()
+				s.finishQueued(q, Failed, fmt.Errorf("%w: %w", ErrUnsatisfiable, err), s.mRejected)
 				continue
 			}
-			return // head-of-line: wait for a completion to free nodes
+			// Head-of-line: put the claimed session back and wait for a
+			// completion to free nodes. The cancelReq re-check is atomic
+			// with the re-insert (both locks held): a Cancel that arrived
+			// during the build found the session claimed and relies on this
+			// loop to finalize it; a Cancel after the re-insert finds it
+			// queued again and finalizes it itself.
+			s.mu.Lock()
+			q.mu.Lock()
+			if q.cancelReq {
+				q.mu.Unlock()
+				s.mu.Unlock()
+				s.finishQueued(q, Cancelled, ErrCancelled, s.mCancelled)
+				continue
+			}
+			s.enqueueLocked(q)
+			q.mu.Unlock()
+			s.mu.Unlock()
+			return
 		}
 		if err != nil {
-			s.finishQueued(q, Failed, err)
+			s.finishQueued(q, Failed, err, s.mFailed)
 			continue
 		}
 
 		s.mu.Lock()
-		s.unqueueLocked(q)
 		s.running++
 		s.gRunning.Set(int64(s.running))
 		s.mu.Unlock()
@@ -425,7 +456,7 @@ func (s *Scheduler) admit() {
 		q.state = Admitted
 		q.admitWait = time.Since(q.submitted)
 		wait := q.admitWait
-		cancelled := q.cancelReq
+		cancelled = q.cancelReq
 		q.mu.Unlock()
 
 		reg := s.eng.Metrics()
@@ -459,24 +490,18 @@ func (s *Scheduler) build(q *Query) error {
 	})
 }
 
-// finishQueued finalizes a session that never ran: removes it from the
-// queue, retires its engine identity, records the outcome.
-func (s *Scheduler) finishQueued(q *Query, st State, err error) {
-	s.mu.Lock()
-	s.unqueueLocked(q)
-	s.mu.Unlock()
+// finishQueued finalizes a session that never ran: retires its engine
+// identity, records the outcome, and bumps exactly one outcome counter
+// (a rejected session counts as rejected, not also failed). The caller
+// must hold the session's claim — it is no longer in the admission queue.
+func (s *Scheduler) finishQueued(q *Query, st State, err error, c *metrics.Counter) {
 	q.cq.Retire()
 	q.mu.Lock()
 	q.state = st
 	q.err = err
 	q.mu.Unlock()
 	close(q.done)
-	switch st {
-	case Failed:
-		s.mFailed.Inc()
-	case Cancelled:
-		s.mCancelled.Inc()
-	}
+	c.Inc()
 }
 
 // run drains q's stream to completion and finalizes the session, then
@@ -529,10 +554,14 @@ func (s *Scheduler) run(q *Query) {
 // ErrCancelled, which unwinds their Drain and releases their node leases.
 // Cancelling a finished session returns ErrQueryFinished.
 func (s *Scheduler) Cancel(id string) error {
+	// Lock order: s.mu then q.mu. Holding both makes the state check, the
+	// cancelReq flag, and the unqueue one atomic step against the admission
+	// loop's claim-and-build (which re-checks cancelReq under the same pair
+	// before re-inserting a blocked head).
 	s.mu.Lock()
 	q := s.queries[id]
-	s.mu.Unlock()
 	if q == nil {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownQuery, id)
 	}
 	q.mu.Lock()
@@ -540,9 +569,8 @@ func (s *Scheduler) Cancel(id string) error {
 	switch st {
 	case Queued:
 		q.cancelReq = true
-		q.mu.Unlock()
-		s.mu.Lock()
 		removed := s.unqueueLocked(q)
+		q.mu.Unlock()
 		s.mu.Unlock()
 		if removed {
 			q.cq.Retire()
@@ -554,16 +582,18 @@ func (s *Scheduler) Cancel(id string) error {
 			s.mCancelled.Inc()
 			s.admit()
 		}
-		// Not in the queue: the admission loop is mid-build on it and will
-		// observe cancelReq.
+		// Not in the queue: the admission loop has claimed it (mid-build)
+		// and will observe cancelReq and finalize it.
 		return nil
 	case Admitted, Running:
 		q.cancelReq = true
 		q.mu.Unlock()
+		s.mu.Unlock()
 		q.cq.Cancel(nil)
 		return nil
 	default:
 		q.mu.Unlock()
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %s is %s", ErrQueryFinished, id, st)
 	}
 }

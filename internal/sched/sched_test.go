@@ -258,6 +258,64 @@ func TestCancelQueued(t *testing.T) {
 	}
 }
 
+// TestCancelRacesAdmission hammers the claim/cancel handshake: a queued
+// session is cancelled while the admission loop may be mid-claim or
+// mid-build on it (a third submission drives the loop concurrently with the
+// cancel, so the head is repeatedly claimed, build-failed, and re-inserted).
+// Guards against double finalization — double Retire, a Cancelled state
+// overwritten to Admitted, and close-of-closed-channel panics.
+func TestCancelRacesAdmission(t *testing.T) {
+	for i := 0; i < 15; i++ {
+		e := tinyEngine(t)
+		s := New(e, nil)
+
+		a, err := s.Submit(scsql.Figure5Query(30_000, 100))
+		if err != nil {
+			t.Fatalf("submit a: %v", err)
+		}
+		b, err := s.Submit(scsql.Figure5Query(30_000, 2))
+		if err != nil {
+			t.Fatalf("submit b: %v", err)
+		}
+		var (
+			wg sync.WaitGroup
+			c  *Query
+		)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if err := s.Cancel(b.ID()); err != nil && !errors.Is(err, ErrQueryFinished) {
+				t.Errorf("cancel b: %v", err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			var err error
+			c, err = s.Submit(scsql.Figure5Query(30_000, 2))
+			if err != nil {
+				t.Errorf("submit c: %v", err)
+			}
+		}()
+		wg.Wait()
+		if _, err := a.Wait(); err != nil {
+			t.Fatalf("a perturbed: %v", err)
+		}
+		<-b.Done()
+		if st := b.State(); !st.Final() || st == Failed {
+			t.Fatalf("b state = %v (err %v), want cancelled or done", st, b.Err())
+		}
+		if c != nil {
+			if _, err := c.Wait(); err != nil {
+				t.Fatalf("c: %v", err)
+			}
+		}
+		if n := e.LeaseCount(b.ID()); b.State() == Cancelled && n != 0 {
+			t.Fatalf("cancelled b still holds %d leases", n)
+		}
+		s.Close()
+	}
+}
+
 // TestCancelRunningReleasesLeases is the acceptance scenario: two concurrent
 // Query-1 instances; cancelling one mid-stream releases its node
 // reservations (visible in the session table and the lease table) without
