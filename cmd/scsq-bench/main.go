@@ -10,6 +10,8 @@
 //	scsq-bench -fig ablation          # naive vs topology-aware node selection
 //	scsq-bench -fig udp               # extension: inbound streaming over lossy UDP
 //	scsq-bench -fig mt                # extension: multi-tenant contention sweep
+//	scsq-bench -fig vkernel           # virtual-time kernel: batched commits, SP spawn → BENCH_vkernel.json
+//	scsq-bench -fig vkernel -tiny     # seconds-scale smoke sizing (CI)
 //	scsq-bench -fig all -csv          # everything, machine readable
 //	scsq-bench -fig 15 -paper-scale   # the paper's 100 × 3 MB arrays
 //	scsq-bench -perf                  # data-plane microbenchmarks → BENCH_dataplane.json
@@ -39,7 +41,9 @@ func main() {
 
 func run() error {
 	var (
-		fig        = flag.String("fig", "all", "figure to regenerate: 6, 8, 15, ablation, udp, mt or all")
+		fig        = flag.String("fig", "all", "figure to regenerate: 6, 8, 15, ablation, udp, mt, vkernel or all")
+		tiny       = flag.Bool("tiny", false, "seconds-scale smoke sizing for -fig vkernel")
+		vkernelOut = flag.String("vkernel-out", "BENCH_vkernel.json", "file the -fig vkernel report is written to")
 		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
 		paperScale = flag.Bool("paper-scale", false, "use the paper's 100 × 3 MB arrays (slow)")
 		repeats    = flag.Int("repeats", 5, "measurement repetitions per point")
@@ -163,6 +167,32 @@ func run() error {
 		} else if err := bench.WriteMultiTenant(out, rows); err != nil {
 			return err
 		}
+		fmt.Fprintln(out)
+	}
+	if want("vkernel") {
+		cfg := bench.DefaultVKernel()
+		if *tiny {
+			cfg = bench.TinyVKernel()
+		}
+		report, err := bench.RunVKernel(cfg)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteVKernel(out, cfg, report); err != nil {
+			return err
+		}
+		f, err := os.Create(*vkernelOut)
+		if err != nil {
+			return err
+		}
+		if err := bench.WritePerfJSON(f, report); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *vkernelOut)
 		fmt.Fprintln(out)
 	}
 	if want("15") {

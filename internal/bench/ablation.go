@@ -51,13 +51,21 @@ func RunSelectorAblation(cfg AblationConfig) ([]AblationRow, error) {
 	if cfg.BufBytes <= 0 {
 		return nil, fmt.Errorf("bench: buffer size must be positive, got %d", cfg.BufBytes)
 	}
+	// One engine serves every repetition: the selector is a pure function of
+	// the (reset) node database, so only the virtual clocks need rewinding
+	// between runs.
+	eng, err := core.NewEngine(core.WithMPIBufferBytes(cfg.BufBytes))
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
 	var rows []AblationRow
 	for _, k := range cfg.Producers {
 		row := AblationRow{Producers: k}
 		for _, topo := range []bool{false, true} {
 			var runs []float64
 			for r := 0; r < cfg.Repeats; r++ {
-				mbps, err := runMergeWithSelector(cfg, k, topo)
+				mbps, err := runMergeWithSelector(eng, cfg, k, topo)
 				if err != nil {
 					return nil, fmt.Errorf("ablation k=%d topo=%v: %w", k, topo, err)
 				}
@@ -78,14 +86,9 @@ func RunSelectorAblation(cfg AblationConfig) ([]AblationRow, error) {
 }
 
 // runMergeWithSelector builds the k-producer merge programmatically so the
-// producer placement can come from either selector.
-func runMergeWithSelector(cfg AblationConfig, k int, topologyAware bool) (float64, error) {
-	eng, err := core.NewEngine(core.WithMPIBufferBytes(cfg.BufBytes))
-	if err != nil {
-		return 0, err
-	}
-	defer eng.Close()
-
+// producer placement can come from either selector, then resets the engine
+// for the next run.
+func runMergeWithSelector(eng *core.Engine, cfg AblationConfig, k int, topologyAware bool) (float64, error) {
 	const consumerNode = 0
 	consumerSeq, err := cndb.NewSequence(consumerNode)
 	if err != nil {
@@ -141,7 +144,11 @@ func runMergeWithSelector(cfg AblationConfig, k int, topologyAware bool) (float6
 		return 0, err
 	}
 	payload := int64(k) * int64(cfg.ArrayBytes) * int64(cfg.ArrayCount)
-	return float64(payload) * 8 / cs.Makespan().Sub(0).Seconds() / 1e6, nil
+	mbps := float64(payload) * 8 / cs.Makespan().Sub(0).Seconds() / 1e6
+	if err := eng.Reset(); err != nil {
+		return 0, fmt.Errorf("bench: reset: %w", err)
+	}
+	return mbps, nil
 }
 
 // WriteAblation renders the ablation table.

@@ -62,14 +62,13 @@ func summarize(mbps []float64) Sample {
 	}
 }
 
-// runQuery executes one SCSQL query on a fresh engine and returns the
-// measured bandwidth in Mbps for the given payload volume.
-func runQuery(src string, payloadBytes int64, opts ...core.Option) (float64, error) {
-	eng, err := core.NewEngine(opts...)
-	if err != nil {
-		return 0, err
-	}
-	defer eng.Close()
+// runQueryOn executes one SCSQL query on an already-running engine and
+// returns the measured bandwidth in Mbps for the given payload volume. The
+// engine is Reset afterwards, so one engine serves a whole repetition loop:
+// the control plane (coordinators, poller, RP pool, plan cache) is built
+// once per measurement point instead of once per repeat, and the virtual
+// clocks still start every run from zero.
+func runQueryOn(eng *core.Engine, src string, payloadBytes int64) (float64, error) {
 	ev := scsql.NewEvaluator(eng, nil)
 	res, err := ev.Exec(src)
 	if err != nil {
@@ -83,7 +82,28 @@ func runQuery(src string, payloadBytes int64, opts ...core.Option) (float64, err
 		return 0, fmt.Errorf("bench: query finished with non-positive makespan %v", makespan)
 	}
 	seconds := makespan.Sub(0).Seconds()
+	if err := eng.Reset(); err != nil {
+		return 0, fmt.Errorf("bench: reset: %w", err)
+	}
 	return float64(payloadBytes) * 8 / seconds / 1e6, nil
+}
+
+// repeatQuery measures src n times on one engine built with opts.
+func repeatQuery(src string, payloadBytes int64, n int, opts ...core.Option) ([]float64, error) {
+	eng, err := core.NewEngine(opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	runs := make([]float64, 0, n)
+	for r := 0; r < n; r++ {
+		mbps, err := runQueryOn(eng, src, payloadBytes)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, mbps)
+	}
+	return runs, nil
 }
 
 // DefaultBufSizes is the MPI buffer-size sweep of Figures 6 and 8.
@@ -128,16 +148,12 @@ func RunFigure6(cfg Figure6Config) ([]Figure6Row, error) {
 	for _, buf := range cfg.BufSizes {
 		row := Figure6Row{BufBytes: buf}
 		for _, mode := range []carrier.Buffering{carrier.SingleBuffered, carrier.DoubleBuffered} {
-			var runs []float64
-			for r := 0; r < cfg.Repeats; r++ {
-				mbps, err := runQuery(src, payload,
-					core.WithMPIBufferBytes(buf),
-					core.WithBuffering(mode),
-				)
-				if err != nil {
-					return nil, fmt.Errorf("figure6 buf=%d mode=%v: %w", buf, mode, err)
-				}
-				runs = append(runs, mbps)
+			runs, err := repeatQuery(src, payload, cfg.Repeats,
+				core.WithMPIBufferBytes(buf),
+				core.WithBuffering(mode),
+			)
+			if err != nil {
+				return nil, fmt.Errorf("figure6 buf=%d mode=%v: %w", buf, mode, err)
 			}
 			if mode == carrier.SingleBuffered {
 				row.Single = summarize(runs)
@@ -225,16 +241,12 @@ func RunFigure8(cfg Figure8Config) ([]Figure8Row, error) {
 			x, y := topo.nodes()
 			src := scsql.MergeQuery(x, y, cfg.ArrayBytes, cfg.ArrayCount)
 			for _, mode := range []carrier.Buffering{carrier.SingleBuffered, carrier.DoubleBuffered} {
-				var runs []float64
-				for r := 0; r < cfg.Repeats; r++ {
-					mbps, err := runQuery(src, payload,
-						core.WithMPIBufferBytes(buf),
-						core.WithBuffering(mode),
-					)
-					if err != nil {
-						return nil, fmt.Errorf("figure8 buf=%d topo=%v mode=%v: %w", buf, topo, mode, err)
-					}
-					runs = append(runs, mbps)
+				runs, err := repeatQuery(src, payload, cfg.Repeats,
+					core.WithMPIBufferBytes(buf),
+					core.WithBuffering(mode),
+				)
+				if err != nil {
+					return nil, fmt.Errorf("figure8 buf=%d topo=%v mode=%v: %w", buf, topo, mode, err)
 				}
 				s := summarize(runs)
 				switch {
@@ -300,17 +312,13 @@ func RunFigure15(cfg Figure15Config) ([]Figure15Row, error) {
 				return nil, err
 			}
 			payload := int64(n) * int64(cfg.ArrayBytes) * int64(cfg.ArrayCount)
-			var runs []float64
-			for r := 0; r < cfg.Repeats; r++ {
-				env, err := hw.NewLOFAR(hw.WithCostModel(cost))
-				if err != nil {
-					return nil, err
-				}
-				mbps, err := runQuery(src, payload, core.WithEnv(env))
-				if err != nil {
-					return nil, fmt.Errorf("figure15 q=%d n=%d: %w", q, n, err)
-				}
-				runs = append(runs, mbps)
+			env, err := hw.NewLOFAR(hw.WithCostModel(cost))
+			if err != nil {
+				return nil, err
+			}
+			runs, err := repeatQuery(src, payload, cfg.Repeats, core.WithEnv(env))
+			if err != nil {
+				return nil, fmt.Errorf("figure15 q=%d n=%d: %w", q, n, err)
 			}
 			rows = append(rows, Figure15Row{Query: q, N: n, Total: summarize(runs)})
 		}

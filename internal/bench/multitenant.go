@@ -74,6 +74,16 @@ func RunMultiTenant(cfg MultiTenantConfig) ([]MultiTenantRow, error) {
 	}
 	perQueryPayload := int64(cfg.Streams) * int64(cfg.ArrayBytes) * int64(cfg.ArrayCount)
 
+	// One engine serves the whole sweep: each runTenants batch gets a fresh
+	// scheduler, and Engine.Reset rewinds the virtual clocks between
+	// batches. The fair-slice setting survives Reset, so it is applied once
+	// per scheduler and stays constant across the sweep.
+	eng, err := core.NewEngine()
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+
 	var rows []MultiTenantRow
 	for _, k := range cfg.Tenants {
 		if k <= 0 {
@@ -83,12 +93,12 @@ func RunMultiTenant(cfg MultiTenantConfig) ([]MultiTenantRow, error) {
 		var waitSum time.Duration
 		var waitN int64
 		for rep := 0; rep < cfg.Repeats; rep++ {
-			// Single-tenant reference for this repeat (fresh engine).
-			t1, err := runTenants(src, 1, cfg.FairSlice)
+			// Single-tenant reference for this repeat.
+			t1, err := runTenants(eng, src, 1, cfg.FairSlice)
 			if err != nil {
 				return nil, err
 			}
-			batch, err := runTenants(src, k, cfg.FairSlice)
+			batch, err := runTenants(eng, src, k, cfg.FairSlice)
 			if err != nil {
 				return nil, err
 			}
@@ -125,14 +135,9 @@ type tenantBatch struct {
 	admissionWait time.Duration
 }
 
-// runTenants submits k instances of src to a scheduler on a fresh engine
-// and waits for all of them.
-func runTenants(src string, k int, fairSlice vtime.Duration) (tenantBatch, error) {
-	eng, err := core.NewEngine()
-	if err != nil {
-		return tenantBatch{}, err
-	}
-	defer eng.Close()
+// runTenants submits k instances of src to a fresh scheduler on the shared
+// engine, waits for all of them, and resets the engine for the next batch.
+func runTenants(eng *core.Engine, src string, k int, fairSlice vtime.Duration) (tenantBatch, error) {
 	var opts []sched.Option
 	if fairSlice > 0 {
 		opts = append(opts, sched.WithFairSlice(fairSlice))
@@ -159,6 +164,10 @@ func runTenants(src string, k int, fairSlice vtime.Duration) (tenantBatch, error
 		}
 		batch.makespans = append(batch.makespans, mk)
 		batch.admissionWait += q.AdmissionWait()
+	}
+	s.Close()
+	if err := eng.Reset(); err != nil {
+		return tenantBatch{}, fmt.Errorf("bench: reset: %w", err)
 	}
 	return batch, nil
 }

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"scsq/internal/carrier"
@@ -38,10 +40,43 @@ type PerfResult struct {
 
 // PerfReport is the BENCH_dataplane.json document.
 type PerfReport struct {
-	GoVersion string       `json:"go_version"`
-	GOOS      string       `json:"goos"`
-	GOARCH    string       `json:"goarch"`
-	Results   []PerfResult `json:"results"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// GOMAXPROCS and CPUModel identify the host the numbers were taken on:
+	// speedup ratios on a single-core container mean something different
+	// than on a 32-way box.
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	CPUModel   string       `json:"cpu_model,omitempty"`
+	Results    []PerfResult `json:"results"`
+}
+
+// NewPerfReport returns a report with the host/toolchain header populated.
+func NewPerfReport() PerfReport {
+	return PerfReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+	}
+}
+
+// cpuModel best-effort reads the CPU model name from /proc/cpuinfo (Linux).
+// Empty when unavailable; the field is informational only.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, val, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return ""
 }
 
 // perfArrayElems is the array workload of the data-plane benchmarks:
@@ -181,11 +216,7 @@ func RunPerf() (PerfReport, error) {
 		return PerfReport{}, err
 	}
 
-	report := PerfReport{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-	}
+	report := NewPerfReport()
 	var benchErr error
 	bench := func(name string, opsPerIter int, bytesPerOp int64, fn func(b *testing.B)) {
 		if benchErr != nil {
@@ -243,7 +274,16 @@ func WritePerfJSON(w io.Writer, r PerfReport) error {
 
 // WritePerf renders the report as a text table.
 func WritePerf(w io.Writer, r PerfReport) error {
-	if _, err := fmt.Fprintf(w, "Data-plane microbenchmarks (%s %s/%s)\n", r.GoVersion, r.GOOS, r.GOARCH); err != nil {
+	return writePerfTable(w, "Data-plane microbenchmarks", r)
+}
+
+// writePerfTable renders any PerfReport-shaped result set under a title.
+func writePerfTable(w io.Writer, title string, r PerfReport) error {
+	host := fmt.Sprintf("%s %s/%s gomaxprocs=%d", r.GoVersion, r.GOOS, r.GOARCH, r.GOMAXPROCS)
+	if r.CPUModel != "" {
+		host += " cpu=" + r.CPUModel
+	}
+	if _, err := fmt.Fprintf(w, "%s (%s)\n", title, host); err != nil {
 		return err
 	}
 	for _, res := range r.Results {

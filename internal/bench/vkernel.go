@@ -1,0 +1,326 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"scsq/internal/core"
+	"scsq/internal/hw"
+	"scsq/internal/sqep"
+	"scsq/internal/vtime"
+)
+
+// This file is the virtual-time kernel figure (`scsq-bench -fig vkernel`):
+// it measures the two optimizations of the parallel kernel PR against their
+// paper-literal baselines on identical workloads.
+//
+//  1. Reservation commit cost under contention: g concurrent owners
+//     tail-appending on one shared vtime.Resource, per-reservation UseAs
+//     (one lock + one accounting op each) versus batched Txn commits (one
+//     lock + one accounting op per batch). The g=8 row is the headline
+//     multi-tenant contention point.
+//  2. SP spawn latency on the BlueGene: the paper's literal tick-only
+//     polling (WithBGWake(false)) versus the submission doorbell, reported
+//     as p50/p99 over repeated spawn rounds.
+//
+// An informational full-engine pair runs the Figure 5 query under
+// per-frame (kernel batch 1) and default batched commits. Results use the
+// PerfReport JSON format and land in BENCH_vkernel.json.
+
+// VKernelConfig parameterizes the kernel figure.
+type VKernelConfig struct {
+	// Goroutines lists the concurrent owner counts of the replay sweep.
+	Goroutines []int
+	// OpsPerGoroutine is each owner's reservation count per run.
+	OpsPerGoroutine int
+	// Batch is the Txn commit batch size of the batched variant.
+	Batch int
+	// Service is the per-reservation service demand.
+	Service vtime.Duration
+	// SpawnRounds × SpawnPerRound are the SP spawn samples; SpawnPerRound
+	// must not exceed the environment's BlueGene node count (32), the
+	// engine is Reset between rounds.
+	SpawnRounds   int
+	SpawnPerRound int
+	// Repeats is the per-point repetition count of the replay sweep.
+	Repeats int
+	// EngineRuns is the repetition count of the informational full-engine
+	// Figure 5 pair (0 skips it).
+	EngineRuns int
+}
+
+// DefaultVKernel is the full figure as recorded in BENCH_vkernel.json.
+func DefaultVKernel() VKernelConfig {
+	return VKernelConfig{
+		Goroutines:      []int{1, 2, 4, 8},
+		OpsPerGoroutine: 20_000,
+		Batch:           32,
+		Service:         50 * vtime.Microsecond,
+		SpawnRounds:     8,
+		SpawnPerRound:   32,
+		Repeats:         5,
+		EngineRuns:      5,
+	}
+}
+
+// TinyVKernel is a seconds-scale smoke configuration for CI.
+func TinyVKernel() VKernelConfig {
+	return VKernelConfig{
+		Goroutines:      []int{1, 8},
+		OpsPerGoroutine: 2_000,
+		Batch:           32,
+		Service:         50 * vtime.Microsecond,
+		SpawnRounds:     2,
+		SpawnPerRound:   8,
+		Repeats:         2,
+		EngineRuns:      2,
+	}
+}
+
+// KernelReplayLoop replays the saturating multi-tenant reservation workload:
+// g owners, each issuing ops tail-append reservations (ready 0, fixed
+// service) against one shared resource. batch <= 1 commits every
+// reservation individually through the serial Txn.Use path; larger batches
+// accumulate and commit through Txn.Commit. The workload is deliberately
+// saturating — every owner appends at its own tail — so the busy list stays
+// compact and the measured cost is kernel bookkeeping, not list growth.
+func KernelReplayLoop(g, ops, batch int, service vtime.Duration) time.Duration {
+	r := vtime.NewResource("vkernel")
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			txn := r.Txn(fmt.Sprintf("q%d", w+1))
+			if batch <= 1 {
+				for i := 0; i < ops; i++ {
+					txn.Use(0, service)
+				}
+				return
+			}
+			for i := 0; i < ops; {
+				n := batch
+				if rest := ops - i; rest < n {
+					n = rest
+				}
+				for j := 0; j < n; j++ {
+					txn.Reserve(0, service)
+				}
+				txn.Commit()
+				i += n
+			}
+		}(w)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// spawnLatencies measures wall-clock SP spawn latency on the BlueGene, with
+// or without the submission doorbell. Each round spawns perRound input-free
+// SPs one at a time (the synchronous submit → poll → place → build path),
+// then resets the engine so node capacity never limits the next round.
+func spawnLatencies(doorbell bool, rounds, perRound int) ([]time.Duration, error) {
+	var opts []core.Option
+	if !doorbell {
+		opts = append(opts, core.WithBGWake(false))
+	}
+	e, err := core.NewEngine(opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	gen := func(*core.PlanBuilder) (sqep.Operator, error) {
+		return sqep.NewGenArray(1024, 1), nil
+	}
+	lat := make([]time.Duration, 0, rounds*perRound)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < perRound; i++ {
+			t0 := time.Now()
+			if _, err := e.SP(gen, hw.BlueGene, nil); err != nil {
+				return nil, fmt.Errorf("bench: spawn round %d sp %d: %w", r, i, err)
+			}
+			lat = append(lat, time.Since(t0))
+		}
+		if err := e.Reset(); err != nil {
+			return nil, err
+		}
+	}
+	return lat, nil
+}
+
+// percentile returns the p-th percentile (0-100) of already-sorted samples.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// RunVKernel measures the kernel figure and returns the BENCH_vkernel.json
+// report.
+func RunVKernel(cfg VKernelConfig) (PerfReport, error) {
+	report := NewPerfReport()
+
+	// 1. Reservation commit cost: serial vs batched, per concurrency level.
+	for _, g := range cfg.Goroutines {
+		if g <= 0 {
+			return PerfReport{}, fmt.Errorf("bench: goroutine count must be positive, got %d", g)
+		}
+		ops := int64(g) * int64(cfg.OpsPerGoroutine)
+		for _, variant := range []struct {
+			name  string
+			batch int
+		}{
+			{"serial", 1},
+			{fmt.Sprintf("batched/b=%d", cfg.Batch), cfg.Batch},
+		} {
+			var total time.Duration
+			for rep := 0; rep < cfg.Repeats; rep++ {
+				total += KernelReplayLoop(g, cfg.OpsPerGoroutine, variant.batch, cfg.Service)
+			}
+			report.Results = append(report.Results, PerfResult{
+				Name:       fmt.Sprintf("vkernel/replay/%s/g=%d", variant.name, g),
+				Iterations: cfg.Repeats,
+				NsPerOp:    float64(total.Nanoseconds()) / float64(int64(cfg.Repeats)*ops),
+			})
+		}
+	}
+
+	// 2. SP spawn latency: polled baseline vs doorbell.
+	for _, variant := range []struct {
+		name     string
+		doorbell bool
+	}{
+		{"polled", false},
+		{"doorbell", true},
+	} {
+		lat, err := spawnLatencies(variant.doorbell, cfg.SpawnRounds, cfg.SpawnPerRound)
+		if err != nil {
+			return PerfReport{}, err
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		for _, p := range []int{50, 99} {
+			report.Results = append(report.Results, PerfResult{
+				Name:       fmt.Sprintf("core/sp-spawn/%s/p%d", variant.name, p),
+				Iterations: len(lat),
+				NsPerOp:    float64(percentile(lat, p).Nanoseconds()),
+			})
+		}
+	}
+
+	// 3. Informational: the Figure 5 query end to end under per-frame and
+	// default batched receiver commits (virtual results are bit-identical —
+	// the identity tests prove that — so only wall-clock differs).
+	for _, batch := range []int{1, core.DefaultKernelBatch} {
+		if cfg.EngineRuns <= 0 {
+			break
+		}
+		e, err := core.NewEngine(core.WithKernelBatch(batch))
+		if err != nil {
+			return PerfReport{}, err
+		}
+		var total time.Duration
+		runErr := func() error {
+			defer e.Close()
+			for rep := 0; rep < cfg.EngineRuns; rep++ {
+				t0 := time.Now()
+				if err := runFigure5Once(e, 30_000, 10); err != nil {
+					return err
+				}
+				total += time.Since(t0)
+				if err := e.Reset(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+		if runErr != nil {
+			return PerfReport{}, runErr
+		}
+		report.Results = append(report.Results, PerfResult{
+			Name:       fmt.Sprintf("engine/figure5-wallclock/kernel-batch=%d", batch),
+			Iterations: cfg.EngineRuns,
+			NsPerOp:    float64(total.Nanoseconds()) / float64(cfg.EngineRuns),
+		})
+	}
+	return report, nil
+}
+
+// WriteVKernel renders the kernel figure as a text table, followed by the
+// two headline ratios the PR is gated on.
+func WriteVKernel(w io.Writer, cfg VKernelConfig, r PerfReport) error {
+	if err := writePerfTable(w, "Virtual-time kernel benchmarks", r); err != nil {
+		return err
+	}
+	find := func(name string) float64 {
+		for _, res := range r.Results {
+			if res.Name == name {
+				return res.NsPerOp
+			}
+		}
+		return 0
+	}
+	gMax := 0
+	for _, g := range cfg.Goroutines {
+		if g > gMax {
+			gMax = g
+		}
+	}
+	serial := find(fmt.Sprintf("vkernel/replay/serial/g=%d", gMax))
+	batched := find(fmt.Sprintf("vkernel/replay/batched/b=%d/g=%d", cfg.Batch, gMax))
+	if serial > 0 && batched > 0 {
+		if _, err := fmt.Fprintf(w, "replay speedup at g=%d (batched vs serial): %.2fx\n", gMax, serial/batched); err != nil {
+			return err
+		}
+	}
+	polled := find("core/sp-spawn/polled/p50")
+	doorbell := find("core/sp-spawn/doorbell/p50")
+	if polled > 0 && doorbell > 0 {
+		if _, err := fmt.Fprintf(w, "sp spawn p50 reduction (doorbell vs polled): %.1fx\n", polled/doorbell); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFigure5Once builds and drains one Figure 5 point-to-point query on an
+// already-running engine (the engine-reuse pattern: callers Reset between
+// runs instead of paying engine construction per repetition).
+func runFigure5Once(e *core.Engine, sizeBytes, count int) error {
+	a, err := e.SP(func(*core.PlanBuilder) (sqep.Operator, error) {
+		return sqep.NewGenArray(sizeBytes, count), nil
+	}, hw.BlueGene, nil)
+	if err != nil {
+		return err
+	}
+	b, err := e.SP(func(pb *core.PlanBuilder) (sqep.Operator, error) {
+		in, err := pb.Extract(a)
+		if err != nil {
+			return nil, err
+		}
+		return sqep.NewStreamOf(sqep.NewCount(in)), nil
+	}, hw.BlueGene, nil)
+	if err != nil {
+		return err
+	}
+	cs, err := e.Extract(b)
+	if err != nil {
+		return err
+	}
+	v, err := cs.One()
+	if err != nil {
+		return err
+	}
+	if got := v.(int64); got != int64(count) {
+		return fmt.Errorf("bench: figure5 count = %d, want %d", got, count)
+	}
+	return nil
+}

@@ -56,7 +56,18 @@ type Engine struct {
 	buffering   carrier.Buffering
 	window      int
 	horizon     vtime.Duration
+	kernelBatch int // receiver frames per virtual-time kernel commit
 	clientNode  int // front-end node hosting the client manager
+
+	// rpPool recycles retired running processes across Reset and supervised
+	// re-placement, so spawning an SP reuses a prior incarnation's structures.
+	rpPool rp.Pool
+	// planCache holds pristine operator-tree templates keyed by plan shape
+	// (see planshape.go): shape-identical input-free subqueries share one
+	// template, and a supervised re-placement clones it instead of
+	// re-compiling. Templates are stateless, so the cache survives Reset.
+	planMu    sync.Mutex
+	planCache map[string]sqep.Operator
 
 	inj   *chaos.Injector // nil without WithChaos
 	sup   *Supervisor     // nil without WithSupervision
@@ -121,6 +132,8 @@ type engineConfig struct {
 	hb           coord.HeartbeatPolicy
 	hbTau        time.Duration
 	tracer       *metrics.Tracer
+	kernelBatch  int
+	bgWake       bool
 }
 
 type optionFunc func(*engineConfig)
@@ -233,6 +246,25 @@ func WithBGPollInterval(d time.Duration) Option {
 	return optionFunc(func(c *engineConfig) { c.pollInterval = d })
 }
 
+// DefaultKernelBatch is the default receiver-side kernel batch: up to this
+// many frames already queued in an inbox are drained together and their
+// de-marshal reservations committed on the node CPU in one critical section.
+const DefaultKernelBatch = 16
+
+// WithKernelBatch bounds the receivers' batched reservation commits. Values
+// of one or less commit per frame (the serial kernel). Batching changes lock
+// traffic only, never virtual schedules.
+func WithKernelBatch(n int) Option {
+	return optionFunc(func(c *engineConfig) { c.kernelBatch = n })
+}
+
+// WithBGWake enables or disables the BG placement doorbell (default on).
+// Disabled, a BlueGene placement waits out bgCC's poll tick — the paper's
+// literal polling, kept as the measurable spawn-latency baseline.
+func WithBGWake(enabled bool) Option {
+	return optionFunc(func(c *engineConfig) { c.bgWake = enabled })
+}
+
 // WithTracer enables frame-level tracing: sender drivers assign each frame
 // a deterministic trace ID, carriers stamp hop timestamps into the frame
 // header, and the tracer collects the spans for Perfetto/Chrome-trace
@@ -253,6 +285,8 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		horizon:      vtime.Millisecond,
 		pollInterval: 200 * time.Microsecond,
 		retry:        carrier.DefaultRetryPolicy,
+		kernelBatch:  DefaultKernelBatch,
+		bgWake:       true,
 	}
 	for _, o := range opts {
 		o.apply(&cfg)
@@ -285,6 +319,8 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		buffering:   cfg.buffering,
 		window:      cfg.window,
 		horizon:     cfg.horizon,
+		kernelBatch: cfg.kernelBatch,
+		planCache:   make(map[string]sqep.Operator),
 		queries:     make(map[string]*queryCtx),
 		inj:         cfg.inj,
 		retry:       cfg.retry,
@@ -311,6 +347,9 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		}
 		cc.SetMetrics(e.reg)
 		e.coords[c] = cc
+	}
+	if !cfg.bgWake {
+		e.coords[hw.FrontEnd].SetBGWake(false)
 	}
 	poller, err := coord.NewBGPoller(e.coords[hw.FrontEnd], e.coords[hw.BlueGene], cfg.pollInterval)
 	if err != nil {
@@ -420,6 +459,9 @@ func (e *Engine) Reset() error {
 		for _, s := range qc.snapshot() {
 			e.coords[s.cluster].ReleaseFor(qc.id, s.Node())
 			e.coords[s.cluster].Unregister(s.id)
+			// Retired processes go back to the pool; live ones (there are
+			// none past the active check, but Put verifies) are refused.
+			e.rpPool.Put(s.proc())
 		}
 	}
 	for _, cc := range e.coords {
@@ -557,6 +599,13 @@ func (e *Engine) SP(sub Subquery, c hw.ClusterName, seq *cndb.Sequence) (*SP, er
 	if err != nil {
 		return nil, fmt.Errorf("core: sp(%q): %w", c, err)
 	}
+	return e.newPlacedSP(qc, sub, c, seq, node)
+}
+
+// newPlacedSP compiles and registers a stream process on an already
+// allocated node — the shared tail of SP and the batch-placed SPV. On error
+// the node allocation is released.
+func (e *Engine) newPlacedSP(qc *queryCtx, sub Subquery, c hw.ClusterName, seq *cndb.Sequence, node int) (*SP, error) {
 	id := qc.newRPID(string(c))
 	sp := &SP{eng: e, qc: qc, cluster: c, id: id, sub: sub, seq: seq, node: node}
 	proc, hasInputs, err := e.buildProc(sp, node)
@@ -588,19 +637,37 @@ func (e *Engine) buildProc(sp *SP, node int) (*rp.RP, bool, error) {
 		Sources: e.sources,
 		Owner:   sp.qc.id,
 	}
-	b := &PlanBuilder{eng: e, cluster: sp.cluster, node: node, spID: sp.id}
-	op, err := sp.sub(b)
-	if err != nil {
-		return nil, false, err
+	var (
+		op        sqep.Operator
+		hasInputs bool
+	)
+	if tmpl := sp.template(); tmpl != nil {
+		// Re-placement fast path: the subquery compiled to a cacheable
+		// (input-free) plan before, so clone the pristine template instead
+		// of re-compiling it.
+		if cl, ok := clonePlan(tmpl); ok {
+			op = cl
+		}
 	}
-	proc := rp.New(sp.id, sp.cluster, node, ctx, func(*sqep.Ctx) (sqep.Operator, error) { return op, nil })
+	if op == nil {
+		b := &PlanBuilder{eng: e, cluster: sp.cluster, node: node, spID: sp.id}
+		op, err = sp.sub(b)
+		if err != nil {
+			return nil, false, err
+		}
+		hasInputs = b.hasInputs
+		if !hasInputs {
+			sp.setTemplate(e.cachePlanTemplate(op))
+		}
+	}
+	proc := e.rpPool.Get(sp.id, sp.cluster, node, ctx, func(*sqep.Ctx) (sqep.Operator, error) { return op, nil })
 	proc.SetMetrics(e.reg)
 	// Only free-running source RPs register as pacing agents: a reactive
 	// RP's timing derives from its (already paced) inputs, and pacing it
 	// would deadlock — it publishes no progress until data arrives.
 	// Pacing groups are per query: one tenant's sources gate on each
 	// other, never on another tenant's progress.
-	if !b.hasInputs {
+	if !hasInputs {
 		proc.SetPacer(sp.qc.pacer.Register())
 	}
 	if e.sup != nil {
@@ -611,17 +678,86 @@ func (e *Engine) buildProc(sp *SP, node int) (*rp.RP, bool, error) {
 			proc.SetBeat(cc.Beat, e.hb.Interval)
 		}
 	}
-	return proc, b.hasInputs, nil
+	return proc, hasInputs, nil
+}
+
+// cachePlanTemplate fingerprints a freshly built input-free plan and returns
+// the shared pristine template for its shape, adding one if absent. Nil for
+// uncachable plans (closures, channels, non-zero unexported state).
+func (e *Engine) cachePlanTemplate(op sqep.Operator) sqep.Operator {
+	fp, ok := planFingerprint(op)
+	if !ok {
+		return nil
+	}
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
+	if tmpl, hit := e.planCache[fp]; hit {
+		return tmpl
+	}
+	tmpl, cloned := clonePlan(op)
+	if !cloned {
+		return nil
+	}
+	e.planCache[fp] = tmpl
+	return tmpl
 }
 
 // SPV assigns each subquery of the set to a new stream process in cluster
 // c, sharing one allocation sequence so consecutive placements walk the
 // sequence (paper: spv(s, c, alloc)). It returns the bag of handles.
 func (e *Engine) SPV(subs []Subquery, c hw.ClusterName, seq *cndb.Sequence) ([]*SP, error) {
+	if c == hw.BlueGene && len(subs) > 1 {
+		return e.spvBG(subs, seq)
+	}
 	sps := make([]*SP, 0, len(subs))
 	for i, sub := range subs {
 		sp, err := e.SP(sub, c, seq)
 		if err != nil {
+			return nil, fmt.Errorf("core: spv[%d]: %w", i, err)
+		}
+		sps = append(sps, sp)
+	}
+	return sps, nil
+}
+
+// spvBG places a BlueGene process bag by submitting every placement request
+// before building any SP: the requests queue at the front-end coordinator
+// together, so one poller wake-up (or one poll tick) answers the whole bag
+// instead of each instance paying its own round trip. The replies arrive in
+// submission order — bgCC answers its poll queue in order, and plan builds
+// do not touch the node database — so the allocations are the ones the
+// serial loop would have made.
+func (e *Engine) spvBG(subs []Subquery, seq *cndb.Sequence) ([]*SP, error) {
+	qc := e.buildTarget(true)
+	fe := e.coords[hw.FrontEnd]
+	bg := e.coords[hw.BlueGene]
+	replies := make([]<-chan coord.PlaceResult, 0, len(subs))
+	// drainFrom releases the nodes of requests we will not build on.
+	drainFrom := func(i int) {
+		for _, r := range replies[i:] {
+			if res := <-r; res.Err == nil {
+				bg.ReleaseFor(qc.id, res.Node)
+			}
+		}
+	}
+	for i := range subs {
+		reply, err := fe.SubmitBGPlacementFor(qc.id, seq)
+		if err != nil {
+			drainFrom(0)
+			return nil, fmt.Errorf("core: spv[%d]: core: sp(%q): %w", i, hw.BlueGene, err)
+		}
+		replies = append(replies, reply)
+	}
+	sps := make([]*SP, 0, len(subs))
+	for i, reply := range replies {
+		res := <-reply
+		if res.Err != nil {
+			drainFrom(i + 1)
+			return nil, fmt.Errorf("core: spv[%d]: core: sp(%q): %w", i, hw.BlueGene, res.Err)
+		}
+		sp, err := e.newPlacedSP(qc, subs[i], hw.BlueGene, seq, res.Node)
+		if err != nil {
+			drainFrom(i + 1)
 			return nil, fmt.Errorf("core: spv[%d]: %w", i, err)
 		}
 		sps = append(sps, sp)
@@ -653,6 +789,9 @@ type SP struct {
 	node    int
 	started bool
 	wirings []wiring
+	// tmpl is the shared pristine plan template for this SP's shape (nil if
+	// uncachable): a re-placement clones it instead of re-compiling sub.
+	tmpl sqep.Operator
 }
 
 // wiring records one outgoing subscription of an SP — enough to re-dial it
@@ -685,6 +824,18 @@ func (s *SP) proc() *rp.RP {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.rp
+}
+
+func (s *SP) template() sqep.Operator {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tmpl
+}
+
+func (s *SP) setTemplate(op sqep.Operator) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tmpl = op
 }
 
 func (s *SP) addWiring(w wiring) {
@@ -802,6 +953,7 @@ func (e *Engine) connectAs(producers []*SP, cc hw.ClusterName, cn int, consumer 
 		// offsets are contiguous and the tracking is inert; under
 		// supervision it is what makes a replacement's replay exactly-once.
 		TrackOffsets: true,
+		BatchFrames:  e.kernelBatch,
 		Metrics:      e.reg,
 		Tracer:       e.tracer,
 		Consumer:     consumer,

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"scsq/internal/sqep"
+)
+
+// Plan-shape caching. Compiling a subquery is pure construction work: the
+// resulting operator tree, before Open, is a passive value determined
+// entirely by its exported configuration fields. The engine exploits that to
+// amortize compilation across shape-identical SPs — every spv instance of a
+// lowered SCSQL query builds the same tree modulo its driver binding, and a
+// supervised replacement rebuilds exactly the tree its failed incarnation
+// ran — by fingerprinting built plans and cloning a pristine template
+// instead of re-running the subquery.
+//
+// Both walks are conservative: any field they cannot prove safe (functions,
+// channels, maps, non-zero unexported state) makes the plan uncachable, and
+// the build simply proceeds the ordinary way. Correctness never depends on a
+// cache hit.
+
+// maxFingerprintBytes bounds the fingerprint: a plan embedding large
+// primitive slices is not worth keying on.
+const maxFingerprintBytes = 4096
+
+var operatorType = reflect.TypeOf((*sqep.Operator)(nil)).Elem()
+
+// planFingerprint computes a structural identity for a freshly built, not
+// yet opened operator tree: the concrete types and exported primitive
+// configuration along every operator edge. It reports false for trees with
+// behavior a shape key cannot capture (closures, channels, maps, non-zero
+// unexported state).
+func planFingerprint(op sqep.Operator) (string, bool) {
+	var b strings.Builder
+	if !fingerprintValue(reflect.ValueOf(op), &b) || b.Len() > maxFingerprintBytes {
+		return "", false
+	}
+	return b.String(), true
+}
+
+func fingerprintValue(rv reflect.Value, b *strings.Builder) bool {
+	switch rv.Kind() {
+	case reflect.Interface, reflect.Pointer:
+		if rv.IsNil() {
+			b.WriteString("nil")
+			return true
+		}
+		return fingerprintValue(rv.Elem(), b)
+	case reflect.Struct:
+		t := rv.Type()
+		b.WriteString(t.String())
+		b.WriteByte('{')
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			fv := rv.Field(i)
+			if f.PkgPath != "" {
+				// Unexported fields are runtime state: a template is only
+				// pristine while they are all zero.
+				if !fv.IsZero() {
+					return false
+				}
+				continue
+			}
+			b.WriteString(f.Name)
+			b.WriteByte(':')
+			if !fingerprintField(fv, b) {
+				return false
+			}
+			b.WriteByte(';')
+		}
+		b.WriteByte('}')
+		return true
+	}
+	return false
+}
+
+func fingerprintField(fv reflect.Value, b *strings.Builder) bool {
+	switch fv.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64, reflect.String:
+		fmt.Fprintf(b, "%v", fv.Interface())
+		return true
+	case reflect.Slice:
+		switch elem := fv.Type().Elem(); {
+		case isPrimitiveKind(elem.Kind()):
+			fmt.Fprintf(b, "%v", fv.Interface())
+			return true
+		case elem == operatorType || elem.Implements(operatorType):
+			b.WriteByte('[')
+			for i := 0; i < fv.Len(); i++ {
+				if !fingerprintValue(fv.Index(i), b) {
+					return false
+				}
+				b.WriteByte(';')
+			}
+			b.WriteByte(']')
+			return true
+		}
+		return false
+	case reflect.Interface, reflect.Pointer:
+		if fv.Type() == operatorType || fv.Type().Implements(operatorType) {
+			return fingerprintValue(fv, b)
+		}
+		return false
+	case reflect.Struct:
+		return fingerprintValue(fv, b)
+	}
+	return false
+}
+
+func isPrimitiveKind(k reflect.Kind) bool {
+	switch k {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64, reflect.String:
+		return true
+	}
+	return false
+}
+
+// clonePlan deep-copies a pristine operator tree: exported primitives and
+// primitive slices are copied, operator edges recurse, unexported fields
+// must be zero (the clone cannot set them) and stay zero in the copy. It
+// reports false — without a partial result — for trees it cannot copy
+// faithfully.
+func clonePlan(op sqep.Operator) (sqep.Operator, bool) {
+	if op == nil {
+		return nil, false
+	}
+	out, ok := cloneValue(reflect.ValueOf(op))
+	if !ok {
+		return nil, false
+	}
+	cl, isOp := out.Interface().(sqep.Operator)
+	if !isOp {
+		return nil, false
+	}
+	return cl, true
+}
+
+func cloneValue(rv reflect.Value) (reflect.Value, bool) {
+	switch rv.Kind() {
+	case reflect.Pointer:
+		if rv.IsNil() {
+			return rv, true
+		}
+		if rv.Type().Elem().Kind() != reflect.Struct {
+			return rv, false
+		}
+		np := reflect.New(rv.Type().Elem())
+		if !cloneStructInto(rv.Elem(), np.Elem()) {
+			return rv, false
+		}
+		return np, true
+	case reflect.Interface:
+		if rv.IsNil() {
+			return rv, true
+		}
+		inner, ok := cloneValue(rv.Elem())
+		if !ok {
+			return rv, false
+		}
+		out := reflect.New(rv.Type()).Elem()
+		out.Set(inner)
+		return out, true
+	case reflect.Struct:
+		ns := reflect.New(rv.Type()).Elem()
+		if !cloneStructInto(rv, ns) {
+			return rv, false
+		}
+		return ns, true
+	}
+	return rv, false
+}
+
+func cloneStructInto(src, dst reflect.Value) bool {
+	t := src.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		sf := src.Field(i)
+		if f.PkgPath != "" {
+			if !sf.IsZero() {
+				return false
+			}
+			continue // stays zero in dst
+		}
+		df := dst.Field(i)
+		switch {
+		case isPrimitiveKind(sf.Kind()):
+			df.Set(sf)
+		case sf.Kind() == reflect.Slice:
+			if sf.IsNil() {
+				continue
+			}
+			elem := sf.Type().Elem()
+			switch {
+			case isPrimitiveKind(elem.Kind()):
+				ns := reflect.MakeSlice(sf.Type(), sf.Len(), sf.Len())
+				reflect.Copy(ns, sf)
+				df.Set(ns)
+			case elem == operatorType || elem.Implements(operatorType):
+				ns := reflect.MakeSlice(sf.Type(), sf.Len(), sf.Len())
+				for j := 0; j < sf.Len(); j++ {
+					cv, ok := cloneValue(sf.Index(j))
+					if !ok {
+						return false
+					}
+					ns.Index(j).Set(cv)
+				}
+				df.Set(ns)
+			default:
+				return false
+			}
+		case sf.Kind() == reflect.Interface || sf.Kind() == reflect.Pointer:
+			if sf.Type() != operatorType && !sf.Type().Implements(operatorType) {
+				return false
+			}
+			cv, ok := cloneValue(sf)
+			if !ok {
+				return false
+			}
+			df.Set(cv)
+		case sf.Kind() == reflect.Struct:
+			if !cloneStructInto(sf, df) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"scsq/internal/hw"
+	"scsq/internal/sqep"
+	"scsq/internal/vtime"
+)
+
+func TestPlanFingerprintCacheableShapes(t *testing.T) {
+	a, okA := planFingerprint(sqep.NewGenArray(1024, 10))
+	if !okA {
+		t.Fatal("fresh gen_array must be cacheable")
+	}
+	b, okB := planFingerprint(sqep.NewGenArray(1024, 10))
+	if !okB || a != b {
+		t.Errorf("identical shapes fingerprint differently: %q vs %q", a, b)
+	}
+	c, okC := planFingerprint(sqep.NewGenArray(2048, 10))
+	if !okC || a == c {
+		t.Error("different sizes must fingerprint differently")
+	}
+	d, okD := planFingerprint(sqep.NewIota(1, 10))
+	if !okD || a == d {
+		t.Error("different operator types must fingerprint differently")
+	}
+}
+
+func TestPlanFingerprintRejectsRuntimeState(t *testing.T) {
+	g := sqep.NewGenArray(64, 2)
+	if err := g.Open(&sqep.Ctx{Cost: hw.DefaultCostModel()}); err != nil {
+		t.Fatal(err)
+	}
+	// Opened operators carry non-zero unexported state; a template cloned
+	// from one would resume mid-stream.
+	if _, ok := planFingerprint(g); ok {
+		t.Error("opened operator must be uncachable")
+	}
+	if _, ok := clonePlan(g); ok {
+		t.Error("opened operator must not clone")
+	}
+	// Closures cannot be keyed structurally.
+	m := &sqep.MapFn{Input: sqep.NewIota(1, 3), Fn: func(v any) (any, vtime.Duration, error) { return v, 0, nil }}
+	if _, ok := planFingerprint(m); ok {
+		t.Error("closure-bearing operator must be uncachable")
+	}
+}
+
+func TestClonePlanProducesIndependentRunnableCopy(t *testing.T) {
+	tmpl := sqep.NewIota(1, 5)
+	run := func(op sqep.Operator) []int64 {
+		t.Helper()
+		if err := op.Open(&sqep.Ctx{}); err != nil {
+			t.Fatal(err)
+		}
+		var got []int64
+		for {
+			el, ok, err := op.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			got = append(got, el.Value.(int64))
+		}
+		if err := op.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	c1, ok := clonePlan(tmpl)
+	if !ok {
+		t.Fatal("clone failed")
+	}
+	if c1 == sqep.Operator(tmpl) {
+		t.Fatal("clone aliases the template")
+	}
+	first := run(c1)
+	// The template stayed pristine: a second clone replays the full stream.
+	c2, ok := clonePlan(tmpl)
+	if !ok {
+		t.Fatal("second clone failed")
+	}
+	second := run(c2)
+	if len(first) != 5 || len(second) != 5 {
+		t.Fatalf("clones produced %d and %d elements, want 5 and 5", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("clone streams diverge at %d: %d vs %d", i, first[i], second[i])
+		}
+	}
+}
+
+func TestCachePlanTemplateDedupesShapes(t *testing.T) {
+	eng, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	t1 := eng.cachePlanTemplate(sqep.NewGenArray(512, 3))
+	t2 := eng.cachePlanTemplate(sqep.NewGenArray(512, 3))
+	if t1 == nil || t1 != t2 {
+		t.Error("shape-identical plans must share one template")
+	}
+	t3 := eng.cachePlanTemplate(sqep.NewGenArray(513, 3))
+	if t3 == nil || t3 == t1 {
+		t.Error("distinct shapes must not share a template")
+	}
+}

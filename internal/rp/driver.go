@@ -69,6 +69,7 @@ type senderDriver struct {
 	cfg    SenderConfig
 	conn   carrier.Conn
 	source string
+	owner  string // query id the CPU charges attribute to, parsed once
 
 	pending   []byte
 	pendReady vtime.Time
@@ -99,7 +100,7 @@ func newSenderDriver(source string, conn carrier.Conn, cfg SenderConfig) (*sende
 	if cfg.Mode != carrier.SingleBuffered && cfg.Mode != carrier.DoubleBuffered {
 		return nil, fmt.Errorf("rp: invalid buffering mode %d", cfg.Mode)
 	}
-	d := &senderDriver{cfg: cfg, conn: conn, source: source}
+	d := &senderDriver{cfg: cfg, conn: conn, source: source, owner: carrier.QueryOf(source)}
 	if reg := cfg.Metrics; reg != nil {
 		kind := linkKind(cfg.Link)
 		d.mFrames = reg.Counter("send.frames." + cfg.Link)
@@ -148,7 +149,7 @@ func (d *senderDriver) push(el sqep.Element) error {
 	ready = vtime.MaxTime(ready, d.pendReady)
 	var done vtime.Time
 	if d.cfg.CPU != nil {
-		_, done = d.cfg.CPU.UseAs(carrier.QueryOf(d.source), ready, svc)
+		_, done = d.cfg.CPU.UseAs(d.owner, ready, svc)
 	} else {
 		done = ready.Add(svc)
 	}
@@ -289,6 +290,14 @@ type ReceiverConfig struct {
 	// The engine enables this; hand-built tests that craft frames with zero
 	// offsets are unaffected by the default.
 	TrackOffsets bool
+	// BatchFrames bounds how many inbox frames are drained and charged per
+	// kernel commit: after one blocking receive, up to BatchFrames-1 further
+	// frames already sitting in the inbox are pulled non-blocking and their
+	// de-marshal reservations committed on the CPU in one critical section
+	// (vtime.Txn). Values <= 1 commit one frame at a time. Batching does not
+	// change the virtual schedule: frame i's de-marshal becomes ready at
+	// max(arrival, end of frame i-1's de-marshal) either way.
+	BatchFrames int
 	// Metrics receives the receiver's telemetry (frames/bytes ingested,
 	// de-marshal latency, inbox high-water depth). Nil disables.
 	Metrics *metrics.Registry
@@ -321,7 +330,15 @@ type Receiver struct {
 	// nextOff tracks, per producer, the stream offset one past the last
 	// ingested payload byte (TrackOffsets only).
 	nextOff map[string]uint64
-	cpuAt   vtime.Time
+	// txn chains the receiver's de-marshal reservations on the node CPU and
+	// commits each drained batch in one critical section; its tail is the end
+	// of the last de-marshal. cpuAt tracks the same tail for the CPU-less
+	// fallback.
+	txn   *vtime.Txn
+	owner string
+	cpuAt vtime.Time
+	// batch holds the frames drained for the current kernel commit.
+	batch []pendingFrame
 	// queue is a ring buffer of decoded elements awaiting Next: qhead is
 	// the index of the oldest element, qlen the number queued. len(queue)
 	// is always a power of two so the wrap is a mask.
@@ -353,6 +370,10 @@ func NewReceiver(inbox carrier.Inbox, cfg ReceiverConfig) *Receiver {
 		inbox:   inbox,
 		bufs:    make(map[string][]byte),
 		nextOff: make(map[string]uint64),
+		owner:   carrier.QueryOf(cfg.Consumer),
+	}
+	if cfg.CPU != nil {
+		r.txn = cfg.CPU.Txn(r.owner)
 	}
 	if reg := cfg.Metrics; reg != nil {
 		r.mFrames = reg.Counter("recv.frames." + cfg.Consumer)
@@ -369,6 +390,17 @@ func NewReceiver(inbox carrier.Inbox, cfg ReceiverConfig) *Receiver {
 // Open implements sqep.Operator.
 func (r *Receiver) Open(*sqep.Ctx) error { return nil }
 
+// pendingFrame is one drained, priced frame awaiting its batch's kernel
+// commit and decode.
+type pendingFrame struct {
+	fr      carrier.Delivered
+	payload []byte // fr.Payload minus any already-ingested prefix
+	svc     vtime.Duration
+	seq     int64 // r.framesIn at ingestion, for the tracer's net lanes
+	ready   vtime.Time
+	done    vtime.Time
+}
+
 // Next implements sqep.Operator. It blocks until an element is available or
 // the stream ends (all producers sent their Last frame).
 func (r *Receiver) Next() (sqep.Element, bool, error) {
@@ -379,15 +411,56 @@ func (r *Receiver) Next() (sqep.Element, bool, error) {
 		if r.done {
 			return sqep.Element{}, false, nil
 		}
-		r.gDepth.SetMax(int64(len(r.inbox)))
-		fr, ok := <-r.inbox
-		if !ok {
-			return sqep.Element{}, false, fmt.Errorf("rp: inbox closed before end of stream")
-		}
-		if err := r.ingest(fr); err != nil {
+		if err := r.fillAndIngest(); err != nil {
 			return sqep.Element{}, false, err
 		}
 	}
+}
+
+// fillAndIngest blocks for one frame, drains up to BatchFrames-1 further
+// frames already queued in the inbox, and ingests them as one batch. A Down
+// frame or closed inbox truncates the drain: the frames before it are still
+// ingested, then the error is reported.
+func (r *Receiver) fillAndIngest() error {
+	r.gDepth.SetMax(int64(len(r.inbox)))
+	fr, ok := <-r.inbox
+	if !ok {
+		return fmt.Errorf("rp: inbox closed before end of stream")
+	}
+	maxBatch := r.cfg.BatchFrames
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	var deferred error
+	for {
+		// Stop the drain at any final frame: pulling past a stream's end
+		// would ingest frames the serial loop never reads once done is set.
+		last := fr.Last
+		if err := r.preprocess(fr); err != nil {
+			deferred = err
+			break
+		}
+		if last || len(r.batch) >= maxBatch {
+			break
+		}
+		more := false
+		select {
+		case fr2, ok2 := <-r.inbox:
+			if ok2 {
+				fr, more = fr2, true
+			} else {
+				deferred = fmt.Errorf("rp: inbox closed before end of stream")
+			}
+		default:
+		}
+		if !more {
+			break
+		}
+	}
+	if err := r.ingestBatch(); err != nil {
+		return err
+	}
+	return deferred
 }
 
 // pushQueue appends an element to the ring buffer, growing it as needed.
@@ -414,9 +487,10 @@ func (r *Receiver) popQueue() sqep.Element {
 	return el
 }
 
-// ingest charges the de-marshal work for one frame and decodes any
-// completed objects.
-func (r *Receiver) ingest(fr carrier.Delivered) error {
+// preprocess validates, de-duplicates, and prices one frame, staging it in
+// the current batch. Duplicate replayed frames are recycled here without
+// charge; Down frames surface as an error.
+func (r *Receiver) preprocess(fr carrier.Delivered) error {
 	if fr.Down {
 		carrier.Recycle(&fr.Frame)
 		return fmt.Errorf("rp: producer %q failed: %s: %w", fr.Source, fr.DownErr, ErrUpstreamDown)
@@ -464,14 +538,63 @@ func (r *Receiver) ingest(fr carrier.Delivered) error {
 			svc = vtime.Duration(float64(svc) * r.cfg.CacheFactor(len(payload)))
 		}
 	}
-	ready := vtime.MaxTime(fr.At, r.cpuAt)
-	var done vtime.Time
-	if r.cfg.CPU != nil {
-		_, done = r.cfg.CPU.UseAs(carrier.QueryOf(r.cfg.Consumer), ready, svc)
-	} else {
-		done = ready.Add(svc)
+	r.batch = append(r.batch, pendingFrame{fr: fr, payload: payload, svc: svc, seq: r.framesIn})
+	return nil
+}
+
+// ingestBatch commits the staged frames' de-marshal reservations on the node
+// CPU in one critical section, then decodes each frame in arrival order.
+func (r *Receiver) ingestBatch() error {
+	if len(r.batch) == 0 {
+		return nil
 	}
-	r.cpuAt = done
+	if r.txn != nil {
+		prev := r.txn.Tail()
+		for i := range r.batch {
+			r.txn.Reserve(r.batch[i].fr.At, r.batch[i].svc)
+		}
+		grants := r.txn.Commit()
+		for i := range r.batch {
+			// Reconstruct the chain's effective ready times for the
+			// latency histogram and tracer: arrival clamped to the end of
+			// the preceding de-marshal, as the per-frame serial path
+			// computed them.
+			ready := r.batch[i].fr.At
+			if ready < 0 {
+				ready = 0
+			}
+			if ready < prev {
+				ready = prev
+			}
+			r.batch[i].ready, r.batch[i].done = ready, grants[i].End
+			prev = grants[i].End
+		}
+	} else {
+		for i := range r.batch {
+			ready := vtime.MaxTime(r.batch[i].fr.At, r.cpuAt)
+			r.batch[i].ready, r.batch[i].done = ready, ready.Add(r.batch[i].svc)
+			r.cpuAt = r.batch[i].done
+		}
+	}
+	var err error
+	for i := range r.batch {
+		if err == nil {
+			err = r.finishFrame(&r.batch[i])
+		} else {
+			// Frames after a failed decode were already charged; recycle
+			// their payloads on the way out.
+			carrier.Recycle(&r.batch[i].fr.Frame)
+		}
+		r.batch[i] = pendingFrame{}
+	}
+	r.batch = r.batch[:0]
+	return err
+}
+
+// finishFrame observes one committed frame's de-marshal span and decodes any
+// completed objects.
+func (r *Receiver) finishFrame(p *pendingFrame) error {
+	fr, payload, ready, done := p.fr, p.payload, p.ready, p.done
 	r.hDemarshal.Observe(done.Sub(ready))
 
 	if t := r.cfg.Tracer; t != nil && fr.TraceID != 0 {
@@ -482,7 +605,7 @@ func (r *Receiver) ingest(fr carrier.Delivered) error {
 		if len(fr.Hops) > 0 {
 			proc = fr.Hops[0].Name
 		}
-		net := fmt.Sprintf("net-%d", r.framesIn&1)
+		net := fmt.Sprintf("net-%d", p.seq&1)
 		t.Span(proc, net, "transfer", fr.TraceID, fr.Ready, fr.At, int64(len(fr.Payload)))
 		for _, h := range fr.Hops[1:] {
 			t.Instant(proc, "hops", h.Name, fr.TraceID, h.At)

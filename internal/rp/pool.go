@@ -1,0 +1,112 @@
+package rp
+
+import (
+	"sync"
+
+	"scsq/internal/hw"
+	"scsq/internal/metrics"
+	"scsq/internal/sqep"
+)
+
+// Pool recycles retired RPs. Spawning an SP through a pool reuses the RP
+// struct and its sender-driver slice backing instead of allocating fresh
+// ones, which makes process creation cheap enough to pay per supervised
+// replacement and per spv instance. The zero value is an empty, usable pool.
+type Pool struct {
+	mu   sync.Mutex
+	free []*RP
+}
+
+// Get returns an RP with the given identity and execution context, reusing a
+// pooled retired RP when one is available and allocating via New otherwise.
+// Either way the result is indistinguishable from a freshly constructed RP:
+// not started, no subscribers, counters bound to a private registry.
+func (p *Pool) Get(id string, cluster hw.ClusterName, node int, ctx sqep.Ctx, build BuildFunc) *RP {
+	p.mu.Lock()
+	var r *RP
+	if n := len(p.free); n > 0 {
+		r = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	}
+	p.mu.Unlock()
+	if r == nil {
+		return New(id, cluster, node, ctx, build)
+	}
+	r.recycle(id, cluster, node, ctx, build)
+	return r
+}
+
+// Put offers a retired RP back to the pool. Only RPs that can no longer run
+// are accepted — never started, or terminated (Wait would not block) — so a
+// live RP cannot be recycled out from under its goroutine; Put reports
+// whether the RP was accepted. Handles retained by callers after Put are
+// stale: the same struct may come back from Get under a new identity.
+func (p *Pool) Put(r *RP) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	started := r.started
+	r.mu.Unlock()
+	if started && !r.Done() {
+		return false
+	}
+	p.mu.Lock()
+	p.free = append(p.free, r)
+	p.mu.Unlock()
+	return true
+}
+
+// Prewarm stocks the pool with n blank RPs so the first n Gets skip
+// allocation.
+func (p *Pool) Prewarm(n int) {
+	if n <= 0 {
+		return
+	}
+	fresh := make([]*RP, n)
+	for i := range fresh {
+		fresh[i] = New("", "", 0, sqep.Ctx{}, nil)
+	}
+	p.mu.Lock()
+	p.free = append(p.free, fresh...)
+	p.mu.Unlock()
+}
+
+// Len reports how many retired RPs the pool currently holds.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// recycle re-initializes a retired RP under a new identity, equivalent to
+// New but reusing the struct and the subscribers slice backing. The caller
+// guarantees the RP's goroutine has terminated (or never ran).
+func (r *RP) recycle(id string, cluster hw.ClusterName, node int, ctx sqep.Ctx, build BuildFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.id = id
+	r.cluster = cluster
+	r.node = node
+	r.build = build
+	r.ctx = ctx
+	for i := range r.subs {
+		r.subs[i] = nil
+	}
+	r.subs = r.subs[:0]
+	r.started = false
+	r.err = nil
+	r.onExit = nil
+	r.beat = nil
+	r.beatAt = 0
+	r.nextB = 0
+	r.pacer = nil
+	r.done = make(chan struct{})
+	r.killed = make(chan struct{})
+	r.killOnce = sync.Once{}
+	// Counters must not keep pointing at the previous identity's metric
+	// names; rebind to a private registry exactly as New does (the engine
+	// rebinds onto its shared registry at placement).
+	r.bindMetrics(metrics.NewRegistry())
+}

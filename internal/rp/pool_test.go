@@ -1,0 +1,122 @@
+package rp
+
+import (
+	"errors"
+	"testing"
+
+	"scsq/internal/carrier"
+	"scsq/internal/hw"
+	"scsq/internal/sqep"
+)
+
+// runPooledRP drives one RP from pool to completion and returns it retired.
+func runPooledRP(t *testing.T, pool *Pool, id string, n int) *RP {
+	t.Helper()
+	ctx := testCtx(t)
+	p := pool.Get(id, hw.BackEnd, 0, ctx, func(*sqep.Ctx) (sqep.Operator, error) {
+		return sqep.NewIota(1, int64(n)), nil
+	})
+	inbox := make(carrier.Inbox, 64)
+	conn := &loopConn{inbox: inbox}
+	if err := p.Subscribe(conn, SenderConfig{BufBytes: 1024, Mode: carrier.SingleBuffered}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReceiver(inbox, ReceiverConfig{Producers: 1})
+	got := 0
+	for {
+		_, ok, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("%s: received %d elements, want %d", id, got, n)
+	}
+	return p
+}
+
+func TestPoolReusesRetiredRP(t *testing.T) {
+	var pool Pool
+	first := runPooledRP(t, &pool, "rp-a", 5)
+	if !pool.Put(first) {
+		t.Fatal("retired RP refused")
+	}
+	if pool.Len() != 1 {
+		t.Fatalf("pool len = %d, want 1", pool.Len())
+	}
+	second := runPooledRP(t, &pool, "rp-b", 7)
+	if second != first {
+		t.Error("pool allocated instead of recycling the retired RP")
+	}
+	if second.ID() != "rp-b" {
+		t.Errorf("recycled id = %s, want rp-b", second.ID())
+	}
+	if st := second.Stats(); st.ElementsOut != 7 {
+		t.Errorf("recycled RP counted %d elements, want 7 (stale counters?)", st.ElementsOut)
+	}
+}
+
+func TestPoolRefusesLiveRP(t *testing.T) {
+	var pool Pool
+	ctx := testCtx(t)
+	block := make(chan struct{})
+	p := New("rp-live", hw.BackEnd, 0, ctx, func(*sqep.Ctx) (sqep.Operator, error) {
+		<-block
+		return sqep.NewIota(1, 1), nil
+	})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Put(p) {
+		t.Error("live RP must be refused")
+	}
+	close(block)
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !pool.Put(p) {
+		t.Error("terminated RP must be accepted")
+	}
+}
+
+func TestPoolAcceptsNeverStartedAndFailedRP(t *testing.T) {
+	var pool Pool
+	ctx := testCtx(t)
+	idle := New("rp-idle", hw.BackEnd, 0, ctx, nil)
+	if !pool.Put(idle) {
+		t.Error("never-started RP must be accepted")
+	}
+	failed := New("rp-fail", hw.BackEnd, 0, ctx, nil)
+	failed.Fail(errors.New("placement lost"))
+	if !pool.Put(failed) {
+		t.Error("failed unstarted RP must be accepted")
+	}
+	// Both recycle into runnable RPs again.
+	runPooledRP(t, &pool, "rp-recycled-1", 3)
+	runPooledRP(t, &pool, "rp-recycled-2", 4)
+}
+
+func TestPoolPrewarm(t *testing.T) {
+	var pool Pool
+	pool.Prewarm(3)
+	if pool.Len() != 3 {
+		t.Fatalf("pool len = %d, want 3", pool.Len())
+	}
+	runPooledRP(t, &pool, "rp-warm", 2)
+	if pool.Len() != 2 {
+		t.Errorf("pool len after Get = %d, want 2", pool.Len())
+	}
+	if pool.Put(nil) {
+		t.Error("nil RP must be refused")
+	}
+}

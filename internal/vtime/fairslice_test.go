@@ -21,9 +21,22 @@ func TestUseAsOwnerAccounting(t *testing.T) {
 	if got := r.BusyTimeBy("q3"); got != 0 {
 		t.Errorf("BusyTimeBy(q3) = %v, want 0", got)
 	}
-	want := map[string]Duration{"q1": 20, "q2": 12}
-	if got := r.OwnerBusy(); !reflect.DeepEqual(got, want) {
+	// Anonymous Use is accounted under the reserved AnonymousOwner key, so
+	// the per-owner totals sum to BusyTime.
+	if got := r.BusyTimeBy(AnonymousOwner); got != 3 {
+		t.Errorf("BusyTimeBy(AnonymousOwner) = %v, want 3", got)
+	}
+	want := map[string]Duration{"q1": 20, "q2": 12, AnonymousOwner: 3}
+	got := r.OwnerBusy()
+	if !reflect.DeepEqual(got, want) {
 		t.Errorf("OwnerBusy = %v, want %v", got, want)
+	}
+	var sum Duration
+	for _, v := range got {
+		sum += v
+	}
+	if sum != r.BusyTime() {
+		t.Errorf("owner totals sum to %v, want BusyTime %v", sum, r.BusyTime())
 	}
 }
 

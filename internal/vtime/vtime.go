@@ -12,6 +12,15 @@
 //
 // Bandwidth reported by the experiment harness is payload bytes divided by
 // virtual elapsed time.
+//
+// # Owner accounting
+//
+// Every reservation is attributed to exactly one owner. UseAs charges the
+// given owner (a query id); Use and the zero-value Txn charge the reserved
+// anonymous aggregate AnonymousOwner (""). BusyTimeBy and OwnerBusy report
+// per-owner totals including the anonymous aggregate, and the sum over all
+// owners — anonymous included — always equals BusyTime. Reset clears the
+// accounting along with the schedule.
 package vtime
 
 import (
@@ -98,9 +107,17 @@ type Resource struct {
 	floor   Time     // prune floor: everything before it is treated as busy
 	horizon Duration // 0 = DefaultBackfillHorizon, < 0 = never prune
 
-	usedBy    map[string]Duration // per-owner busy time (UseAs); nil until first owner
+	usedBy    map[string]Duration // per-owner busy time, incl. AnonymousOwner; nil until first use
 	fairSlice Duration            // 0 = whole-reservation placement (default)
+
+	// recorder, when set, observes every granted placement in commit order
+	// (see SetRecorder).
+	recorder func(owner string, ready Time, service Duration, start, end Time)
 }
+
+// AnonymousOwner is the reserved owner key under which anonymous Use calls
+// are accounted in BusyTimeBy and OwnerBusy.
+const AnonymousOwner = ""
 
 type interval struct {
 	start, end Time
@@ -139,14 +156,15 @@ func (r *Resource) SetFairSlice(d Duration) {
 }
 
 // Use reserves the resource for service virtual nanoseconds, starting no
-// earlier than ready. It returns the granted interval [start, end).
+// earlier than ready. It returns the granted interval [start, end). The
+// reservation is accounted under AnonymousOwner.
 func (r *Resource) Use(ready Time, service Duration) (start, end Time) {
-	return r.UseAs("", ready, service)
+	return r.UseAs(AnonymousOwner, ready, service)
 }
 
 // UseAs is Use with the reservation attributed to owner (a query id) in the
 // per-owner busy accounting reported by OwnerBusy. An empty owner charges
-// only the aggregate total.
+// the anonymous aggregate.
 func (r *Resource) UseAs(owner string, ready Time, service Duration) (start, end Time) {
 	if ready < 0 {
 		ready = 0
@@ -156,13 +174,27 @@ func (r *Resource) UseAs(owner string, ready Time, service Duration) (start, end
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.used += service
-	if owner != "" {
-		if r.usedBy == nil {
-			r.usedBy = make(map[string]Duration)
-		}
-		r.usedBy[owner] += service
+	r.accountLocked(owner, service)
+	start, end = r.placeSliced(ready, service)
+	if r.recorder != nil {
+		r.recorder(owner, ready, service, start, end)
 	}
+	return start, end
+}
+
+// accountLocked charges service to the aggregate and per-owner busy
+// accounting. r.mu must be held.
+func (r *Resource) accountLocked(owner string, service Duration) {
+	r.used += service
+	if r.usedBy == nil {
+		r.usedBy = make(map[string]Duration)
+	}
+	r.usedBy[owner] += service
+}
+
+// placeSliced grants one reservation, chunking it per the fair slice when
+// one is set. r.mu must be held.
+func (r *Resource) placeSliced(ready Time, service Duration) (start, end Time) {
 	if slice := r.fairSlice; slice > 0 && service > slice {
 		// Chunked placement: each chunk is earliest-fit at or after the
 		// previous chunk's end, leaving the gaps between chunks free for
@@ -185,6 +217,22 @@ func (r *Resource) UseAs(owner string, ready Time, service Duration) (start, end
 		return start, end
 	}
 	return r.place(ready, service)
+}
+
+// SetRecorder installs fn, invoked under the resource's lock for every
+// granted reservation — serial or transactional — in commit order, with the
+// request's effective ready time (after chain ordering, before the prune
+// floor clamp), its service demand, and the granted interval. Because
+// placement is a deterministic function of the busy list and the effective
+// ready time, replaying the recorded (owner, ready, service) sequence
+// through UseAs on a fresh Resource with the same backfill horizon and fair
+// slice reproduces the identical grants; the cross-check tests use this to
+// prove the batched kernel's schedules bit-identical to the serial one.
+// A nil fn uninstalls the recorder. fn must not call back into the Resource.
+func (r *Resource) SetRecorder(fn func(owner string, ready Time, service Duration, start, end Time)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recorder = fn
 }
 
 // place grants one contiguous earliest-fit reservation. r.mu must be held.
@@ -280,6 +328,15 @@ func (r *Resource) prune() {
 	}
 }
 
+// PruneFloor reports the current prune floor: requests becoming ready
+// before it are clamped forward to it, as the gaps behind the floor have
+// been forgotten and are treated as solid busy time.
+func (r *Resource) PruneFloor() Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.floor
+}
+
 // FreeAt reports the end of the last reservation (the earliest instant at
 // which the resource is certainly available).
 func (r *Resource) FreeAt() Time {
@@ -295,7 +352,8 @@ func (r *Resource) BusyTime() Duration {
 	return r.used
 }
 
-// BusyTimeBy reports the virtual time charged by the given owner via UseAs.
+// BusyTimeBy reports the virtual time charged by the given owner via UseAs
+// (AnonymousOwner reports the anonymous Use aggregate).
 func (r *Resource) BusyTimeBy(owner string) Duration {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -304,7 +362,7 @@ func (r *Resource) BusyTimeBy(owner string) Duration {
 
 // OwnerBusy returns a copy of the per-owner busy accounting: owner (query
 // id) to total virtual service time charged via UseAs. Anonymous Use calls
-// are not included.
+// appear under AnonymousOwner; the values sum to BusyTime.
 func (r *Resource) OwnerBusy() map[string]Duration {
 	r.mu.Lock()
 	defer r.mu.Unlock()
