@@ -12,6 +12,8 @@
 //	scsq-bench -fig mt                # extension: multi-tenant contention sweep
 //	scsq-bench -fig vkernel           # virtual-time kernel: batched commits, SP spawn → BENCH_vkernel.json
 //	scsq-bench -fig vkernel -tiny     # seconds-scale smoke sizing (CI)
+//	scsq-bench -fig soak              # seeded chaos soak, all resilience features → BENCH_soak.json
+//	scsq-bench -fig soak -tiny        # single-seed soak (CI)
 //	scsq-bench -fig all -csv          # everything, machine readable
 //	scsq-bench -fig 15 -paper-scale   # the paper's 100 × 3 MB arrays
 //	scsq-bench -perf                  # data-plane microbenchmarks → BENCH_dataplane.json
@@ -41,9 +43,10 @@ func main() {
 
 func run() error {
 	var (
-		fig        = flag.String("fig", "all", "figure to regenerate: 6, 8, 15, ablation, udp, mt, vkernel or all")
-		tiny       = flag.Bool("tiny", false, "seconds-scale smoke sizing for -fig vkernel")
+		fig        = flag.String("fig", "all", "figure to regenerate: 6, 8, 15, ablation, udp, mt, vkernel, soak or all")
+		tiny       = flag.Bool("tiny", false, "smoke sizing for -fig vkernel (seconds-scale) and -fig soak (single seed)")
 		vkernelOut = flag.String("vkernel-out", "BENCH_vkernel.json", "file the -fig vkernel report is written to")
+		soakOut    = flag.String("soak-out", "BENCH_soak.json", "file the -fig soak report is written to")
 		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
 		paperScale = flag.Bool("paper-scale", false, "use the paper's 100 × 3 MB arrays (slow)")
 		repeats    = flag.Int("repeats", 5, "measurement repetitions per point")
@@ -193,6 +196,32 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(out, "wrote %s\n", *vkernelOut)
+		fmt.Fprintln(out)
+	}
+	if want("soak") {
+		cfg := bench.DefaultSoak()
+		if *tiny {
+			cfg = bench.TinySoak()
+		}
+		report, err := bench.RunSoak(cfg)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteSoak(out, report); err != nil {
+			return err
+		}
+		f, err := os.Create(*soakOut)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteSoakJSON(f, report); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *soakOut)
 		fmt.Fprintln(out)
 	}
 	if want("15") {

@@ -200,8 +200,15 @@ func (s *shell) meta(cmd string) error {
 		return nil
 	case "ps":
 		for _, in := range s.eng.Sessions() {
-			fmt.Fprintf(s.out, "%-4s %-10s prio=%d nodes=%d %s\n",
-				in.ID, in.State, in.Priority, in.Nodes, strings.Join(strings.Fields(in.Statement), " "))
+			extra := ""
+			if in.Deadline > 0 {
+				extra += fmt.Sprintf(" deadline=%v age=%v", in.Deadline, in.Age)
+			}
+			if in.Retries > 0 {
+				extra += fmt.Sprintf(" retries=%d", in.Retries)
+			}
+			fmt.Fprintf(s.out, "%-4s %-10s prio=%d nodes=%d%s %s\n",
+				in.ID, in.State, in.Priority, in.Nodes, extra, strings.Join(strings.Fields(in.Statement), " "))
 		}
 		return nil
 	case "cancel":

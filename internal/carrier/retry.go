@@ -28,11 +28,14 @@ type RetryPolicy struct {
 // attempts, 50µs initial backoff.
 var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 3, BaseBackoff: 50 * time.Microsecond, MaxBackoff: 2 * time.Millisecond}
 
-// Do runs op, retrying transient errors (per IsTransient) up to MaxAttempts
-// with exponential backoff and full jitter. The first non-transient error —
-// and the last transient one — is returned as-is, preserving the typed
-// error chain.
-func (p RetryPolicy) Do(op func() error) error {
+// Backoffs returns the deterministic sleep schedule Do applies: element k
+// is the sleep after the (k+1)-th failed attempt, so the schedule has
+// MaxAttempts-1 entries. Every entry is full-jittered — uniform in
+// [0, backoff_k] where backoff_k doubles from BaseBackoff up to MaxBackoff —
+// and the jitter stream is a pure function of Seed: the same policy value
+// returns the same schedule on every call, which is what makes retry timing
+// assertable in tests.
+func (p RetryPolicy) Backoffs() []time.Duration {
 	attempts := p.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -45,7 +48,34 @@ func (p RetryPolicy) Do(op func() error) error {
 	if maxBackoff <= 0 {
 		maxBackoff = 2 * time.Millisecond
 	}
-	var rng *rand.Rand
+	if attempts == 1 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(p.Seed + 1))
+	out := make([]time.Duration, 0, attempts-1)
+	for attempt := 0; attempt < attempts-1; attempt++ {
+		// Full jitter: sleep a uniform fraction of the current backoff, so
+		// colliding retriers decorrelate.
+		out = append(out, time.Duration(rng.Int63n(int64(backoff)+1)))
+		if backoff < maxBackoff {
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+	}
+	return out
+}
+
+// Do runs op, retrying transient errors (per IsTransient) up to MaxAttempts
+// with the Backoffs sleep schedule. The first non-transient error — and the
+// last transient one — is returned as-is, preserving the typed error chain.
+func (p RetryPolicy) Do(op func() error) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var sleeps []time.Duration
 	var err error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if err = op(); err == nil || !IsTransient(err) {
@@ -54,18 +84,10 @@ func (p RetryPolicy) Do(op func() error) error {
 		if attempt == attempts-1 {
 			break
 		}
-		if rng == nil {
-			rng = rand.New(rand.NewSource(p.Seed + 1))
+		if sleeps == nil {
+			sleeps = p.Backoffs()
 		}
-		// Full jitter: sleep a uniform fraction of the current backoff, so
-		// colliding retriers decorrelate.
-		time.Sleep(time.Duration(rng.Int63n(int64(backoff) + 1)))
-		if backoff < maxBackoff {
-			backoff *= 2
-			if backoff > maxBackoff {
-				backoff = maxBackoff
-			}
-		}
+		time.Sleep(sleeps[attempt])
 	}
 	return err
 }

@@ -1,0 +1,102 @@
+package carrier
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestBackoffsBounds checks the exponential-doubling envelope: sleep k is
+// full-jittered in [0, min(Base·2^k, Max)], never negative, never above the
+// cap.
+func TestBackoffsBounds(t *testing.T) {
+	p := RetryPolicy{
+		MaxAttempts: 8,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+		Seed:        7,
+	}
+	sleeps := p.Backoffs()
+	if len(sleeps) != p.MaxAttempts-1 {
+		t.Fatalf("got %d sleeps, want %d", len(sleeps), p.MaxAttempts-1)
+	}
+	ceiling := p.BaseBackoff
+	for k, s := range sleeps {
+		if s < 0 {
+			t.Fatalf("sleep %d is negative: %v", k, s)
+		}
+		if s > ceiling {
+			t.Fatalf("sleep %d = %v exceeds its backoff ceiling %v", k, s, ceiling)
+		}
+		if s > p.MaxBackoff {
+			t.Fatalf("sleep %d = %v exceeds MaxBackoff %v", k, s, p.MaxBackoff)
+		}
+		ceiling *= 2
+		if ceiling > p.MaxBackoff {
+			ceiling = p.MaxBackoff
+		}
+	}
+}
+
+// TestBackoffsSeededDeterminism asserts the satellite contract: two policies
+// with the same seed produce the identical retry schedule; a different seed
+// produces a different one.
+func TestBackoffsSeededDeterminism(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 6, BaseBackoff: 80 * time.Microsecond, MaxBackoff: time.Millisecond, Seed: 42}
+	a, b := p.Backoffs(), p.Backoffs()
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("same seed diverged at sleep %d: %v vs %v", k, a[k], b[k])
+		}
+	}
+	other := p
+	other.Seed = 43
+	c := other.Backoffs()
+	same := true
+	for k := range a {
+		if a[k] != c[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical jitter schedule")
+	}
+}
+
+// TestBackoffsDefaults covers the zero-value policy: single attempt means no
+// sleeps, and zero Base/Max fall back to the documented defaults.
+func TestBackoffsDefaults(t *testing.T) {
+	if s := (RetryPolicy{}).Backoffs(); s != nil {
+		t.Fatalf("zero policy (1 attempt) produced sleeps: %v", s)
+	}
+	p := RetryPolicy{MaxAttempts: 4}
+	for k, s := range p.Backoffs() {
+		if s > 2*time.Millisecond {
+			t.Fatalf("default-capped sleep %d = %v exceeds the 2ms default MaxBackoff", k, s)
+		}
+	}
+}
+
+// TestDoFollowsBackoffSchedule asserts Do consumes exactly the published
+// schedule: the attempt count matches and the last transient error is
+// returned as-is.
+func TestDoFollowsBackoffSchedule(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond, MaxBackoff: 2 * time.Microsecond, Seed: 1}
+	calls := 0
+	werr := fmt.Errorf("dial: %w", ErrDialTimeout)
+	err := p.Do(func() error { calls++; return werr })
+	if calls != 3 {
+		t.Fatalf("Do made %d attempts, want 3", calls)
+	}
+	if !errors.Is(err, ErrDialTimeout) {
+		t.Fatalf("Do returned %v, want the typed transient chain", err)
+	}
+	// Non-transient errors short-circuit without retries.
+	calls = 0
+	perm := errors.New("permanent")
+	if err := p.Do(func() error { calls++; return perm }); err != perm || calls != 1 {
+		t.Fatalf("Do on permanent error: err=%v calls=%d, want the error after 1 attempt", err, calls)
+	}
+}

@@ -216,6 +216,24 @@ func (i *Injector) KillNode(cluster hw.ClusterName, node int) {
 	}
 }
 
+// Revive clears a node's dead state so carriers touching it stop observing
+// ErrNodeDown, and retires the node's crash schedules and send counter — a
+// revived node is a fresh incarnation, not one about to re-fire its old
+// crash point. Reviving a live node is a no-op. Crash listeners are not
+// re-notified; the caller (core.Engine.ReviveNode) updates the CNDB side.
+func (i *Injector) Revive(cluster hw.ClusterName, node int) {
+	if i == nil {
+		return
+	}
+	ref := NodeRef{cluster, node}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	delete(i.dead, ref)
+	delete(i.crashAfterSends, ref)
+	delete(i.crashAtV, ref)
+	delete(i.sends, ref)
+}
+
 // NodeDead reports whether the node has crashed.
 func (i *Injector) NodeDead(cluster hw.ClusterName, node int) bool {
 	if i == nil {

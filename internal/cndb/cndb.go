@@ -259,6 +259,17 @@ func (db *DB) MarkDead(id int) {
 	}
 }
 
+// Revive clears a node's failed mark: the node is selectable again by
+// subsequent placements. Reviving a live node is a no-op. This is the
+// recovery half of the transient-admission story — a node that "heartbeats
+// back" (or is repaired and re-registered by an operator) returns capacity
+// that parked sessions retry against.
+func (db *DB) Revive(id int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.dead, id)
+}
+
 // Dead reports whether node id has been marked failed.
 func (db *DB) Dead(id int) bool {
 	db.mu.Lock()

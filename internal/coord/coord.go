@@ -60,6 +60,12 @@ type Coordinator struct {
 	mu    sync.Mutex
 	rps   map[string]*rp.RP
 	beats map[string]vtime.Time
+	// front is the high-water mark of every beat ever recorded (it survives
+	// Unregister, unlike the beats map); beatObs is invoked with it — outside
+	// mu — after each beat that advances it. The scheduler's resilience layer
+	// hangs off this hook: the beat frontier is its virtual clock source.
+	front   vtime.Time
+	beatObs func(vtime.Time)
 
 	// Telemetry handles bound by SetMetrics; nil-safe no-ops without a
 	// registry. Guarded by mu alongside the state they count.

@@ -30,14 +30,43 @@ func (p HeartbeatPolicy) Threshold() vtime.Duration {
 }
 
 // Beat records a liveness report from RP id at virtual time at. Beats are
-// monotone per RP; a stale report is ignored.
+// monotone per RP; a stale report is ignored. A beat that advances the
+// cluster's frontier is relayed to the beat observer — after c.mu is
+// released, so the observer may call back into the coordinator (a scheduler
+// sweep that re-attempts placement takes the same mutex via PlaceFor).
 func (c *Coordinator) Beat(id string, at vtime.Time) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.mBeats.Inc()
 	if at > c.beats[id] {
 		c.beats[id] = at
 	}
+	var obs func(vtime.Time)
+	var front vtime.Time
+	if at > c.front {
+		c.front = at
+		obs, front = c.beatObs, c.front
+	}
+	c.mu.Unlock()
+	if obs != nil {
+		obs(front)
+	}
+}
+
+// BeatFrontier returns the frontmost beat ever recorded in this cluster. It
+// is monotone: unlike the per-RP beat table, it survives Unregister.
+func (c *Coordinator) BeatFrontier() vtime.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.front
+}
+
+// SetBeatObserver installs fn, invoked (outside the coordinator's mutex)
+// with the new beat frontier whenever a beat advances it. One observer; nil
+// clears it.
+func (c *Coordinator) SetBeatObserver(fn func(vtime.Time)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.beatObs = fn
 }
 
 // LastBeat returns the latest beat recorded for RP id, and whether one ever

@@ -95,6 +95,9 @@ type Engine struct {
 	closed    bool
 	hbStop    chan struct{}
 	hbStopped sync.WaitGroup
+	// stop closes on Engine.Close: the reap signal for failure-path helper
+	// goroutines (early-close inbox drains) whose inboxes are never closed.
+	stop chan struct{}
 }
 
 // Edge describes one carrier connection of the current query's process
@@ -328,6 +331,7 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		hbTau:       cfg.hbTau,
 		reg:         metrics.NewRegistry(),
 		tracer:      cfg.tracer,
+		stop:        make(chan struct{}),
 	}
 	e.mpi.SetMetrics(e.reg)
 	e.tcp.SetMetrics(e.reg)
@@ -423,6 +427,7 @@ func (e *Engine) Close() error {
 		return ErrQueriesActive
 	}
 	e.closed = true
+	close(e.stop)
 	if e.hbStop != nil {
 		close(e.hbStop)
 		e.hbStopped.Wait()
@@ -494,6 +499,74 @@ func (e *Engine) handleCrash(ref chaos.NodeRef) {
 			poisonInbox(w.inbox, "coordinator", cause)
 		}
 	}
+	e.notifyNodeDied(ref.Cluster, ref.Node)
+}
+
+// reapInbound drains the inboxes feeding an RP that exited with an error and
+// was not replaced by the supervisor: such a consumer will never read again,
+// so without the reap its producers would block forever in Send delivering
+// their final frames (the classic case is a node killed in the admit→start
+// window — the RP's plan never opened, so no receiver exists to drain or to
+// spawn an early-close drain). Clean exits need no reap: every producer's
+// stream was fully consumed. The drains discard until engine shutdown; a
+// receiver's own early-close drain racing them is benign (both discard).
+func (e *Engine) reapInbound(sp *SP, proc *rp.RP, cause error) {
+	if cause == nil || sp.proc() != proc {
+		return
+	}
+	seen := make(map[carrier.Inbox]bool)
+	for _, p := range e.allSPs() {
+		for _, w := range p.wiringsFor(sp.id) {
+			if seen[w.inbox] {
+				continue
+			}
+			seen[w.inbox] = true
+			go func(in carrier.Inbox) {
+				for {
+					select {
+					case fr := <-in:
+						carrier.Recycle(&fr.Frame)
+					case <-e.stop:
+						return
+					}
+				}
+			}(w.inbox)
+		}
+	}
+}
+
+// notifyNodeDied tells an attached capacity-observing scheduler that a node
+// left the pool. Called after the CNDB already reflects the death, so the
+// observer's re-evaluation sees the shrunken capacity.
+func (e *Engine) notifyNodeDied(c hw.ClusterName, node int) {
+	if co, ok := e.Scheduler().(CapacityObserver); ok {
+		co.NodeDied(string(c), node)
+	}
+}
+
+// ReviveNode returns a dead node to service: the CNDB accepts placements on
+// it again and, under chaos, the injector stops failing its traffic. This is
+// the "node heartbeats back" event the transient-admission retry path waits
+// for; the soak harness uses it to restore capacity between rounds.
+func (e *Engine) ReviveNode(c hw.ClusterName, node int) error {
+	cc, ok := e.coords[c]
+	if !ok {
+		return fmt.Errorf("core: unknown cluster %q", c)
+	}
+	e.inj.Revive(c, node) // nil-safe
+	cc.DB().Revive(node)
+	return nil
+}
+
+// DeadNodeCount sums the failed-node counts across every cluster's CNDB —
+// nonzero means capacity may return (via ReviveNode), which is what makes an
+// unsatisfiable admission transient rather than permanent.
+func (e *Engine) DeadNodeCount() int {
+	n := 0
+	for _, cc := range e.coords {
+		n += cc.DB().DeadCount()
+	}
+	return n
 }
 
 // poisonInbox injects a failure-propagation frame without blocking the
@@ -509,7 +582,19 @@ func poisonInbox(inbox carrier.Inbox, source string, cause error) {
 	select {
 	case inbox <- fr:
 	default:
-		go func() { inbox <- fr }()
+		go func() {
+			for {
+				select {
+				case inbox <- fr:
+					return
+				case old := <-inbox:
+					// The consumer is not draining (it may itself be dead);
+					// discard in FIFO order to make room so the poison always
+					// lands and this goroutine always terminates.
+					carrier.Recycle(&old.Frame)
+				}
+			}
+		}()
 	}
 }
 
@@ -553,6 +638,7 @@ func (e *Engine) failStaleRP(cc *coord.Coordinator, id string) {
 	e.reg.Counter("heartbeat.lost").Inc()
 	cc.DB().MarkDead(node) // suspect: no further placements on this node
 	cc.KillNode(node, ErrHeartbeatLost)
+	e.notifyNodeDied(cc.Cluster(), node)
 }
 
 // Edges returns the carrier connections wired since the last Reset — the
@@ -670,9 +756,12 @@ func (e *Engine) buildProc(sp *SP, node int) (*rp.RP, bool, error) {
 	if !hasInputs {
 		proc.SetPacer(sp.qc.pacer.Register())
 	}
-	if e.sup != nil {
-		proc.SetOnExit(func(err error) { e.sup.onRPExit(sp, err) })
-	}
+	proc.SetOnExit(func(err error) {
+		if e.sup != nil {
+			e.sup.onRPExit(sp, err)
+		}
+		e.reapInbound(sp, proc, err)
+	})
 	if e.hb.Interval > 0 {
 		if cc, ok := e.coords[sp.cluster]; ok {
 			proc.SetBeat(cc.Beat, e.hb.Interval)
@@ -844,6 +933,18 @@ func (s *SP) addWiring(w wiring) {
 	s.wirings = append(s.wirings, w)
 }
 
+func (s *SP) wiringsFor(consumer string) []wiring {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []wiring
+	for _, w := range s.wirings {
+		if w.consumer == consumer {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
 func (s *SP) wiringsTo(cc hw.ClusterName, cn int) []wiring {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -879,12 +980,31 @@ func (s *SP) Start() error { return s.start() }
 
 func (s *SP) start() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.started {
+		s.mu.Unlock()
 		return nil
 	}
 	s.started = true
-	return s.rp.Start()
+	proc := s.rp
+	s.mu.Unlock()
+	err := proc.Start()
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, rp.ErrAlreadyStarted):
+		// A supervisor replacement swapped in between our read of the
+		// process and this call; the replacement is already running.
+		return nil
+	case errors.Is(err, rp.ErrFailedBeforeStart):
+		// The node died in the admit→start window. That is a process
+		// failure, not a wiring error: Fail runs the exit protocol on the
+		// never-started RP, so once it completes the supervisor has either
+		// replaced the process or poisoned downstream, exactly as for a
+		// crash after start, and Wait/WaitResolved carry the outcome.
+		proc.Wait()
+		return nil
+	}
+	return err
 }
 
 // Subquery builds the SQEP of a stream process. It runs at SP-construction
@@ -957,6 +1077,7 @@ func (e *Engine) connectAs(producers []*SP, cc hw.ClusterName, cn int, consumer 
 		Metrics:      e.reg,
 		Tracer:       e.tracer,
 		Consumer:     consumer,
+		Stop:         e.stop,
 	}
 	switch cc {
 	case hw.BlueGene:

@@ -371,6 +371,13 @@ type QueryStatus struct {
 	Priority  int
 	Statement string
 	Nodes     int // node reservations currently leased
+
+	// Resilience columns (zero when the feature is off). All three are
+	// virtual-time quantities: the scheduler's policy clock never reads the
+	// wall clock, so the same schedule yields the same ages and deadlines.
+	AgeNs      int64 // virtual nanoseconds spent in the current state
+	DeadlineNs int64 // absolute virtual-time deadline governing the state, 0 = none
+	Retries    int   // transient-admission retries consumed so far
 }
 
 // QueryScheduler is the engine's hook to an attached multi-tenant scheduler
@@ -384,12 +391,41 @@ type QueryScheduler interface {
 	CancelQuery(id string) error
 }
 
+// VTimeObserver is optionally implemented by an attached scheduler whose
+// policy clock (deadlines, retry backoff) runs on virtual time. The engine
+// feeds it the coordinator heartbeat frontier: every beat that advances a
+// cluster's frontmost recorded beat is relayed, giving the scheduler a
+// monotone, deterministic clock without ever reading the wall clock.
+type VTimeObserver interface {
+	ObserveVTime(t vtime.Time)
+}
+
+// CapacityObserver is optionally implemented by an attached scheduler that
+// reacts to cluster capacity changes: node deaths shrink the pool (queued
+// work may now be unsatisfiable, or worth shedding), and the engine notifies
+// the scheduler so it can re-evaluate instead of waiting for the next
+// submission.
+type CapacityObserver interface {
+	NodeDied(cluster string, node int)
+}
+
 // SetQueryScheduler attaches a scheduler to the engine, making it visible
-// to SCSQL's ps() and cancel() functions.
+// to SCSQL's ps() and cancel() functions. If the scheduler implements
+// VTimeObserver it is additionally wired to every cluster coordinator's beat
+// frontier, so heartbeat traffic drives its virtual policy clock; attaching
+// nil (or a non-observer) unwires the frontier.
 func (e *Engine) SetQueryScheduler(s QueryScheduler) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.sched = s
+	e.mu.Unlock()
+	vo, _ := s.(VTimeObserver)
+	for _, cc := range e.coords {
+		if vo == nil {
+			cc.SetBeatObserver(nil)
+		} else {
+			cc.SetBeatObserver(vo.ObserveVTime)
+		}
+	}
 }
 
 // Scheduler returns the attached query scheduler, or nil.

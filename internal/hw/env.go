@@ -330,6 +330,27 @@ func (e *Env) SetFairSlice(d vtime.Duration) {
 	}
 }
 
+// Resources returns every virtual-time resource in the environment, in the
+// deterministic order bg (CPU, coprocessor), be (CPU, NIC), fe (CPU, NIC),
+// io (forwarder, tree). The soak harness audits these: after a run every
+// resource's per-owner busy accounting must still sum to its total.
+func (e *Env) Resources() []*vtime.Resource {
+	var out []*vtime.Resource
+	for _, n := range e.bg {
+		out = append(out, n.CPU, n.Coproc)
+	}
+	for _, n := range e.be {
+		out = append(out, n.CPU, n.NIC)
+	}
+	for _, n := range e.fe {
+		out = append(out, n.CPU, n.NIC)
+	}
+	for _, n := range e.io {
+		out = append(out, n.Forwarder, n.Tree)
+	}
+	return out
+}
+
 // Reset returns every resource in the environment to virtual time zero and
 // clears the inbound-stream registry. Use between experiment repetitions.
 func (e *Env) Reset() {

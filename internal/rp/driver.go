@@ -306,6 +306,13 @@ type ReceiverConfig struct {
 	Tracer *metrics.Tracer
 	// Consumer names the ingesting RP (or client) in metric names.
 	Consumer string
+	// Stop, if non-nil, bounds the lifetime of the early-close inbox drain:
+	// when a consumer stops before its producers finish, Close spawns a
+	// goroutine draining the inbox so blocked senders can complete; inboxes
+	// are never closed (they may be shared), so without a stop signal that
+	// goroutine would outlive the stream. The engine passes its own shutdown
+	// channel here.
+	Stop <-chan struct{}
 }
 
 // ErrUpstreamDown reports that a producer terminated its stream with a
@@ -672,10 +679,22 @@ func (r *Receiver) Close() error {
 		return nil
 	}
 	r.done = true
+	stop := r.cfg.Stop
 	go func() {
-		for fr := range r.inbox {
-			// Discard: consumer stopped. Pooled payloads still go back.
-			carrier.Recycle(&fr.Frame)
+		for {
+			select {
+			case fr, ok := <-r.inbox:
+				if !ok {
+					return
+				}
+				// Discard: consumer stopped. Pooled payloads still go back.
+				carrier.Recycle(&fr.Frame)
+			case <-stop:
+				// Engine shutdown: no producer can send again. A nil stop
+				// (hand-built receivers) blocks this arm forever, preserving
+				// the old drain-until-closed behavior.
+				return
+			}
 		}
 	}()
 	return nil

@@ -3,7 +3,6 @@ package rp
 import (
 	"errors"
 	"fmt"
-	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -61,8 +60,8 @@ func TestFailBeforeStartResolvesWait(t *testing.T) {
 	if err == nil {
 		t.Fatal("Start after Fail must refuse")
 	}
-	if !errors.Is(err, cause) || !strings.Contains(err.Error(), "start after failure") {
-		t.Fatalf("Start error = %v, want typed start-after-failure wrapping the cause", err)
+	if !errors.Is(err, cause) || !errors.Is(err, ErrFailedBeforeStart) {
+		t.Fatalf("Start error = %v, want ErrFailedBeforeStart wrapping the cause", err)
 	}
 	p.Fail(errors.New("second cause")) // idempotent, first error wins
 	if err := p.Wait(); !errors.Is(err, cause) {

@@ -9,6 +9,7 @@
 package rp
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -163,18 +164,29 @@ func (r *RP) SetBeat(fn func(id string, at vtime.Time), every vtime.Duration) {
 	r.beatAt = every
 }
 
+// ErrFailedBeforeStart reports Start on an RP that was already failed. The
+// failure is not a wiring error: Fail runs the full exit protocol on a
+// never-started RP, so the outcome reaches Wait and the exit hook exactly as
+// for a crash after start — callers starting a query may treat this as a
+// terminal process rather than a failed Start.
+var ErrFailedBeforeStart = errors.New("rp: failed before start")
+
+// ErrAlreadyStarted reports a second Start; the process is already running.
+var ErrAlreadyStarted = errors.New("rp: already started")
+
 // Start launches the RP's interpreter goroutine. It is an error to start an
-// RP twice or to start an RP that has already been failed.
+// RP twice or to start an RP that has already been failed; the sentinel in
+// the returned error tells the two apart.
 func (r *RP) Start() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	select {
 	case <-r.killed:
-		return fmt.Errorf("rp %s: start after failure: %w", r.id, r.err)
+		return fmt.Errorf("rp %s: %w: %w", r.id, ErrFailedBeforeStart, r.err)
 	default:
 	}
 	if r.started {
-		return fmt.Errorf("rp %s: already started", r.id)
+		return fmt.Errorf("rp %s: %w", r.id, ErrAlreadyStarted)
 	}
 	r.started = true
 	go r.run()
@@ -199,6 +211,20 @@ func (r *RP) Fail(cause error) {
 			}
 		}
 		if !started {
+			// A never-started RP has no run loop to unwind its exit
+			// protocol, but its death must still look like an exit to the
+			// rest of the system: retire the pacer agent (peers must not
+			// wait on its progress), give the supervisor its replacement
+			// window, then resolve Wait. Without this, a node killed in the
+			// admit→start window leaves downstream consumers blocked forever
+			// on a producer that never announces its death.
+			r.pacer.Done()
+			r.mu.Lock()
+			fn, err := r.onExit, r.err
+			r.mu.Unlock()
+			if fn != nil {
+				fn(err)
+			}
 			close(r.done)
 		}
 	})

@@ -36,7 +36,9 @@ import (
 type State int
 
 // Session lifecycle. Queued, Admitted and Running are live states; Done,
-// Failed and Cancelled are final.
+// Failed, Cancelled, Expired and Shed are final. A Queued session may be
+// parked (waiting out a transient-admission backoff) without changing state:
+// parked is a scheduling position, not a lifecycle step.
 const (
 	Queued    State = iota + 1 // parsed, waiting for node reservations
 	Admitted                   // nodes reserved, SP graph built, about to stream
@@ -44,6 +46,8 @@ const (
 	Done                       // completed, result available
 	Failed                     // build or runtime error
 	Cancelled                  // cancelled by the user (queued or mid-stream)
+	Expired                    // virtual-time deadline elapsed (queued or mid-stream)
+	Shed                       // evicted from the queue to make room for higher priority
 )
 
 func (s State) String() string {
@@ -60,12 +64,22 @@ func (s State) String() string {
 		return "failed"
 	case Cancelled:
 		return "cancelled"
+	case Expired:
+		return "expired"
+	case Shed:
+		return "shed"
 	}
 	return "unknown"
 }
 
 // Final reports whether the state is terminal.
-func (s State) Final() bool { return s == Done || s == Failed || s == Cancelled }
+func (s State) Final() bool {
+	switch s {
+	case Done, Failed, Cancelled, Expired, Shed:
+		return true
+	}
+	return false
+}
 
 // Scheduler errors.
 var (
@@ -86,6 +100,26 @@ var (
 	// ErrCancelled aliases the engine's cancellation cause for callers that
 	// only import sched.
 	ErrCancelled = core.ErrQueryCancelled
+	// ErrDeadlineExceeded is the terminal cause of sessions that ran out of
+	// virtual time: queued past their queue deadline, or running past their
+	// run deadline. Deadlines live on the scheduler's virtual clock, so the
+	// same schedule expires the same sessions on every run.
+	ErrDeadlineExceeded = errors.New("sched: virtual-time deadline exceeded")
+	// ErrShed is the terminal cause of queued sessions evicted by the load
+	// shedder to admit a higher-priority submission into a full queue.
+	ErrShed = errors.New("sched: shed from admission queue by higher-priority submission")
+	// ErrUnsatisfiableNow marks the transient flavor of ErrUnsatisfiable:
+	// the allocation sequence has no available node today because nodes are
+	// dead, and capacity may return. Sessions failing this way are retried
+	// with bounded backoff when WithAdmissionRetry is enabled; the error is
+	// only surfaced once retries are exhausted. errors.Is(err,
+	// ErrUnsatisfiable) still matches.
+	ErrUnsatisfiableNow = errors.New("sched: unsatisfiable now (dead nodes; capacity may return)")
+	// ErrUnsatisfiablePlan marks the permanent flavor of ErrUnsatisfiable:
+	// the allocation sequence exceeds what the topology ever offers, so no
+	// amount of waiting helps. errors.Is(err, ErrUnsatisfiable) still
+	// matches.
+	ErrUnsatisfiablePlan = errors.New("sched: plan exceeds topology (never satisfiable)")
 )
 
 // Option configures New.
@@ -111,15 +145,87 @@ func WithFairSlice(d vtime.Duration) Option {
 	return func(s *Scheduler) { s.fairSlice = d }
 }
 
+// AdmissionRetryPolicy bounds the transient-admission retry loop enabled by
+// WithAdmissionRetry: a session whose allocation sequence is unsatisfiable
+// only because nodes are dead is parked and retried up to MaxRetries times,
+// with exponential virtual-time backoff Base, 2·Base, 4·Base, … capped at
+// Max. All waits are measured on the scheduler's virtual clock (heartbeat
+// frontier / ObserveVTime), never the wall clock.
+type AdmissionRetryPolicy struct {
+	MaxRetries int            // attempts after the first failure; 0 disables
+	Base       vtime.Duration // first backoff; default 1ms of virtual time
+	Max        vtime.Duration // backoff cap; default 16ms of virtual time
+}
+
+func (p AdmissionRetryPolicy) withDefaults() AdmissionRetryPolicy {
+	if p.Base <= 0 {
+		p.Base = vtime.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 16 * vtime.Millisecond
+	}
+	return p
+}
+
+// backoff returns the virtual-time wait before retry number n (1-based),
+// doubling from Base and capped at Max.
+func (p AdmissionRetryPolicy) backoff(n int) vtime.Duration {
+	d := p.Base
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= p.Max || d <= 0 {
+			return p.Max
+		}
+	}
+	if d > p.Max {
+		return p.Max
+	}
+	return d
+}
+
+// WithLoadShedding enables priority load shedding: when the admission queue
+// is full, a submission of strictly higher priority evicts the
+// lowest-priority, youngest queued session (terminal state Shed, cause
+// ErrShed) instead of being rejected. Off by default — shedding changes
+// which sessions survive, so it is strictly opt-in.
+func WithLoadShedding() Option { return func(s *Scheduler) { s.shedding = true } }
+
+// WithAdmissionRetry enables transient-admission retries under policy p
+// (see AdmissionRetryPolicy). Off by default.
+func WithAdmissionRetry(p AdmissionRetryPolicy) Option {
+	return func(s *Scheduler) { s.retry = p.withDefaults(); s.retryOn = p.MaxRetries > 0 }
+}
+
 // SubmitOption configures one Submit.
 type SubmitOption func(*submitCfg)
 
-type submitCfg struct{ priority int }
+type submitCfg struct {
+	priority int
+	queueTTL vtime.Duration
+	runTTL   vtime.Duration
+}
 
 // WithPriority sets the session's admission priority (higher admits first;
 // default 0). Within a priority level admission is FIFO.
 func WithPriority(p int) SubmitOption {
 	return func(c *submitCfg) { c.priority = p }
+}
+
+// WithQueueTTL bounds how long the session may wait for admission, in
+// virtual time from submission. A session still queued (or parked) when the
+// scheduler's virtual clock passes the deadline is finalized Expired with
+// ErrDeadlineExceeded. Zero (default) means no queue deadline.
+func WithQueueTTL(d vtime.Duration) SubmitOption {
+	return func(c *submitCfg) { c.queueTTL = d }
+}
+
+// WithRunTTL bounds how long the session may run, in virtual time from
+// admission. A session still streaming when the clock passes the deadline is
+// cancelled through the engine's poison path — leases release exactly once,
+// exactly as a user cancel — and finalized Expired with ErrDeadlineExceeded.
+// Zero (default) means no run deadline.
+func WithRunTTL(d vtime.Duration) SubmitOption {
+	return func(c *submitCfg) { c.runTTL = d }
 }
 
 // Scheduler multiplexes SCSQL query sessions onto one engine.
@@ -130,6 +236,15 @@ type Scheduler struct {
 	queueCap  int
 	maxConc   int
 	fairSlice vtime.Duration
+	shedding  bool
+	retryOn   bool
+	retry     AdmissionRetryPolicy
+
+	// alarms is the scheduler's virtual policy clock: a monotone time raised
+	// by the coordinators' heartbeat frontier (via ObserveVTime) plus the
+	// deadline/backoff wake schedule. Policy decisions — expiry, retry
+	// promotion — read this clock and never the wall clock.
+	alarms *vtime.Alarms
 
 	// admitMu serializes admission attempts; the build itself is further
 	// serialized engine-wide by core.BuildAs.
@@ -141,11 +256,13 @@ type Scheduler struct {
 	queries map[string]*Query
 	order   []*Query // submission order, for List
 	pending []*Query // admission queue: priority desc, then submission asc
+	parked  []*Query // transient-unsatisfiable sessions waiting out a backoff
 	running int
 
 	mSubmitted, mAdmitted, mCompleted *metrics.Counter
 	mFailed, mCancelled, mRejected    *metrics.Counter
-	gQueued, gRunning                 *metrics.Gauge
+	mExpired, mShed, mRetried         *metrics.Counter
+	gQueued, gRunning, gParked        *metrics.Gauge
 }
 
 // New builds a scheduler over eng, evaluating statements against cat (nil
@@ -157,6 +274,7 @@ func New(eng *core.Engine, cat *scsql.Catalog, opts ...Option) *Scheduler {
 		ev:       scsql.NewEvaluator(eng, cat),
 		queueCap: 64,
 		queries:  make(map[string]*Query),
+		alarms:   vtime.NewAlarms(),
 	}
 	for _, o := range opts {
 		o(s)
@@ -168,8 +286,12 @@ func New(eng *core.Engine, cat *scsql.Catalog, opts ...Option) *Scheduler {
 	s.mFailed = reg.Counter("sched.failed")
 	s.mCancelled = reg.Counter("sched.cancelled")
 	s.mRejected = reg.Counter("sched.rejected")
+	s.mExpired = reg.Counter("sched.expired")
+	s.mShed = reg.Counter("sched.shed")
+	s.mRetried = reg.Counter("sched.retried")
 	s.gQueued = reg.Gauge("rt.sched.queued")
 	s.gRunning = reg.Gauge("rt.sched.running")
+	s.gParked = reg.Gauge("rt.sched.parked")
 	if s.fairSlice > 0 {
 		eng.Env().SetFairSlice(s.fairSlice)
 	}
@@ -190,16 +312,28 @@ type Query struct {
 	stmt *scsql.Statement
 	cq   *core.Query
 
-	mu        sync.Mutex
-	state     State
-	cancelReq bool
-	stream    *core.ClientStream
-	elements  []sqep.Element
-	err       error
-	makespan  vtime.Time
-	submitted time.Time
-	admitWait time.Duration
-	done      chan struct{}
+	// TTLs are fixed at Submit; the absolute deadlines they induce are
+	// anchored on the scheduler's virtual clock (queue deadline at
+	// submission, run deadline at admission).
+	queueTTL vtime.Duration
+	runTTL   vtime.Duration
+
+	mu            sync.Mutex
+	state         State
+	cancelReq     bool
+	expireReq     bool       // run deadline fired; terminal state is Expired
+	queueDeadline vtime.Time // 0 = none; set at submission
+	runDeadline   vtime.Time // 0 = none; set at admission
+	enterV        vtime.Time // virtual instant the current state was entered
+	retries       int        // transient-admission retries consumed
+	nextRetryV    vtime.Time // parked until the clock reaches this instant
+	stream        *core.ClientStream
+	elements      []sqep.Element
+	err           error
+	makespan      vtime.Time
+	submitted     time.Time
+	admitWait     time.Duration
+	done          chan struct{}
 }
 
 // ID returns the engine-assigned session id ("q1", "q2", ...). It tags the
@@ -283,7 +417,11 @@ func (s *Scheduler) Submit(src string, opts ...SubmitOption) (*Query, error) {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if stmt.Query != nil && s.queueCap > 0 && len(s.pending) >= s.queueCap {
+	if stmt.Query != nil && s.queueCap > 0 && len(s.pending) >= s.queueCap &&
+		s.shedVictimLocked(cfg.priority) == nil {
+		// Fast-path rejection only when shedding could not possibly make
+		// room; the authoritative decision is re-made in the enqueue critical
+		// section below.
 		s.mu.Unlock()
 		s.mRejected.Inc()
 		return nil, fmt.Errorf("%w (cap %d)", ErrQueueFull, s.queueCap)
@@ -301,6 +439,8 @@ func (s *Scheduler) Submit(src string, opts ...SubmitOption) (*Query, error) {
 		stmt:      stmt,
 		cq:        cq,
 		state:     Queued,
+		queueTTL:  cfg.queueTTL,
+		runTTL:    cfg.runTTL,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
@@ -331,24 +471,62 @@ func (s *Scheduler) Submit(src string, opts ...SubmitOption) (*Query, error) {
 		cq.Retire()
 		return nil, ErrClosed
 	}
+	var victim *Query
 	if s.queueCap > 0 && len(s.pending) >= s.queueCap {
 		// Re-check in the critical section that enqueues: the early check
 		// above is only a fast path, and concurrent Submits may have filled
-		// the queue while this one was in BeginQuery.
-		s.mu.Unlock()
-		cq.Retire()
-		s.mRejected.Inc()
-		return nil, fmt.Errorf("%w (cap %d)", ErrQueueFull, s.queueCap)
+		// the queue while this one was in BeginQuery. A full queue sheds its
+		// lowest-priority, youngest session when the newcomer strictly
+		// outranks it (and shedding is on); otherwise the newcomer is
+		// rejected.
+		victim = s.shedVictimLocked(q.prio)
+		if victim == nil {
+			s.mu.Unlock()
+			cq.Retire()
+			s.mRejected.Inc()
+			return nil, fmt.Errorf("%w (cap %d)", ErrQueueFull, s.queueCap)
+		}
+		// Claim the victim by removing it from the queue under s.mu: from
+		// here this Submit owns its finalization (a concurrent Cancel finds
+		// it gone and defers, exactly as with an admission claim).
+		s.unqueueLocked(victim)
 	}
 	s.seq++
 	q.seq = s.seq
 	s.queries[q.ID()] = q
 	s.order = append(s.order, q)
+	if q.queueTTL > 0 {
+		q.queueDeadline = s.alarms.Now().Add(q.queueTTL)
+	}
+	q.enterV = s.alarms.Now()
 	s.enqueueLocked(q)
 	s.mu.Unlock()
+	if q.queueDeadline > 0 {
+		s.alarms.Set(q.queueDeadline, q.ID())
+	}
+	if victim != nil {
+		s.finishQueued(victim, Shed, fmt.Errorf("%w (by %s, priority %d)", ErrShed, q.ID(), q.prio), s.mShed)
+	}
 	s.mSubmitted.Inc()
 	s.admit()
 	return q, nil
+}
+
+// shedVictimLocked returns the queued session a priority-prio submission may
+// evict from the full admission queue: the lowest-priority, youngest queued
+// session, provided it ranks strictly below the newcomer. Nil when shedding
+// is disabled or no session qualifies. s.mu held.
+func (s *Scheduler) shedVictimLocked(prio int) *Query {
+	if !s.shedding || len(s.pending) == 0 {
+		return nil
+	}
+	// The queue is sorted priority desc then seq asc, so the last element is
+	// exactly the lowest-priority, youngest session.
+	v := s.pending[len(s.pending)-1]
+	if v.prio >= prio {
+		return nil
+	}
+	return v
 }
 
 // enqueueLocked inserts q into the admission queue keeping it sorted by
@@ -389,6 +567,7 @@ func (s *Scheduler) unqueueLocked(q *Query) bool {
 func (s *Scheduler) admit() {
 	s.admitMu.Lock()
 	defer s.admitMu.Unlock()
+	s.sweep()
 	for {
 		s.mu.Lock()
 		if len(s.pending) == 0 || (s.maxConc > 0 && s.running >= s.maxConc) {
@@ -418,9 +597,20 @@ func (s *Scheduler) admit() {
 		err := s.build(q)
 		if errors.Is(err, cndb.ErrNoAvailableNode) {
 			if idle {
-				// Nothing else holds leases: this sequence can never be
-				// satisfied. Reject instead of blocking the queue forever.
-				s.finishQueued(q, Failed, fmt.Errorf("%w: %w", ErrUnsatisfiable, err), s.mRejected)
+				// Nothing else holds leases, so waiting for a completion
+				// cannot help. Classify: with dead nodes in the pool the
+				// failure is transient — capacity may heartbeat back — and
+				// the session parks for a bounded virtual-time backoff
+				// (WithAdmissionRetry). Without dead nodes the plan exceeds
+				// the topology outright: permanent, never satisfiable.
+				if s.eng.DeadNodeCount() > 0 {
+					if s.retryOn && s.parkForRetry(q) {
+						continue
+					}
+					s.finishQueued(q, Failed, fmt.Errorf("%w: %w: %w", ErrUnsatisfiable, ErrUnsatisfiableNow, err), s.mFailed)
+					continue
+				}
+				s.finishQueued(q, Failed, fmt.Errorf("%w: %w: %w", ErrUnsatisfiable, ErrUnsatisfiablePlan, err), s.mRejected)
 				continue
 			}
 			// Head-of-line: put the claimed session back and wait for a
@@ -452,12 +642,21 @@ func (s *Scheduler) admit() {
 		s.gRunning.Set(int64(s.running))
 		s.mu.Unlock()
 
+		vnow := s.alarms.Now()
 		q.mu.Lock()
 		q.state = Admitted
 		q.admitWait = time.Since(q.submitted)
+		q.enterV = vnow
+		if q.runTTL > 0 {
+			q.runDeadline = vnow.Add(q.runTTL)
+		}
+		runDeadline := q.runDeadline
 		wait := q.admitWait
 		cancelled = q.cancelReq
 		q.mu.Unlock()
+		if runDeadline > 0 {
+			s.alarms.Set(runDeadline, q.ID())
+		}
 
 		reg := s.eng.Metrics()
 		s.mAdmitted.Inc()
@@ -510,6 +709,7 @@ func (s *Scheduler) finishQueued(q *Query, st State, err error, c *metrics.Count
 func (s *Scheduler) run(q *Query) {
 	q.mu.Lock()
 	q.state = Running
+	q.enterV = s.alarms.Now()
 	stream := q.stream
 	q.mu.Unlock()
 
@@ -519,7 +719,14 @@ func (s *Scheduler) run(q *Query) {
 	q.elements = els
 	q.makespan = stream.Makespan()
 	cancelled := q.cancelReq
+	expired := q.expireReq
 	switch {
+	case expired && err != nil:
+		// The run deadline fired and tore the stream down through the
+		// cancel/poison path; a user cancel racing the same window yields to
+		// the deadline (both causes are in err's chain regardless).
+		q.state = Expired
+		q.err = err
 	case cancelled && err != nil:
 		q.state = Cancelled
 		q.err = err
@@ -541,6 +748,8 @@ func (s *Scheduler) run(q *Query) {
 		s.mFailed.Inc()
 	case Cancelled:
 		s.mCancelled.Inc()
+	case Expired:
+		s.mExpired.Inc()
 	}
 	s.mu.Lock()
 	s.running--
@@ -569,7 +778,7 @@ func (s *Scheduler) Cancel(id string) error {
 	switch st {
 	case Queued:
 		q.cancelReq = true
-		removed := s.unqueueLocked(q)
+		removed := s.unqueueLocked(q) || s.unparkLocked(q)
 		q.mu.Unlock()
 		s.mu.Unlock()
 		if removed {
@@ -616,10 +825,20 @@ type Info struct {
 	Statement     string
 	Nodes         int // node reservations currently held
 	AdmissionWait time.Duration
+	// Deadline is the absolute virtual-time deadline governing the current
+	// state — the queue deadline while queued, the run deadline while
+	// admitted/running; zero when none (or the state is final).
+	Deadline vtime.Time
+	// Age is the virtual time spent in the current state so far (zero for
+	// final states, and until the scheduler's clock first advances).
+	Age vtime.Duration
+	// Retries is how many transient-admission retries the session consumed.
+	Retries int
 }
 
 // List returns every session in submission order.
 func (s *Scheduler) List() []Info {
+	vnow := s.alarms.Now()
 	s.mu.Lock()
 	qs := append([]*Query(nil), s.order...)
 	s.mu.Unlock()
@@ -632,6 +851,16 @@ func (s *Scheduler) List() []Info {
 			Priority:      q.prio,
 			Statement:     q.src,
 			AdmissionWait: q.admitWait,
+			Retries:       q.retries,
+		}
+		switch q.state {
+		case Queued:
+			in.Deadline = q.queueDeadline
+		case Admitted, Running:
+			in.Deadline = q.runDeadline
+		}
+		if !q.state.Final() && vnow > q.enterV {
+			in.Age = vnow.Sub(q.enterV)
 		}
 		q.mu.Unlock()
 		in.Nodes = s.eng.LeaseCount(in.ID)
@@ -660,11 +889,14 @@ func (s *Scheduler) QueryStatuses() []core.QueryStatus {
 	out := make([]core.QueryStatus, len(infos))
 	for i, in := range infos {
 		out[i] = core.QueryStatus{
-			ID:        in.ID,
-			State:     in.State.String(),
-			Priority:  in.Priority,
-			Statement: in.Statement,
-			Nodes:     in.Nodes,
+			ID:         in.ID,
+			State:      in.State.String(),
+			Priority:   in.Priority,
+			Statement:  in.Statement,
+			Nodes:      in.Nodes,
+			AgeNs:      int64(in.Age),
+			DeadlineNs: int64(in.Deadline),
+			Retries:    in.Retries,
 		}
 	}
 	return out

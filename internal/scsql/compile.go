@@ -256,9 +256,11 @@ func (ev *Evaluator) compileCall(call *Call, env *scope, b *core.PlanBuilder) (s
 // when the plan opens (not at compile time), and the registry accumulates
 // across engine resets, so a monitor() statement issued after a query
 // reports that query's final counters. The optional string argument keeps
-// only metrics whose name starts with it; the form monitor('@q3') instead
-// keeps the metrics scoped to query q3 (names carrying a "q3/" path segment
-// or a ".q3" suffix) — the per-session view of a multi-tenant engine.
+// only metrics whose name starts with it; a single trailing '%' is
+// stripped, so the SQL-LIKE spelling monitor('sched.%') means the same as
+// monitor('sched.'). The form monitor('@q3') instead keeps the metrics
+// scoped to query q3 (names carrying a "q3/" path segment or a ".q3"
+// suffix) — the per-session view of a multi-tenant engine.
 func (ev *Evaluator) compileMonitor(call *Call, env *scope) (sqep.Operator, error) {
 	prefix := ""
 	switch len(call.Args) {
@@ -281,6 +283,7 @@ func (ev *Evaluator) compileMonitor(call *Call, env *scope) (sqep.Operator, erro
 		qid = prefix[1:]
 		prefix = ""
 	}
+	prefix = strings.TrimSuffix(prefix, "%")
 	eng := ev.eng
 	return sqep.NewThunk("monitor", func() ([]any, error) {
 		snap := eng.MetricsSnapshot()
@@ -309,9 +312,12 @@ func (ev *Evaluator) compileMonitor(call *Call, env *scope) (sqep.Operator, erro
 }
 
 // compilePS lowers ps() — the attached scheduler's session table as a
-// stream. Each element is a bag {id, state, priority, nodes, statement} in
-// submission order. Requires an engine with a query scheduler attached
-// (scsq.New installs one; a bare evaluator has none).
+// stream. Each element is a bag {id, state, priority, nodes, statement,
+// deadline_ns, age_ns, retries} in submission order; the three resilience
+// columns are virtual-time quantities (absolute deadline, time in current
+// state, transient-admission retries) and stay zero when the features are
+// off. Requires an engine with a query scheduler attached (scsq.New
+// installs one; a bare evaluator has none).
 func (ev *Evaluator) compilePS(call *Call) (sqep.Operator, error) {
 	if len(call.Args) != 0 {
 		return nil, errorfAt(call.Pos, "ps() takes no arguments, got %d", len(call.Args))
@@ -324,7 +330,8 @@ func (ev *Evaluator) compilePS(call *Call) (sqep.Operator, error) {
 		}
 		var rows []any
 		for _, st := range sch.QueryStatuses() {
-			rows = append(rows, []any{st.ID, st.State, int64(st.Priority), int64(st.Nodes), st.Statement})
+			rows = append(rows, []any{st.ID, st.State, int64(st.Priority), int64(st.Nodes), st.Statement,
+				st.DeadlineNs, st.AgeNs, int64(st.Retries)})
 		}
 		return rows, nil
 	}), nil

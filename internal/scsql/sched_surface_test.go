@@ -60,8 +60,8 @@ func TestPSListsSessions(t *testing.T) {
 	found := false
 	for _, el := range rows {
 		bag, ok := el.Value.([]any)
-		if !ok || len(bag) < 5 {
-			t.Fatalf("ps row = %#v, want {id, state, priority, nodes, statement}", el.Value)
+		if !ok || len(bag) != 8 {
+			t.Fatalf("ps row = %#v, want {id, state, priority, nodes, statement, deadline_ns, age_ns, retries}", el.Value)
 		}
 		if bag[0] == q.ID() {
 			found = true
@@ -71,10 +71,55 @@ func TestPSListsSessions(t *testing.T) {
 			if bag[3] != int64(0) {
 				t.Fatalf("ps nodes for finished %s = %v, want 0", q.ID(), bag[3])
 			}
+			// No TTL and no admission retries: the resilience columns are
+			// present but zero.
+			if bag[5] != int64(0) || bag[7] != int64(0) {
+				t.Fatalf("ps resilience columns for %s = deadline %v retries %v, want 0, 0", q.ID(), bag[5], bag[7])
+			}
 		}
 	}
 	if !found {
 		t.Fatalf("ps() rows %v do not mention session %s", rows, q.ID())
+	}
+}
+
+// TestMonitorSchedPrefixLike pins the SQL-LIKE spelling of the scheduler
+// counter view: monitor('sched.%') strips the trailing '%' and matches the
+// "sched." prefix, including the resilience counters (expired/shed/retried
+// are bound eagerly, so they report zero rather than being absent).
+func TestMonitorSchedPrefixLike(t *testing.T) {
+	_, s, ev := newSchedEngine(t)
+
+	q, err := s.Submit(scsql.Figure5Query(30_000, 4))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := q.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+
+	rows := drainRows(t, ev, `select monitor('sched.%');`)
+	got := map[string]int64{}
+	for _, el := range rows {
+		bag, ok := el.Value.([]any)
+		if !ok || len(bag) < 3 {
+			t.Fatalf("monitor row = %#v", el.Value)
+		}
+		name, _ := bag[1].(string)
+		if !strings.HasPrefix(name, "sched.") {
+			t.Fatalf("monitor('sched.%%') leaked row %q", name)
+		}
+		if v, ok := bag[2].(int64); ok {
+			got[name] = v
+		}
+	}
+	if got["sched.submitted"] != 1 || got["sched.completed"] != 1 {
+		t.Fatalf("sched counters = %v, want submitted=1 completed=1", got)
+	}
+	for _, name := range []string{"sched.expired", "sched.shed", "sched.retried"} {
+		if v, ok := got[name]; !ok || v != 0 {
+			t.Fatalf("resilience counter %s = %d (present=%v), want 0 present", name, v, ok)
+		}
 	}
 }
 

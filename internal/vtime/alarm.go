@@ -1,0 +1,120 @@
+package vtime
+
+import "sync"
+
+// Alarms is a deterministic virtual-time alarm registry: a monotone clock
+// plus a set of pending alarms, popped in (time, registration) order as the
+// clock advances. It is the timing substrate of the scheduler's resilience
+// policies (queue/run deadlines, admission-retry backoff): every expiry
+// decision keys off a virtual instant observed through Advance — heartbeat
+// frontiers, explicit driver ticks — never off the wall clock, so the same
+// sequence of observations fires the same alarms in the same order, run
+// after run.
+//
+// An Alarms value never blocks and never spawns goroutines; it only tells
+// the caller which alarms came due. Acting on them is the caller's job.
+type Alarms struct {
+	mu   sync.Mutex
+	now  Time
+	seq  uint64
+	pend []Alarm // sorted by (At, then ID)
+}
+
+// Alarm is one registered alarm.
+type Alarm struct {
+	// ID is the registration handle, unique per Alarms value and issued in
+	// registration order — the deterministic tiebreak for alarms sharing an
+	// instant.
+	ID uint64
+	// At is the virtual instant the alarm fires at.
+	At Time
+	// Tag is an opaque caller label (e.g. a session id), carried back when
+	// the alarm fires.
+	Tag string
+}
+
+// NewAlarms returns an empty registry at virtual time zero.
+func NewAlarms() *Alarms { return &Alarms{} }
+
+// Now returns the registry's clock: the high-water mark of every instant
+// passed to Advance.
+func (a *Alarms) Now() Time {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.now
+}
+
+// Set registers an alarm at virtual instant at and returns its handle. An
+// alarm at or before the current clock fires on the next Advance call
+// (Advance pops everything due, including at the unmoved clock).
+func (a *Alarms) Set(at Time, tag string) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.seq++
+	al := Alarm{ID: a.seq, At: at, Tag: tag}
+	// Insert keeping (At, ID) order. IDs are issued monotonically, so among
+	// equal instants insertion order is registration order and a plain
+	// upper-bound scan keeps the slice sorted.
+	i := len(a.pend)
+	for i > 0 && a.pend[i-1].At > at {
+		i--
+	}
+	a.pend = append(a.pend, Alarm{})
+	copy(a.pend[i+1:], a.pend[i:])
+	a.pend[i] = al
+	return al.ID
+}
+
+// Cancel removes a pending alarm by handle, reporting whether it was still
+// pending.
+func (a *Alarms) Cancel(id uint64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, al := range a.pend {
+		if al.ID == id {
+			a.pend = append(a.pend[:i], a.pend[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Advance raises the clock to t (the clock never rewinds; an older t only
+// pops what is already due) and returns every alarm with At <= clock, in
+// (At, ID) order.
+func (a *Alarms) Advance(t Time) []Alarm {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if t > a.now {
+		a.now = t
+	}
+	n := 0
+	for n < len(a.pend) && a.pend[n].At <= a.now {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	fired := make([]Alarm, n)
+	copy(fired, a.pend[:n])
+	a.pend = append(a.pend[:0], a.pend[n:]...)
+	return fired
+}
+
+// Next returns the earliest pending alarm instant, and whether any alarm is
+// pending.
+func (a *Alarms) Next() (Time, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.pend) == 0 {
+		return 0, false
+	}
+	return a.pend[0].At, true
+}
+
+// Pending reports how many alarms are registered and not yet fired.
+func (a *Alarms) Pending() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pend)
+}

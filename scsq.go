@@ -205,6 +205,35 @@ func WithAdmissionQueueCap(n int) Option {
 	})
 }
 
+// WithLoadShedding makes a full admission queue shed its lowest-priority,
+// youngest session (terminal state SessionShed, error ErrShed) when a
+// strictly higher-priority submission arrives, instead of rejecting the
+// newcomer with ErrQueueFull. Off by default: shedding changes which
+// sessions survive, so it is opt-in.
+func WithLoadShedding() Option {
+	return optionFunc(func(c *config) error {
+		c.schedOpts = append(c.schedOpts, sched.WithLoadShedding())
+		return nil
+	})
+}
+
+// WithAdmissionRetry parks sessions whose placement fails only because
+// nodes are currently dead (ErrUnsatisfiableNow) and retries them up to
+// maxRetries times with exponential virtual-time backoff between base and
+// max, instead of failing them outright. Plans that exceed the topology
+// (ErrUnsatisfiablePlan) still fail immediately. maxRetries <= 0 disables
+// retrying.
+func WithAdmissionRetry(maxRetries int, base, max time.Duration) Option {
+	return optionFunc(func(c *config) error {
+		c.schedOpts = append(c.schedOpts, sched.WithAdmissionRetry(sched.AdmissionRetryPolicy{
+			MaxRetries: maxRetries,
+			Base:       vtime.Duration(base),
+			Max:        vtime.Duration(max),
+		}))
+		return nil
+	})
+}
+
 // WithMaxConcurrentQueries bounds how many sessions may run at once,
 // independent of node availability (default: limited only by the node
 // pool).
@@ -479,8 +508,22 @@ type SessionOption = sched.SubmitOption
 // first; default 0). Within a priority level admission is FIFO.
 func WithPriority(p int) SessionOption { return sched.WithPriority(p) }
 
+// WithQueueTTL bounds how long the session may wait for admission, in
+// virtual time: if the scheduler's virtual clock passes the deadline while
+// the session is still queued (or parked for an admission retry), it is
+// finalized SessionExpired with ErrDeadlineExceeded. Zero means no queue
+// deadline.
+func WithQueueTTL(d time.Duration) SessionOption { return sched.WithQueueTTL(vtime.Duration(d)) }
+
+// WithRunTTL bounds the session's virtual running time, measured from
+// admission: past the deadline its streams unwind exactly as a cancel —
+// leases release once — and the session is finalized SessionExpired with
+// ErrDeadlineExceeded. Zero means no run deadline.
+func WithRunTTL(d time.Duration) SessionOption { return sched.WithRunTTL(vtime.Duration(d)) }
+
 // SessionState is a session's lifecycle state as reported by the scheduler:
-// "queued", "admitted", "running", "done", "failed" or "cancelled".
+// "queued", "admitted", "running", "done", "failed", "cancelled", "expired"
+// or "shed".
 type SessionState = sched.State
 
 // Session states.
@@ -491,10 +534,31 @@ const (
 	SessionDone      = sched.Done
 	SessionFailed    = sched.Failed
 	SessionCancelled = sched.Cancelled
+	SessionExpired   = sched.Expired // virtual-time deadline elapsed
+	SessionShed      = sched.Shed    // evicted by a higher-priority submission
 )
 
-// ErrCancelled is the terminal error of a cancelled session.
-var ErrCancelled = sched.ErrCancelled
+// Terminal and admission errors of the session scheduler.
+var (
+	// ErrCancelled is the terminal error of a cancelled session.
+	ErrCancelled = sched.ErrCancelled
+	// ErrDeadlineExceeded is the terminal error of sessions whose queue or
+	// run TTL elapsed on the virtual clock (state SessionExpired).
+	ErrDeadlineExceeded = sched.ErrDeadlineExceeded
+	// ErrShed is the terminal error of queued sessions evicted by the load
+	// shedder (state SessionShed; requires WithLoadShedding).
+	ErrShed = sched.ErrShed
+	// ErrQueueFull is returned by Submit when the admission queue is at
+	// capacity and load shedding does not apply.
+	ErrQueueFull = sched.ErrQueueFull
+	// ErrUnsatisfiableNow reports a placement that fails only because nodes
+	// are currently dead — capacity may return; WithAdmissionRetry retries
+	// these.
+	ErrUnsatisfiableNow = sched.ErrUnsatisfiableNow
+	// ErrUnsatisfiablePlan reports a plan no node pool of this topology can
+	// ever satisfy; it always fails immediately.
+	ErrUnsatisfiablePlan = sched.ErrUnsatisfiablePlan
+)
 
 // Session is one scheduled SCSQL query: a handle on its lifecycle, result
 // and resource footprint.
@@ -577,6 +641,15 @@ type SessionInfo struct {
 	Statement     string
 	Nodes         int // node reservations currently held
 	AdmissionWait time.Duration
+
+	// Deadline is the absolute virtual-time deadline governing the current
+	// state (queue TTL while queued, run TTL while running), as an offset
+	// from the virtual epoch; zero means none.
+	Deadline time.Duration
+	// Age is the virtual time spent in the current state so far.
+	Age time.Duration
+	// Retries counts transient-admission retries consumed so far.
+	Retries int
 }
 
 // Sessions lists every session of this engine in submission order.
@@ -591,6 +664,9 @@ func (e *Engine) Sessions() []SessionInfo {
 			Statement:     in.Statement,
 			Nodes:         in.Nodes,
 			AdmissionWait: in.AdmissionWait,
+			Deadline:      in.Deadline.Sub(0).Std(),
+			Age:           in.Age.Std(),
+			Retries:       in.Retries,
 		}
 	}
 	return out
