@@ -14,6 +14,8 @@
 //	scsq-bench -fig vkernel -tiny     # seconds-scale smoke sizing (CI)
 //	scsq-bench -fig soak              # seeded chaos soak, all resilience features → BENCH_soak.json
 //	scsq-bench -fig soak -tiny        # single-seed soak (CI)
+//	scsq-bench -fig sysq              # system catalog: snapshot/query latency + non-perturbation gate → BENCH_sysq.json
+//	scsq-bench -fig sysq -tiny        # seconds-scale catalog smoke (CI)
 //	scsq-bench -fig all -csv          # everything, machine readable
 //	scsq-bench -fig 15 -paper-scale   # the paper's 100 × 3 MB arrays
 //	scsq-bench -perf                  # data-plane microbenchmarks → BENCH_dataplane.json
@@ -43,10 +45,11 @@ func main() {
 
 func run() error {
 	var (
-		fig        = flag.String("fig", "all", "figure to regenerate: 6, 8, 15, ablation, udp, mt, vkernel, soak or all")
-		tiny       = flag.Bool("tiny", false, "smoke sizing for -fig vkernel (seconds-scale) and -fig soak (single seed)")
+		fig        = flag.String("fig", "all", "figure to regenerate: 6, 8, 15, ablation, udp, mt, vkernel, soak, sysq or all")
+		tiny       = flag.Bool("tiny", false, "smoke sizing for -fig vkernel (seconds-scale), -fig soak (single seed) and -fig sysq")
 		vkernelOut = flag.String("vkernel-out", "BENCH_vkernel.json", "file the -fig vkernel report is written to")
 		soakOut    = flag.String("soak-out", "BENCH_soak.json", "file the -fig soak report is written to")
+		sysqOut    = flag.String("sysq-out", "BENCH_sysq.json", "file the -fig sysq report is written to")
 		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
 		paperScale = flag.Bool("paper-scale", false, "use the paper's 100 × 3 MB arrays (slow)")
 		repeats    = flag.Int("repeats", 5, "measurement repetitions per point")
@@ -222,6 +225,36 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(out, "wrote %s\n", *soakOut)
+		fmt.Fprintln(out)
+	}
+	if want("sysq") {
+		cfg := bench.DefaultSysq()
+		if *tiny {
+			cfg = bench.TinySysq()
+		}
+		report, err := bench.RunSysq(cfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			if err := bench.CSVSysq(out, report); err != nil {
+				return err
+			}
+		} else if err := bench.WriteSysq(out, cfg, report); err != nil {
+			return err
+		}
+		f, err := os.Create(*sysqOut)
+		if err != nil {
+			return err
+		}
+		if err := bench.WritePerfJSON(f, report); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *sysqOut)
 		fmt.Fprintln(out)
 	}
 	if want("15") {

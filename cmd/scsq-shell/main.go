@@ -9,15 +9,17 @@
 // Each query prints its result elements, the virtual makespan, and — with
 // -payload — the measured streaming bandwidth.
 //
-// Backslash meta commands inspect the engine between statements:
-// "\stats [prefix]" prints the telemetry registry (counters, gauges and
-// virtual-time histograms), optionally filtered by name prefix; a session
-// id ("\stats q3" or "\stats @q3") scopes the dump to that query's
-// metrics. The registry accumulates across statements, so \stats after a
-// query reports that query's totals. "\ps" prints the scheduler's session
-// table and "\cancel <qid>" cancels a session — queries submitted through
-// the SCSQL surface run as scheduler sessions (see ps() and cancel() in
-// SCSQL itself).
+// Backslash meta commands inspect the engine between statements, rendered
+// from the system catalog (the same sys_* tables SCSQL queries directly):
+// "\stats [pattern]" prints sys_metrics rows, filtered by a SQL-LIKE
+// pattern ('%' anywhere; a plain string is a prefix); a session id
+// ("\stats q3" or "\stats @q3") scopes the dump to that query's metrics.
+// The registry accumulates across statements, so \stats after a query
+// reports that query's totals. "\ps" prints sys_sessions (the scheduler's
+// session table), "\d [table]" lists catalog tables or one table's schema,
+// and "\cancel <qid>" cancels a session — queries submitted through the
+// SCSQL surface run as scheduler sessions (see ps() and cancel() in SCSQL
+// itself).
 package main
 
 import (
@@ -199,16 +201,17 @@ func (s *shell) meta(cmd string) error {
 		s.printStats(prefix)
 		return nil
 	case "ps":
-		for _, in := range s.eng.Sessions() {
-			extra := ""
-			if in.Deadline > 0 {
-				extra += fmt.Sprintf(" deadline=%v age=%v", in.Deadline, in.Age)
+		return s.printTable("sys_sessions", "")
+	case "d":
+		if len(fields) > 1 {
+			return s.describeTable(fields[1])
+		}
+		for _, tab := range s.eng.SystemTables() {
+			name := tab.Name + "()"
+			if tab.TakesPattern {
+				name = tab.Name + "([like])"
 			}
-			if in.Retries > 0 {
-				extra += fmt.Sprintf(" retries=%d", in.Retries)
-			}
-			fmt.Fprintf(s.out, "%-4s %-10s prio=%d nodes=%d%s %s\n",
-				in.ID, in.State, in.Priority, in.Nodes, extra, strings.Join(strings.Fields(in.Statement), " "))
+			fmt.Fprintf(s.out, "%-22s %s\n", name, tab.Doc)
 		}
 		return nil
 	case "cancel":
@@ -221,47 +224,120 @@ func (s *shell) meta(cmd string) error {
 		fmt.Fprintf(s.out, "-- cancelled %s\n", fields[1])
 		return nil
 	default:
-		return fmt.Errorf(`unknown meta command \%s (try \stats, \ps, \cancel)`, fields[0])
+		return fmt.Errorf(`unknown meta command \%s (try \stats, \ps, \d, \cancel)`, fields[0])
 	}
 }
 
-// printStats dumps the telemetry registry, sorted by metric name. A prefix
-// of the form @q3 (or a bare session id like q3) instead scopes the dump to
-// that query's metrics — the per-session view of a multi-tenant engine.
-func (s *shell) printStats(prefix string) {
-	snap := s.eng.MetricsSnapshot()
-	if qid := queryScope(prefix); qid != "" {
-		snap = snap.ForQuery(qid)
-		prefix = ""
+// describeTable prints one system table's schema from the live registry.
+func (s *shell) describeTable(name string) error {
+	name = strings.TrimSuffix(strings.ToLower(name), "()")
+	for _, tab := range s.eng.SystemTables() {
+		if tab.Name != name {
+			continue
+		}
+		fmt.Fprintf(s.out, "%s %s\n", tab.Name, tab.Schema())
+		fmt.Fprintf(s.out, "-- %s\n", tab.Doc)
+		if tab.TakesPattern {
+			fmt.Fprintf(s.out, "-- takes an optional SQL-LIKE pattern ('%%' anywhere; no '%%' = prefix)\n")
+		}
+		return nil
 	}
-	shown := 0
-	for _, name := range sortedKeys(snap.Counters) {
-		if strings.HasPrefix(name, prefix) {
-			fmt.Fprintf(s.out, "counter    %-44s %d\n", name, snap.Counters[name])
-			shown++
+	return fmt.Errorf(`no system table %q (try \d)`, name)
+}
+
+// printTable renders a system catalog snapshot as name=value rows — the
+// backing of \ps (and the same rows ps() and sys_sessions() stream in
+// SCSQL).
+func (s *shell) printTable(table, pattern string) error {
+	var cols []string
+	for _, tab := range s.eng.SystemTables() {
+		if tab.Name == table {
+			for _, c := range tab.Columns {
+				cols = append(cols, c.Name)
+			}
 		}
 	}
-	for _, name := range sortedKeys(snap.Gauges) {
-		if strings.HasPrefix(name, prefix) {
-			fmt.Fprintf(s.out, "gauge      %-44s %d\n", name, snap.Gauges[name])
-			shown++
-		}
+	rows, err := s.eng.SystemRows(table, pattern)
+	if err != nil {
+		return err
 	}
-	for _, name := range sortedKeys(snap.Histograms) {
-		if strings.HasPrefix(name, prefix) {
-			h := snap.Histograms[name]
+	for _, row := range rows {
+		parts := make([]string, 0, len(row))
+		for i, v := range row {
+			if vs, ok := v.(string); ok {
+				v = strings.Join(strings.Fields(vs), " ")
+			}
+			parts = append(parts, fmt.Sprintf("%s=%v", cols[i], v))
+		}
+		fmt.Fprintln(s.out, strings.Join(parts, " "))
+	}
+	if len(rows) == 0 {
+		fmt.Fprintf(s.out, "-- %s is empty\n", table)
+	}
+	return nil
+}
+
+// printStats dumps the telemetry registry, sorted by metric name. The
+// ordinary path renders sys_metrics catalog rows (the pattern is SQL-LIKE:
+// '%' anywhere, a plain string is a prefix). A prefix of the form @q3 (or
+// a bare session id like q3) instead scopes the dump to that query's
+// metrics via the snapshot API — the per-session view of a multi-tenant
+// engine.
+func (s *shell) printStats(pattern string) {
+	if qid := queryScope(pattern); qid != "" {
+		s.printQueryStats(qid)
+		return
+	}
+	rows, err := s.eng.SystemRows("sys_metrics", pattern)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	// sys_metrics columns: kind, name, value, count, sum_ns, min_ns, max_ns.
+	for _, row := range rows {
+		kind, name := row[0].(string), row[1]
+		if kind == "histogram" {
+			count, sum := row[3].(int64), row[4].(int64)
+			mean := time.Duration(0)
+			if count > 0 {
+				mean = time.Duration(sum / count)
+			}
 			fmt.Fprintf(s.out, "histogram  %-44s count=%d mean=%v min=%v max=%v\n",
-				name, h.Count,
-				time.Duration(h.MeanNs()), time.Duration(h.MinNs), time.Duration(h.MaxNs))
-			shown++
+				name, count, mean, time.Duration(row[5].(int64)), time.Duration(row[6].(int64)))
+			continue
 		}
+		fmt.Fprintf(s.out, "%-10s %-44s %v\n", kind, name, row[2])
 	}
-	if shown == 0 {
+	if len(rows) == 0 {
 		fmt.Fprintf(s.out, "-- no metrics recorded")
-		if prefix != "" {
-			fmt.Fprintf(s.out, " with prefix %q", prefix)
+		if pattern != "" {
+			fmt.Fprintf(s.out, " matching %q", pattern)
 		}
 		fmt.Fprintln(s.out)
+	}
+}
+
+// printQueryStats renders the @qid-scoped snapshot view.
+func (s *shell) printQueryStats(qid string) {
+	snap := s.eng.MetricsSnapshot().ForQuery(qid)
+	shown := 0
+	for _, name := range sortedKeys(snap.Counters) {
+		fmt.Fprintf(s.out, "counter    %-44s %d\n", name, snap.Counters[name])
+		shown++
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		fmt.Fprintf(s.out, "gauge      %-44s %d\n", name, snap.Gauges[name])
+		shown++
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		fmt.Fprintf(s.out, "histogram  %-44s count=%d mean=%v min=%v max=%v\n",
+			name, h.Count,
+			time.Duration(h.MeanNs()), time.Duration(h.MinNs), time.Duration(h.MaxNs))
+		shown++
+	}
+	if shown == 0 {
+		fmt.Fprintf(s.out, "-- no metrics recorded for session %s\n", qid)
 	}
 }
 

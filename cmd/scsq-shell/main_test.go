@@ -180,3 +180,38 @@ func TestShellPSAndQueryScopedStats(t *testing.T) {
 		t.Fatal("\\cancel of unknown session succeeded")
 	}
 }
+
+func TestShellDescribeMeta(t *testing.T) {
+	eng, err := scsq.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var sb strings.Builder
+	sh := &shell{eng: eng, out: &sb}
+
+	// \d lists every catalog table from the live registry.
+	if err := sh.execute(`\d`); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sys_sessions()", "sys_nodes()", "sys_links()", "sys_rps()", "sys_metrics([like])"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("\\d output missing %q:\n%s", want, sb.String())
+		}
+	}
+	sb.Reset()
+
+	// \d <table> prints one schema, spelled exactly as the registry does.
+	if err := sh.execute(`\d sys_nodes`); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, tab := range eng.SystemTables() {
+		if tab.Name == "sys_nodes" && !strings.Contains(out, "sys_nodes "+tab.Schema()) {
+			t.Errorf("\\d sys_nodes does not print the registry schema:\n%s", out)
+		}
+	}
+	if err := sh.execute(`\d sys_bogus`); err == nil {
+		t.Fatal("\\d of unknown table succeeded")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"scsq/internal/core"
 	"scsq/internal/hw"
 )
 
@@ -51,6 +52,10 @@ func run() error {
 	return inventory(env)
 }
 
+// inventory prints the hardware inventory by querying the engine's own
+// sys_nodes() catalog table — the same relation `select ... from stream n
+// where n in sys_nodes()` exposes in SCSQL — so the tool and the query
+// language can never disagree about the topology.
 func inventory(env *hw.Env) error {
 	x, y, z := env.Torus.Dims()
 	fmt.Printf("BlueGene partition: %d×%d×%d torus, %d compute nodes, %d psets of %d (+1 I/O node each)\n",
@@ -58,20 +63,37 @@ func inventory(env *hw.Env) error {
 	fmt.Printf("Linux clusters: %d back-end nodes, %d front-end nodes (GbE)\n\n",
 		env.ClusterSize(hw.BackEnd), env.ClusterSize(hw.FrontEnd))
 
-	fmt.Println("pset map (compute node -> I/O node):")
-	for p := 0; p < env.PsetCount(); p++ {
-		nodes, err := env.NodesInPset(p)
-		if err != nil {
-			return err
+	eng, err := core.NewEngine(core.WithEnv(env))
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	tab, ok := eng.SystemCatalog().Lookup("sys_nodes")
+	if !ok {
+		return fmt.Errorf("engine has no sys_nodes table")
+	}
+	rows, err := tab.Snap("")
+	if err != nil {
+		return err
+	}
+
+	// sys_nodes rows arrive cluster by cluster; group the bg rows by pset.
+	fmt.Println("pset map (compute node -> I/O node), from sys_nodes():")
+	psets := make([][]string, env.PsetCount())
+	for _, r := range rows {
+		cluster, _ := r.Field("cluster")
+		if cluster != string(hw.BlueGene) {
+			continue
 		}
-		cells := make([]string, len(nodes))
-		for i, id := range nodes {
-			c, err := env.Torus.CoordOf(id)
-			if err != nil {
-				return err
-			}
-			cells[i] = fmt.Sprintf("%d%s", id, c)
-		}
+		node, _ := r.Field("node")
+		cx, _ := r.Field("x")
+		cy, _ := r.Field("y")
+		cz, _ := r.Field("z")
+		pset, _ := r.Field("pset")
+		p := int(pset.(int64))
+		psets[p] = append(psets[p], fmt.Sprintf("%d(%d,%d,%d)", node, cx, cy, cz))
+	}
+	for p, cells := range psets {
 		fmt.Printf("  pset %d / io%d: %s\n", p, p, strings.Join(cells, " "))
 	}
 

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSysqShape runs the tiny system-catalog figure end to end: every
+// latency section reports, and the non-perturbation gate inside RunSysq
+// (bit-identical Figure 6 makespans with an active catalog subscriber)
+// must hold or RunSysq errors.
+func TestSysqShape(t *testing.T) {
+	cfg := TinySysq()
+	report, err := RunSysq(cfg)
+	if err != nil {
+		t.Fatalf("RunSysq: %v", err)
+	}
+	wantNames := []string{
+		"syscat/snap/sys_sessions",
+		"syscat/snap/sys_nodes",
+		"syscat/snap/sys_links",
+		"syscat/snap/sys_rps",
+		"syscat/snap/sys_metrics",
+		"syscat/query/sys_sessions",
+		"syscat/fig6/bare/buf=30000",
+		"syscat/fig6/observed/buf=30000",
+	}
+	for _, want := range wantNames {
+		found := false
+		for _, res := range report.Results {
+			if strings.HasPrefix(res.Name, want) {
+				found = true
+				if res.NsPerOp <= 0 {
+					t.Errorf("%s reports non-positive ns/op %v", res.Name, res.NsPerOp)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("report has no result %s", want)
+		}
+	}
+	if report.GOMAXPROCS <= 0 || report.GoVersion == "" {
+		t.Fatalf("report header incomplete: %+v", report)
+	}
+
+	var sb strings.Builder
+	if err := WriteSysq(&sb, cfg, report); err != nil {
+		t.Fatalf("WriteSysq: %v", err)
+	}
+	if !strings.Contains(sb.String(), "non-perturbation gate") {
+		t.Fatalf("WriteSysq output missing the gate verdict:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := CSVSysq(&sb, report); err != nil {
+		t.Fatalf("CSVSysq: %v", err)
+	}
+	if !strings.HasPrefix(sb.String(), "name,iterations,ns_per_op\n") {
+		t.Fatalf("CSV header wrong:\n%s", sb.String())
+	}
+}

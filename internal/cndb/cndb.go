@@ -199,6 +199,37 @@ func (db *DB) ReleaseFor(owner string, id int) {
 	}
 }
 
+// NodeState is one node's row in a NodeStates snapshot: its placement
+// load, liveness, and the owners holding leases on it. It backs the
+// sys_nodes system catalog table.
+type NodeState struct {
+	Node   int
+	RPs    int      // RPs currently placed on the node
+	Dead   bool     // marked failed by heartbeat policy or chaos
+	Owners []string // lease owners, sorted ("" = anonymous)
+}
+
+// NodeStates returns one row per compute node of the cluster, captured
+// under a single acquisition of the database lock so load, liveness and
+// ownership are mutually consistent.
+func (db *DB) NodeStates() []NodeState {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	owners := make(map[int][]string)
+	for owner, m := range db.leases {
+		for id := range m {
+			owners[id] = append(owners[id], owner)
+		}
+	}
+	out := make([]NodeState, db.size)
+	for id := 0; id < db.size; id++ {
+		os := owners[id]
+		sort.Strings(os)
+		out[id] = NodeState{Node: id, RPs: db.allocated[id], Dead: db.dead[id], Owners: os}
+	}
+	return out
+}
+
 // Leases returns the live lease table sorted by owner, then node id.
 func (db *DB) Leases() []Lease {
 	db.mu.Lock()

@@ -185,6 +185,20 @@ func (c *Coordinator) RPCount() int {
 	return len(c.rps)
 }
 
+// RPs returns a snapshot of the currently registered RPs, captured under
+// one acquisition of the coordinator lock. The slice is the caller's; the
+// pointed-to RPs stay live and must only be read through their own
+// accessors. It backs the sys_rps system catalog table.
+func (c *Coordinator) RPs() []*rp.RP {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*rp.RP, 0, len(c.rps))
+	for _, p := range c.rps {
+		out = append(out, p)
+	}
+	return out
+}
+
 // SubmitBGPlacement registers a BlueGene placement request with this
 // (front-end) coordinator. The request is answered asynchronously once the
 // BlueGene coordinator polls it. The returned channel receives exactly one

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"scsq/internal/carrier"
+	"scsq/internal/catalog"
 	"scsq/internal/chaos"
 	"scsq/internal/cndb"
 	"scsq/internal/coord"
@@ -81,6 +82,11 @@ type Engine struct {
 	// enables frame-level tracing.
 	reg    *metrics.Registry
 	tracer *metrics.Tracer
+
+	// syscat is the queryable system catalog: sys_* virtual tables backed
+	// by snapshot providers (see syscat.go). Always non-nil; the attached
+	// scheduler registers sys_sessions into it.
+	syscat *catalog.Registry
 
 	// buildMu serializes SP-graph construction across queries: placement
 	// must see a consistent node pool, which makes admission deterministic.
@@ -331,6 +337,7 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		hbTau:       cfg.hbTau,
 		reg:         metrics.NewRegistry(),
 		tracer:      cfg.tracer,
+		syscat:      catalog.NewRegistry(),
 		stop:        make(chan struct{}),
 	}
 	e.mpi.SetMetrics(e.reg)
@@ -386,6 +393,7 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		e.hbStopped.Add(1)
 		go e.heartbeatMonitor()
 	}
+	e.registerSystemTables()
 	return e, nil
 }
 

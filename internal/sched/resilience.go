@@ -32,6 +32,10 @@ func (s *Scheduler) ObserveVTime(t vtime.Time) {
 	if len(s.alarms.Advance(t)) > 0 {
 		s.admit()
 	}
+	// Wake live-delta catalog streams (streamof over sys_* tables). The
+	// sends are non-blocking and lock only subMu, so a slow or abandoned
+	// subscriber cannot back-pressure the beat path.
+	s.tickSubscribers()
 }
 
 // NodeDied implements core.CapacityObserver: a node left the pool, so

@@ -263,6 +263,13 @@ type Scheduler struct {
 	mFailed, mCancelled, mRejected    *metrics.Counter
 	mExpired, mShed, mRetried         *metrics.Counter
 	gQueued, gRunning, gParked        *metrics.Gauge
+
+	// subMu guards the virtual-time tick subscribers (see SubscribeVTime in
+	// syscat.go). A separate mutex: the beat path must never contend with
+	// s.mu, and cancel must never race close against send.
+	subMu  sync.Mutex
+	subs   map[int]chan struct{}
+	subSeq int
 }
 
 // New builds a scheduler over eng, evaluating statements against cat (nil
@@ -296,6 +303,7 @@ func New(eng *core.Engine, cat *scsql.Catalog, opts ...Option) *Scheduler {
 		eng.Env().SetFairSlice(s.fairSlice)
 	}
 	eng.SetQueryScheduler(s)
+	s.registerSysSessions()
 	return s
 }
 
@@ -924,5 +932,6 @@ func (s *Scheduler) Close() error {
 	for _, q := range qs {
 		<-q.done
 	}
+	s.closeSubscribers()
 	return nil
 }

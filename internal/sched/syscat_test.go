@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+
+	"scsq/internal/scsql"
+	"scsq/internal/vtime"
+)
+
+// TestSysSessionsSnapshot pins the registered table against the scheduler's
+// own List() view.
+func TestSysSessionsSnapshot(t *testing.T) {
+	e := newTestEngine(t)
+	s := New(e, nil)
+	defer s.Close()
+
+	q, err := s.Submit(scsql.Figure5Query(30_000, 3))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := q.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+
+	tab, ok := e.SystemCatalog().Lookup("sys_sessions")
+	if !ok {
+		t.Fatal("scheduler did not register sys_sessions")
+	}
+	rows, err := tab.Snap("")
+	if err != nil {
+		t.Fatalf("snap: %v", err)
+	}
+	if len(rows) != len(s.List()) {
+		t.Fatalf("sys_sessions has %d rows, List() %d", len(rows), len(s.List()))
+	}
+	id, _ := rows[0].Field("id")
+	state, _ := rows[0].Field("state")
+	if id != q.ID() || state != "done" {
+		t.Fatalf("row = %s, want id=%s state=done", rows[0], q.ID())
+	}
+}
+
+// TestCatalogSnapshotsUnderLoad hammers the lock-safe snapshot providers
+// (sys_sessions, sys_rps, sys_nodes, sys_links, sys_metrics) from multiple
+// goroutines while a k=2 multi-tenant run is in flight, with concurrent
+// virtual-time ticks driving the beat subscribers. Run under -race this is
+// the catalog determinism guard: snapshots must never race with the
+// scheduler, coordinators, cndb or the metrics registry.
+func TestCatalogSnapshotsUnderLoad(t *testing.T) {
+	e := newTestEngine(t)
+	s := New(e, nil, WithMaxConcurrent(2))
+	defer s.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, name := range []string{"sys_sessions", "sys_rps", "sys_nodes", "sys_links", "sys_metrics"} {
+		tab, ok := e.SystemCatalog().Lookup(name)
+		if !ok {
+			t.Fatalf("table %s not registered", name)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if _, err := tab.Snap(""); err != nil {
+						t.Errorf("%s snap: %v", tab.Name, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var vt vtime.Time
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				vt = vt.Add(vtime.Millisecond)
+				s.ObserveVTime(vt)
+			}
+		}
+	}()
+
+	a, err := s.Submit(scsql.Figure5Query(30_000, 40))
+	if err != nil {
+		t.Fatalf("submit a: %v", err)
+	}
+	b, err := s.Submit(scsql.Figure5Query(60_000, 40))
+	if err != nil {
+		t.Fatalf("submit b: %v", err)
+	}
+	if _, err := a.Wait(); err != nil {
+		t.Fatalf("a: %v", err)
+	}
+	if _, err := b.Wait(); err != nil {
+		t.Fatalf("b: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSubscribeVTimeCoalesceAndClose pins the subscription contract: ticks
+// coalesce (buffer of one, never blocking the beat path), cancel is
+// idempotent with concurrent ticks, and Close ends every subscription.
+func TestSubscribeVTimeCoalesceAndClose(t *testing.T) {
+	e := newTestEngine(t)
+	s := New(e, nil)
+
+	tick, cancel := s.SubscribeVTime()
+	s.tickSubscribers()
+	s.tickSubscribers() // coalesces into the one buffered slot
+	<-tick
+	select {
+	case <-tick:
+		t.Fatal("second tick was not coalesced")
+	default:
+	}
+	cancel()
+	if _, ok := <-tick; ok {
+		t.Fatal("cancelled subscription still delivers")
+	}
+	cancel() // idempotent
+
+	tick2, _ := s.SubscribeVTime()
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, ok := <-tick2; ok {
+		t.Fatal("Close did not end the subscription")
+	}
+	s.tickSubscribers() // after Close: must not panic
+}

@@ -124,8 +124,16 @@ type SubqueryExpr struct {
 
 // BinaryExpr is an arithmetic or comparison operation.
 type BinaryExpr struct {
-	Op   string // one of + - * / < <= > >= <>
+	Op   string // one of + - * / < <= > >= <> =
 	L, R Expr
+	Pos  Pos
+}
+
+// FieldExpr is a postfix field access such as n.cluster — reading one named
+// column of a system-catalog tuple flowing through a comprehension.
+type FieldExpr struct {
+	X    Expr
+	Name string
 	Pos  Pos
 }
 
@@ -144,12 +152,15 @@ func (e *SetLit) ePos() Pos       { return e.Pos }
 func (e *SubqueryExpr) ePos() Pos { return e.Pos }
 func (e *BinaryExpr) ePos() Pos   { return e.Pos }
 func (e *UnaryExpr) ePos() Pos    { return e.Pos }
+func (e *FieldExpr) ePos() Pos    { return e.Pos }
 
 func (e *BinaryExpr) String() string {
 	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
 }
 
 func (e *UnaryExpr) String() string { return e.Op + e.X.String() }
+
+func (e *FieldExpr) String() string { return e.X.String() + "." + e.Name }
 
 func (e *NumberLit) String() string { return e.Text }
 func (e *StringLit) String() string { return "'" + e.Value + "'" }

@@ -13,7 +13,7 @@ func applyBinary(op string, l, r any) (any, error) {
 	switch op {
 	case "+", "-", "*", "/":
 		return applyArith(op, l, r)
-	case "<", "<=", ">", ">=", "<>":
+	case "<", "<=", ">", ">=", "<>", "=":
 		return applyCompare(op, l, r)
 	default:
 		return nil, fmt.Errorf("unknown operator %q", op)
@@ -78,6 +78,8 @@ func applyCompare(op string, l, r any) (any, error) {
 			return ls > rs, nil
 		case ">=":
 			return ls >= rs, nil
+		case "=":
+			return ls == rs, nil
 		default:
 			return ls != rs, nil
 		}
@@ -99,6 +101,8 @@ func applyCompare(op string, l, r any) (any, error) {
 		return lf > rf, nil
 	case ">=":
 		return lf >= rf, nil
+	case "=":
+		return lf == rf, nil
 	default:
 		return lf != rf, nil
 	}

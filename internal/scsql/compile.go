@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"scsq/internal/catalog"
 	"scsq/internal/core"
 	"scsq/internal/sqep"
 	"scsq/internal/vtime"
@@ -142,6 +143,16 @@ func (ev *Evaluator) compileCall(call *Call, env *scope, b *core.PlanBuilder) (s
 	case "sum":
 		return wrap1(func(in sqep.Operator) sqep.Operator { return sqep.NewSum(in) })
 	case "streamof":
+		// streamof over a system catalog table is a live-delta stream paced
+		// on the virtual-time beat frontier; over anything else it is the
+		// ordinary stream-lift operator.
+		if len(call.Args) == 1 {
+			if inner, ok := call.Args[0].(*Call); ok {
+				if t, ok := ev.sysTableFor(inner); ok {
+					return ev.compileStreamOfSys(t, inner, env)
+				}
+			}
+		}
 		return wrap1(func(in sqep.Operator) sqep.Operator { return sqep.NewStreamOf(in) })
 	case "fft":
 		return wrap1(func(in sqep.Operator) sqep.Operator { return sqep.NewFFT(in) })
@@ -241,6 +252,11 @@ func (ev *Evaluator) compileCall(call *Call, env *scope, b *core.PlanBuilder) (s
 		return ev.compileWinAgg(call, env, b)
 
 	default:
+		// System catalog tables resolve before user functions: sys_* names
+		// are reserved for the engine's own introspection relations.
+		if t, ok := ev.sysTableFor(call); ok {
+			return ev.compileSysTable(t, call, env)
+		}
 		if def, ok := ev.cat.Lookup(call.Name); ok {
 			return ev.compileUserFunc(def, call, env, b)
 		}
@@ -255,12 +271,14 @@ func (ev *Evaluator) compileCall(call *Call, env *scope, b *core.PlanBuilder) (s
 // then name, so output order is deterministic. The snapshot is captured
 // when the plan opens (not at compile time), and the registry accumulates
 // across engine resets, so a monitor() statement issued after a query
-// reports that query's final counters. The optional string argument keeps
-// only metrics whose name starts with it; a single trailing '%' is
-// stripped, so the SQL-LIKE spelling monitor('sched.%') means the same as
-// monitor('sched.'). The form monitor('@q3') instead keeps the metrics
-// scoped to query q3 (names carrying a "q3/" path segment or a ".q3"
-// suffix) — the per-session view of a multi-tenant engine.
+// reports that query's final counters. The optional string argument is a
+// SQL-LIKE pattern over the metric name — '%' matches anywhere
+// (monitor('%bytes%')), and a pattern without '%' keeps its historic
+// prefix meaning, so monitor('sched.%') and monitor('sched.') are the
+// same view. The matcher is catalog.Like, shared with sys_metrics(). The
+// form monitor('@q3') instead keeps the metrics scoped to query q3 (names
+// carrying a "q3/" path segment or a ".q3" suffix) — the per-session view
+// of a multi-tenant engine.
 func (ev *Evaluator) compileMonitor(call *Call, env *scope) (sqep.Operator, error) {
 	prefix := ""
 	switch len(call.Args) {
@@ -283,7 +301,7 @@ func (ev *Evaluator) compileMonitor(call *Call, env *scope) (sqep.Operator, erro
 		qid = prefix[1:]
 		prefix = ""
 	}
-	prefix = strings.TrimSuffix(prefix, "%")
+	match := catalog.Like(prefix)
 	eng := ev.eng
 	return sqep.NewThunk("monitor", func() ([]any, error) {
 		snap := eng.MetricsSnapshot()
@@ -292,17 +310,17 @@ func (ev *Evaluator) compileMonitor(call *Call, env *scope) (sqep.Operator, erro
 		}
 		var rows []any
 		for _, name := range sortedMetricNames(snap.Counters) {
-			if strings.HasPrefix(name, prefix) {
+			if match(name) {
 				rows = append(rows, []any{"counter", name, snap.Counters[name]})
 			}
 		}
 		for _, name := range sortedMetricNames(snap.Gauges) {
-			if strings.HasPrefix(name, prefix) {
+			if match(name) {
 				rows = append(rows, []any{"gauge", name, snap.Gauges[name]})
 			}
 		}
 		for _, name := range sortedMetricNames(snap.Histograms) {
-			if strings.HasPrefix(name, prefix) {
+			if match(name) {
 				h := snap.Histograms[name]
 				rows = append(rows, []any{"histogram", name, h.Count, h.SumNs, h.MinNs, h.MaxNs})
 			}
@@ -311,29 +329,33 @@ func (ev *Evaluator) compileMonitor(call *Call, env *scope) (sqep.Operator, erro
 	}), nil
 }
 
-// compilePS lowers ps() — the attached scheduler's session table as a
-// stream. Each element is a bag {id, state, priority, nodes, statement,
-// deadline_ns, age_ns, retries} in submission order; the three resilience
-// columns are virtual-time quantities (absolute deadline, time in current
-// state, transient-admission retries) and stay zero when the features are
-// off. Requires an engine with a query scheduler attached (scsq.New
-// installs one; a bare evaluator has none).
+// compilePS lowers ps() — a thin view of the sys_sessions catalog table
+// the attached scheduler registers. Each element is a catalog.Tuple {id,
+// state, priority, nodes, statement, deadline_ns, age_ns, retries} in
+// submission order; the three resilience columns are virtual-time
+// quantities (absolute deadline, time in current state,
+// transient-admission retries) and stay zero when the features are off.
+// Requires an engine with a query scheduler attached (scsq.New installs
+// one; a bare evaluator has none — its catalog has no sys_sessions).
 func (ev *Evaluator) compilePS(call *Call) (sqep.Operator, error) {
 	if len(call.Args) != 0 {
 		return nil, errorfAt(call.Pos, "ps() takes no arguments, got %d", len(call.Args))
 	}
 	eng := ev.eng
 	return sqep.NewThunk("ps", func() ([]any, error) {
-		sch := eng.Scheduler()
-		if sch == nil {
+		t, ok := eng.SystemCatalog().Lookup("sys_sessions")
+		if !ok || eng.Scheduler() == nil {
 			return nil, fmt.Errorf("scsql: ps(): no query scheduler attached to this engine")
 		}
-		var rows []any
-		for _, st := range sch.QueryStatuses() {
-			rows = append(rows, []any{st.ID, st.State, int64(st.Priority), int64(st.Nodes), st.Statement,
-				st.DeadlineNs, st.AgeNs, int64(st.Retries)})
+		rows, err := t.Snap("")
+		if err != nil {
+			return nil, err
 		}
-		return rows, nil
+		out := make([]any, len(rows))
+		for i, r := range rows {
+			out[i] = r
+		}
+		return out, nil
 	}), nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"scsq/internal/catalog"
 	"scsq/internal/cndb"
 	"scsq/internal/core"
 	"scsq/internal/hw"
@@ -290,6 +291,8 @@ func freeVars(e Expr) []string {
 			walk(x.L, shadow)
 			walk(x.R, shadow)
 		case *UnaryExpr:
+			walk(x.X, shadow)
+		case *FieldExpr:
 			walk(x.X, shadow)
 		case *SubqueryExpr:
 			walkQuery(x.Query, shadow)
@@ -580,6 +583,20 @@ func (ev *Evaluator) evalScalar(e Expr, env *scope) (any, error) {
 		default:
 			return nil, errorfAt(x.Pos, "cannot negate %T", v)
 		}
+	case *FieldExpr:
+		v, err := ev.evalScalar(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		tup, ok := v.(catalog.Tuple)
+		if !ok {
+			return nil, errorfAt(x.Pos, "field access .%s requires a catalog tuple, got %T", x.Name, v)
+		}
+		fv, ok := tup.Field(x.Name)
+		if !ok {
+			return nil, errorfAt(x.Pos, "tuple %s has no column %q (schema %s)", tup, x.Name, tup.Schema)
+		}
+		return fv, nil
 	case *NumberLit:
 		if strings.Contains(x.Text, ".") {
 			f, err := strconv.ParseFloat(x.Text, 64)

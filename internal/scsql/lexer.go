@@ -107,6 +107,9 @@ func Lex(src string) ([]Token, error) {
 		case r == '}':
 			advance()
 			toks = append(toks, Token{Kind: TokRBrace, Text: "}", Pos: start})
+		case r == '.':
+			advance()
+			toks = append(toks, Token{Kind: TokDot, Text: ".", Pos: start})
 		case r == ',':
 			advance()
 			toks = append(toks, Token{Kind: TokComma, Text: ",", Pos: start})

@@ -231,9 +231,13 @@ func declTypeOf(t Token) (DeclType, error) {
 
 // cond := IDENT '=' expr | IDENT 'in' expr | predicate-expr
 //
-// A conjunct starting with a bare identifier followed by '=' or 'in' is a
-// binding; any other expression is a predicate over bound variables (used
-// to filter iteration domains and stream comprehensions).
+// A conjunct of the form "bare-identifier = expr" is a binding, and
+// "bare-identifier in expr" an iteration binding; any other comparison is a
+// predicate over bound variables (used to filter iteration domains and
+// stream comprehensions). Since '=' also parses as a comparison operator
+// inside expr (n.x = 0 is an equality predicate), the binding form is
+// recovered structurally: an '=' whose left side is a bare identifier is a
+// binding — exactly the historic grammar.
 func (p *parser) cond() (Cond, error) {
 	var c Cond
 	start := p.peek()
@@ -242,19 +246,18 @@ func (p *parser) cond() (Cond, error) {
 	if err != nil {
 		return c, err
 	}
-	if id, ok := lhs.(*Ident); ok {
-		switch p.peek().Kind {
-		case TokEquals:
-			p.next()
+	if id, ok := lhs.(*Ident); ok && p.peek().Kind == TokIn {
+		p.next()
+		c.Name = id.Name
+		c.In = true
+		c.Expr, err = p.expr()
+		return c, err
+	}
+	if bin, ok := lhs.(*BinaryExpr); ok && bin.Op == "=" {
+		if id, ok := bin.L.(*Ident); ok {
 			c.Name = id.Name
-			c.Expr, err = p.expr()
-			return c, err
-		case TokIn:
-			p.next()
-			c.Name = id.Name
-			c.In = true
-			c.Expr, err = p.expr()
-			return c, err
+			c.Expr = bin.R
+			return c, nil
 		}
 	}
 	if bin, ok := lhs.(*BinaryExpr); !ok || !isComparison(bin.Op) {
@@ -266,7 +269,7 @@ func (p *parser) cond() (Cond, error) {
 
 func isComparison(op string) bool {
 	switch op {
-	case "<", "<=", ">", ">=", "<>":
+	case "<", "<=", ">", ">=", "<>", "=":
 		return true
 	}
 	return false
@@ -291,6 +294,8 @@ func (p *parser) expr() (Expr, error) {
 		op = ">="
 	case TokNotEq:
 		op = "<>"
+	case TokEquals:
+		op = "="
 	default:
 		return l, nil
 	}
@@ -359,7 +364,24 @@ func (p *parser) unaryExpr() (Expr, error) {
 		}
 		return &UnaryExpr{Op: "-", X: x, Pos: t.Pos}, nil
 	}
-	return p.primaryExpr()
+	return p.postfixExpr()
+}
+
+// postfixExpr := primary {'.' IDENT} — field access on catalog tuples.
+func (p *parser) postfixExpr() (Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokDot {
+		dot := p.next()
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		x = &FieldExpr{X: x, Name: strings.ToLower(name.Text), Pos: dot.Pos}
+	}
+	return x, nil
 }
 
 // primaryExpr := NUMBER | STRING | IDENT ['(' args ')'] | '{' exprs '}'

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"scsq/internal/catalog"
 	"scsq/internal/core"
 	"scsq/internal/sched"
 	"scsq/internal/scsql"
@@ -59,22 +60,32 @@ func TestPSListsSessions(t *testing.T) {
 	rows := drainRows(t, ev, `select ps();`)
 	found := false
 	for _, el := range rows {
-		bag, ok := el.Value.([]any)
-		if !ok || len(bag) != 8 {
-			t.Fatalf("ps row = %#v, want {id, state, priority, nodes, statement, deadline_ns, age_ns, retries}", el.Value)
+		tup, ok := el.Value.(catalog.Tuple)
+		if !ok {
+			t.Fatalf("ps row = %#v, want a catalog.Tuple", el.Value)
 		}
-		if bag[0] == q.ID() {
-			found = true
-			if bag[1] != "done" {
-				t.Fatalf("ps state for %s = %v, want done", q.ID(), bag[1])
+		if got, want := tup.Schema.Names(), sched.SysSessionsSchema.Names(); len(got) != len(want) {
+			t.Fatalf("ps schema = %v, want %v", got, want)
+		}
+		field := func(name string) any {
+			v, ok := tup.Field(name)
+			if !ok {
+				t.Fatalf("ps row %s has no field %q", tup, name)
 			}
-			if bag[3] != int64(0) {
-				t.Fatalf("ps nodes for finished %s = %v, want 0", q.ID(), bag[3])
+			return v
+		}
+		if field("id") == q.ID() {
+			found = true
+			if got := field("state"); got != "done" {
+				t.Fatalf("ps state for %s = %v, want done", q.ID(), got)
+			}
+			if got := field("nodes"); got != int64(0) {
+				t.Fatalf("ps nodes for finished %s = %v, want 0", q.ID(), got)
 			}
 			// No TTL and no admission retries: the resilience columns are
 			// present but zero.
-			if bag[5] != int64(0) || bag[7] != int64(0) {
-				t.Fatalf("ps resilience columns for %s = deadline %v retries %v, want 0, 0", q.ID(), bag[5], bag[7])
+			if d, r := field("deadline_ns"), field("retries"); d != int64(0) || r != int64(0) {
+				t.Fatalf("ps resilience columns for %s = deadline %v retries %v, want 0, 0", q.ID(), d, r)
 			}
 		}
 	}

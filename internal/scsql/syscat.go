@@ -1,0 +1,107 @@
+package scsql
+
+// syscat.go lowers the system catalog into SCSQL: registered sys_* tables
+// (sys_sessions, sys_nodes, sys_links, sys_rps, sys_metrics) are
+// first-class relations — sys_nodes() yields one catalog.Tuple per row, so
+// the tables compose with count(), merge(), limit(), comprehension filters
+// and field access (n.cluster, n.x). streamof(sys_table(...)) lifts a
+// table into a live-delta stream paced on the virtual-time beat frontier.
+
+import (
+	"fmt"
+
+	"scsq/internal/catalog"
+	"scsq/internal/sqep"
+)
+
+// sysTableFor resolves a call against the engine's system catalog.
+func (ev *Evaluator) sysTableFor(call *Call) (*catalog.Table, bool) {
+	return ev.eng.SystemCatalog().Lookup(call.Name)
+}
+
+// sysPattern evaluates a sys table call's optional SQL-LIKE argument.
+func (ev *Evaluator) sysPattern(t *catalog.Table, call *Call, env *scope) (string, error) {
+	if !t.TakesPattern {
+		if len(call.Args) != 0 {
+			return "", errorfAt(call.Pos, "%s() takes no arguments, got %d", t.Name, len(call.Args))
+		}
+		return "", nil
+	}
+	switch len(call.Args) {
+	case 0:
+		return "", nil
+	case 1:
+		v, err := ev.evalScalar(call.Args[0], env)
+		if err != nil {
+			return "", err
+		}
+		s, ok := v.(string)
+		if !ok {
+			return "", errorfAt(call.Args[0].ePos(), "%s() pattern must be a string, got %T", t.Name, v)
+		}
+		return s, nil
+	default:
+		return "", errorfAt(call.Pos, "%s() takes at most 1 argument, got %d", t.Name, len(call.Args))
+	}
+}
+
+// compileSysTable lowers sys_table([pattern]) — one snapshot of the table,
+// captured when the plan opens (like monitor(), not at compile time), one
+// catalog.Tuple element per row.
+func (ev *Evaluator) compileSysTable(t *catalog.Table, call *Call, env *scope) (sqep.Operator, error) {
+	pattern, err := ev.sysPattern(t, call, env)
+	if err != nil {
+		return nil, err
+	}
+	return sqep.NewThunk(t.Name, func() ([]any, error) {
+		rows, err := t.Snap(pattern)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]any, len(rows))
+		for i, r := range rows {
+			out[i] = r
+		}
+		return out, nil
+	}), nil
+}
+
+// vtimeTicker is the subset of the scheduler surface live-delta streams
+// need: a coalescing virtual-time tick subscription (sched.Scheduler
+// implements it; asserted dynamically to keep core decoupled from sched).
+type vtimeTicker interface {
+	SubscribeVTime() (<-chan struct{}, func())
+}
+
+// compileStreamOfSys lowers streamof(sys_table([pattern])): a live-delta
+// stream that emits the full table on open, then — on each advance of the
+// scheduler's virtual policy clock — only the rows whose values changed
+// since the previous poll. Requires an attached scheduler: virtual time is
+// the pacing source (heartbeat frontier via Scheduler.ObserveVTime), so
+// observation never injects wall-clock nondeterminism into the run.
+func (ev *Evaluator) compileStreamOfSys(t *catalog.Table, call *Call, env *scope) (sqep.Operator, error) {
+	pattern, err := ev.sysPattern(t, call, env)
+	if err != nil {
+		return nil, err
+	}
+	sch := ev.eng.Scheduler()
+	ticker, ok := sch.(vtimeTicker)
+	if sch == nil || !ok {
+		return nil, errorfAt(call.Pos, "streamof(%s()): no query scheduler attached to pace the live stream", t.Name)
+	}
+	tick, stop := ticker.SubscribeVTime()
+	snap := func() ([]any, []string, error) {
+		rows, err := t.Snap(pattern)
+		if err != nil {
+			return nil, nil, err
+		}
+		vals := make([]any, len(rows))
+		keys := make([]string, len(rows))
+		for i, r := range rows {
+			vals[i] = r
+			keys[i] = r.Key()
+		}
+		return vals, keys, nil
+	}
+	return sqep.NewDeltaPoll(fmt.Sprintf("streamof(%s)", t.Name), snap, tick, stop), nil
+}

@@ -1,0 +1,345 @@
+package scsql_test
+
+// End-to-end SCSQL surface of the system catalog: sys_* virtual tables as
+// first-class relations, field access and equality predicates in
+// comprehensions, live-delta streamof over tables, and the non-perturbation
+// replay proof (bit-identical schedules with and without an active catalog
+// subscriber).
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scsq/internal/catalog"
+	"scsq/internal/core"
+	"scsq/internal/hw"
+	"scsq/internal/sched"
+	"scsq/internal/scsql"
+	"scsq/internal/vtime"
+)
+
+func TestCountSysSessions(t *testing.T) {
+	_, s, ev := newSchedEngine(t)
+	q, err := s.Submit(scsql.Figure5Query(30_000, 4))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := q.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	rows := drainRows(t, ev, `select count(sys_sessions());`)
+	if len(rows) != 1 || rows[0].Value != int64(1) {
+		t.Fatalf("count(sys_sessions()) = %v, want one element 1", rows)
+	}
+}
+
+// TestSysNodesFilteredJoin is the acceptance query: sys_nodes() joined with
+// torus coordinates and filtered by field predicates — select the BlueGene
+// nodes on the x=0 face of the torus.
+func TestSysNodesFilteredJoin(t *testing.T) {
+	e, _, ev := newSchedEngine(t)
+	rows := drainRows(t, ev, `select n.node from stream n where n in sys_nodes() and n.cluster = 'bg' and n.x = 0;`)
+	if len(rows) == 0 {
+		t.Fatalf("no bg nodes with x = 0")
+	}
+	want := 0
+	tor := e.Env().Torus
+	for id := 0; id < e.Env().ClusterSize(hw.BlueGene); id++ {
+		if co, err := tor.CoordOf(id); err == nil && co.X == 0 {
+			want++
+		}
+	}
+	if len(rows) != want {
+		t.Fatalf("x=0 face has %d rows, want %d", len(rows), want)
+	}
+	for _, el := range rows {
+		id, ok := el.Value.(int64)
+		if !ok {
+			t.Fatalf("n.node = %T, want int64", el.Value)
+		}
+		co, err := tor.CoordOf(int(id))
+		if err != nil || co.X != 0 {
+			t.Fatalf("node %d not on the x=0 face (coord %v, err %v)", id, co, err)
+		}
+	}
+}
+
+func TestSysMetricsPatternAnywhere(t *testing.T) {
+	_, s, ev := newSchedEngine(t)
+	q, err := s.Submit(scsql.Figure5Query(30_000, 4))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := q.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	rows := drainRows(t, ev, `select sys_metrics('%bytes%');`)
+	if len(rows) == 0 {
+		t.Fatalf("sys_metrics('%%bytes%%') matched nothing")
+	}
+	for _, el := range rows {
+		tup, ok := el.Value.(catalog.Tuple)
+		if !ok {
+			t.Fatalf("sys_metrics row = %T, want catalog.Tuple", el.Value)
+		}
+		name, _ := tup.Field("name")
+		if !strings.Contains(name.(string), "bytes") {
+			t.Fatalf("row %s does not match %%bytes%%", tup)
+		}
+	}
+}
+
+func TestSysLinksReportEdges(t *testing.T) {
+	e, s, ev := newSchedEngine(t)
+	q, err := s.Submit(scsql.Figure5Query(30_000, 4))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := q.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	rows := drainRows(t, ev, `select sys_links();`)
+	if len(rows) != len(e.Edges()) {
+		t.Fatalf("sys_links() has %d rows, engine has %d edges", len(rows), len(e.Edges()))
+	}
+	carried := int64(0)
+	for _, el := range rows {
+		tup := el.Value.(catalog.Tuple)
+		frames, _ := tup.Field("frames")
+		carried += frames.(int64)
+		if c, _ := tup.Field("carrier"); c != "mpi" && c != "tcp" && c != "udp" {
+			t.Fatalf("unexpected carrier in %s", tup)
+		}
+	}
+	if carried == 0 {
+		t.Fatalf("no link carried frames: %v", rows)
+	}
+}
+
+// TestPSIsSysSessionsView pins the thin-view contract: ps() emits exactly
+// the sys_sessions rows.
+func TestPSIsSysSessionsView(t *testing.T) {
+	_, s, ev := newSchedEngine(t)
+	q, err := s.Submit(scsql.Figure5Query(30_000, 4))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := q.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	ps := drainRows(t, ev, `select ps();`)
+	sys := drainRows(t, ev, `select sys_sessions();`)
+	if len(ps) != len(sys) {
+		t.Fatalf("ps() has %d rows, sys_sessions() %d", len(ps), len(sys))
+	}
+	for i := range ps {
+		a := ps[i].Value.(catalog.Tuple)
+		b := sys[i].Value.(catalog.Tuple)
+		if a.Key() != b.Key() {
+			t.Fatalf("ps row %d = %s, sys_sessions row = %s", i, a, b)
+		}
+	}
+}
+
+// TestStreamofSysMetricsLive drives the live-delta stream end to end: the
+// initial snapshot flows immediately, and a metric bumped afterwards is
+// emitted on the next virtual-time tick.
+func TestStreamofSysMetricsLive(t *testing.T) {
+	e, s, ev := newSchedEngine(t)
+	q, err := s.Submit(scsql.Figure5Query(30_000, 4))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := q.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+
+	base := drainRows(t, ev, `select sys_metrics('rp.%');`)
+	if len(base) == 0 {
+		t.Fatalf("no rp.%% metrics after a run")
+	}
+
+	// Limit to one past the initial snapshot: the stream must block until a
+	// tick delivers the delta row, then terminate.
+	res, err := ev.Exec(`select limit(streamof(sys_metrics('rp.%')), ` + itoa(len(base)+1) + `);`)
+	if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	type drained struct {
+		names []string
+		err   error
+	}
+	got := make(chan drained, 1)
+	go func() {
+		els, err := res.Stream.Drain()
+		var names []string
+		for _, el := range els {
+			if tup, ok := el.Value.(catalog.Tuple); ok {
+				n, _ := tup.Field("name")
+				names = append(names, n.(string))
+			}
+		}
+		got <- drained{names, err}
+	}()
+
+	// The delta: a fresh rp.-prefixed counter. The drain opens the plan
+	// concurrently, so give the initial snapshot a head start — either way
+	// the stream must surface the new row before the limit is reached.
+	time.Sleep(2 * time.Millisecond)
+	e.Metrics().Counter("rp.live_probe.sys").Inc()
+	var vt vtime.Time
+	for {
+		select {
+		case d := <-got:
+			if d.err != nil {
+				t.Fatalf("drain: %v", d.err)
+			}
+			if len(d.names) != len(base)+1 {
+				t.Fatalf("live stream yielded %d rows, want %d", len(d.names), len(base)+1)
+			}
+			seen := false
+			for _, n := range d.names {
+				seen = seen || n == "rp.live_probe.sys"
+			}
+			if !seen {
+				t.Fatalf("live stream never surfaced rp.live_probe.sys: %v", d.names)
+			}
+			return
+		default:
+			vt = vt.Add(vtime.Millisecond)
+			s.ObserveVTime(vt)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+// TestStreamofSysTableNeedsScheduler: without a scheduler there is no
+// virtual-time pacing source, so the live form is an error (the plain
+// snapshot form still works).
+func TestStreamofSysTableNeedsScheduler(t *testing.T) {
+	e, err := core.NewEngine()
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	defer e.Close()
+	ev := scsql.NewEvaluator(e, nil)
+	if _, err := ev.Exec(`select streamof(sys_metrics());`); err == nil || !strings.Contains(err.Error(), "no query scheduler") {
+		t.Fatalf("err = %v, want no-scheduler error", err)
+	}
+	rows := drainRows(t, ev, `select count(sys_nodes());`)
+	if len(rows) != 1 {
+		t.Fatalf("count(sys_nodes()) on a bare engine: %v", rows)
+	}
+}
+
+// fig5Outcome is the schedule fingerprint the replay proof compares: the
+// result itself plus every BlueGene CPU's accounted busy time and free
+// frontier. Any virtual-time perturbation by the observer would shift one
+// of these.
+type fig5Outcome struct {
+	count    int
+	makespan vtime.Time
+	busy     []vtime.Duration
+	free     []vtime.Time
+}
+
+func runFig5WithObserver(t *testing.T, observe bool) fig5Outcome {
+	t.Helper()
+	e, err := core.NewEngine()
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	s := sched.New(e, nil)
+	ev := scsql.NewEvaluator(e, s.Catalog())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	if observe {
+		res, err := ev.Exec(`select streamof(sys_metrics('rp.%'));`)
+		if err != nil {
+			t.Fatalf("exec streamof: %v", err)
+		}
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_, _ = res.Stream.Drain() // runs until the scheduler closes the tick source
+		}()
+		go func() {
+			defer wg.Done()
+			var vt vtime.Time
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					vt = vt.Add(vtime.Millisecond)
+					s.ObserveVTime(vt)
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		}()
+	}
+
+	q, err := s.Submit(scsql.Figure5Query(30_000, 6))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	els, err := q.Wait()
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	out := fig5Outcome{count: len(els), makespan: q.Makespan()}
+	for id := 0; id < e.Env().ClusterSize(hw.BlueGene); id++ {
+		n, err := e.Env().Node(hw.BlueGene, id)
+		if err != nil {
+			t.Fatalf("node %d: %v", id, err)
+		}
+		out.busy = append(out.busy, n.CPU.BusyTime())
+		out.free = append(out.free, n.CPU.FreeAt())
+	}
+
+	close(stop)
+	if err := s.Close(); err != nil {
+		t.Fatalf("sched close: %v", err)
+	}
+	wg.Wait()
+	if err := e.Close(); err != nil {
+		t.Fatalf("engine close: %v", err)
+	}
+	return out
+}
+
+// TestCatalogSubscriberBitIdentity is the paper's non-perturbation
+// requirement applied to the catalog: the same workload with an active
+// streamof(sys_metrics()) subscriber (plus concurrent policy-clock ticks)
+// produces a bit-identical virtual schedule.
+func TestCatalogSubscriberBitIdentity(t *testing.T) {
+	bare := runFig5WithObserver(t, false)
+	observed := runFig5WithObserver(t, true)
+	if bare.count != observed.count || bare.makespan != observed.makespan {
+		t.Fatalf("result diverged: bare {n=%d, makespan=%d}, observed {n=%d, makespan=%d}",
+			bare.count, bare.makespan, observed.count, observed.makespan)
+	}
+	for i := range bare.busy {
+		if bare.busy[i] != observed.busy[i] || bare.free[i] != observed.free[i] {
+			t.Fatalf("bg node %d schedule diverged: bare busy=%d free=%d, observed busy=%d free=%d",
+				i, bare.busy[i], bare.free[i], observed.busy[i], observed.free[i])
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -13,8 +13,14 @@
 //	query      := 'select' expr 'from' decl {',' decl} ['where' conj {'and' conj}]
 //	decl       := ['bag' 'of'] type IDENT
 //	type       := 'sp' | 'integer' | 'string' | 'stream'
-//	conj       := IDENT '=' expr | IDENT 'in' expr
-//	expr       := NUMBER | STRING | IDENT | IDENT '(' [expr {',' expr}] ')'
+//	conj       := IDENT '=' expr | IDENT 'in' expr | expr CMP expr
+//	expr       := add [CMP add]
+//	CMP        := '<' | '<=' | '>' | '>=' | '<>' | '='
+//	add        := mul {('+'|'-') mul}
+//	mul        := unary {('*'|'/') unary}
+//	unary      := ['-'] postfix
+//	postfix    := primary {'.' IDENT}
+//	primary    := NUMBER | STRING | IDENT | IDENT '(' [expr {',' expr}] ')'
 //	            | '{' expr {',' expr} '}' | '(' expr ')' | query
 //
 // Keywords are case-insensitive; strings use single or double quotes.
@@ -48,6 +54,7 @@ const (
 	TokMinus
 	TokStar
 	TokSlash
+	TokDot
 
 	// Keywords.
 	TokSelect
@@ -84,6 +91,7 @@ var kindNames = map[Kind]string{
 	TokMinus:     "'-'",
 	TokStar:      "'*'",
 	TokSlash:     "'/'",
+	TokDot:       "'.'",
 	TokSelect:    "'select'",
 	TokFrom:      "'from'",
 	TokWhere:     "'where'",

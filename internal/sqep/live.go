@@ -1,0 +1,98 @@
+package sqep
+
+// DeltaPoll is the live form of a Thunk: a stream of system-catalog rows
+// that keeps running. Open captures a full initial snapshot; afterwards,
+// each tick on the pacing channel triggers a re-snapshot and only rows
+// whose value fingerprint was not present in the previous snapshot are
+// emitted — a live-delta stream. The tick source is the scheduler's
+// virtual-time beat frontier (sched.SubscribeVTime), so observation is
+// paced by the simulation's own clock and emits nothing while virtual time
+// stands still. Closing the tick channel ends the stream cleanly.
+//
+// Like Thunk, elements carry zero timestamps: reading system state takes
+// no modeled time, which is half of the non-perturbation contract (the
+// other half is that snapshot providers never block the beat loop).
+type DeltaPoll struct {
+	// Label names the operator in errors and plan dumps.
+	Label string
+	// Snap captures the current rows and their value fingerprints; keys[i]
+	// must identify rows[i]. It runs once at Open and once per tick.
+	Snap func() (rows []any, keys []string, err error)
+	// Tick paces re-snapshots; a closed channel terminates the stream.
+	Tick <-chan struct{}
+	// Stop releases the tick subscription; called once, at Close.
+	Stop func()
+
+	queue []Element
+	seen  map[string]bool
+	done  bool
+}
+
+var _ Operator = (*DeltaPoll)(nil)
+
+// NewDeltaPoll returns a live-delta stream over snap paced by tick.
+func NewDeltaPoll(label string, snap func() ([]any, []string, error), tick <-chan struct{}, stop func()) *DeltaPoll {
+	return &DeltaPoll{Label: label, Snap: snap, Tick: tick, Stop: stop}
+}
+
+// Open implements Operator: it emits the initial full snapshot, so a
+// bounded consumer (limit(streamof(...), n)) can terminate without any
+// virtual time passing.
+func (d *DeltaPoll) Open(*Ctx) error {
+	d.queue = d.queue[:0]
+	d.seen = make(map[string]bool)
+	d.done = false
+	return d.poll()
+}
+
+// poll re-snapshots and queues rows absent from the previous snapshot. The
+// seen set is replaced wholesale: a row that changes value (new key) or
+// disappears and comes back re-emits.
+func (d *DeltaPoll) poll() error {
+	rows, keys, err := d.Snap()
+	if err != nil {
+		return err
+	}
+	next := make(map[string]bool, len(rows))
+	for i, v := range rows {
+		k := keys[i]
+		next[k] = true
+		if !d.seen[k] {
+			d.queue = append(d.queue, Element{Value: v})
+		}
+	}
+	d.seen = next
+	return nil
+}
+
+// Next implements Operator: drain queued rows, else block for the next
+// virtual-time tick and re-poll. Ticks that produce no delta are absorbed
+// here rather than emitting empty batches.
+func (d *DeltaPoll) Next() (Element, bool, error) {
+	for {
+		if len(d.queue) > 0 {
+			el := d.queue[0]
+			d.queue = d.queue[1:]
+			return el, true, nil
+		}
+		if d.done {
+			return Element{}, false, nil
+		}
+		if _, ok := <-d.Tick; !ok {
+			d.done = true
+			return Element{}, false, nil
+		}
+		if err := d.poll(); err != nil {
+			return Element{}, false, err
+		}
+	}
+}
+
+// Close implements Operator.
+func (d *DeltaPoll) Close() error {
+	if d.Stop != nil {
+		d.Stop()
+		d.Stop = nil
+	}
+	return nil
+}

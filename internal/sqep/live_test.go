@@ -1,0 +1,133 @@
+package sqep
+
+import (
+	"errors"
+	"testing"
+)
+
+// deltaSource is a scripted snapshot provider: each call returns the next
+// row set in the script (the last set repeats).
+type deltaSource struct {
+	script [][]string
+	calls  int
+}
+
+func (s *deltaSource) snap() ([]any, []string, error) {
+	i := s.calls
+	if i >= len(s.script) {
+		i = len(s.script) - 1
+	}
+	s.calls++
+	keys := s.script[i]
+	rows := make([]any, len(keys))
+	for j, k := range keys {
+		rows[j] = k
+	}
+	return rows, keys, nil
+}
+
+func collect(t *testing.T, d *DeltaPoll, n int) []any {
+	t.Helper()
+	if err := d.Open(nil); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	var out []any
+	for len(out) < n {
+		el, ok, err := d.Next()
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		if !ok {
+			break
+		}
+		out = append(out, el.Value)
+	}
+	return out
+}
+
+func TestDeltaPollEmitsInitialThenDeltas(t *testing.T) {
+	src := &deltaSource{script: [][]string{
+		{"a", "b"},      // open: full snapshot
+		{"a", "b"},      // tick 1: no change — absorbed, no emission
+		{"a", "b", "c"}, // tick 2: +c
+		{"b", "c"},      // tick 3: -a, nothing new
+		{"a", "b", "c"}, // tick 4: a returns — re-emitted
+	}}
+	tick := make(chan struct{}, 8)
+	for i := 0; i < 8; i++ {
+		tick <- struct{}{}
+	}
+	close(tick)
+	stopped := 0
+	d := NewDeltaPoll("test", src.snap, tick, func() { stopped++ })
+
+	got := collect(t, d, 100)
+	want := []any{"a", "b", "c", "a"}
+	if len(got) != len(want) {
+		t.Fatalf("emitted %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("emitted %v, want %v", got, want)
+		}
+	}
+	// The closed (and drained) tick channel ended the stream; Next stays
+	// terminated and Close stops the subscription exactly once.
+	if el, ok, err := d.Next(); ok || err != nil {
+		t.Fatalf("after EOS: el=%v ok=%v err=%v", el, ok, err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("re-close: %v", err)
+	}
+	if stopped != 1 {
+		t.Fatalf("stop ran %d times, want 1", stopped)
+	}
+}
+
+func TestDeltaPollBoundedConsumerNeedsNoTicks(t *testing.T) {
+	// A limit()-style consumer taking exactly the initial snapshot must
+	// terminate without any virtual time passing: the rows are queued at
+	// Open, before the first Tick receive.
+	src := &deltaSource{script: [][]string{{"x", "y", "z"}}}
+	d := NewDeltaPoll("test", src.snap, make(chan struct{}), func() {})
+	if err := d.Open(nil); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for _, want := range []string{"x", "y", "z"} {
+		el, ok, err := d.Next()
+		if err != nil || !ok || el.Value != want {
+			t.Fatalf("next = %v %v %v, want %q", el, ok, err, want)
+		}
+		if el.At != 0 {
+			t.Fatalf("catalog rows must carry zero timestamps, got %v", el.At)
+		}
+	}
+	if src.calls != 1 {
+		t.Fatalf("snap ran %d times before any tick, want 1", src.calls)
+	}
+}
+
+func TestDeltaPollReopenResets(t *testing.T) {
+	src := &deltaSource{script: [][]string{{"a"}}}
+	tick := make(chan struct{})
+	close(tick)
+	d := NewDeltaPoll("test", src.snap, tick, nil)
+	if got := collect(t, d, 10); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("first run emitted %v", got)
+	}
+	// Re-open clears the seen set: the same row streams again.
+	if got := collect(t, d, 10); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("re-opened run emitted %v", got)
+	}
+}
+
+func TestDeltaPollSnapErrorSurfaces(t *testing.T) {
+	boom := errors.New("boom")
+	d := NewDeltaPoll("test", func() ([]any, []string, error) { return nil, nil, boom }, nil, nil)
+	if err := d.Open(nil); !errors.Is(err, boom) {
+		t.Fatalf("open err = %v, want boom", err)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"scsq/internal/carrier"
@@ -674,3 +675,71 @@ func (e *Engine) Sessions() []SessionInfo {
 
 // CancelSession cancels the identified session (see Session.Cancel).
 func (e *Engine) CancelSession(id string) error { return e.sched.Cancel(id) }
+
+// SystemColumn is one named, typed column of a system catalog table.
+type SystemColumn struct {
+	Name string
+	Type string // "string", "int" or "float"
+}
+
+// SystemTable describes one sys_* virtual table of the system catalog:
+// its name, one-line documentation, column list, and whether it accepts an
+// optional SQL-LIKE pattern argument (sys_metrics('rp.%')).
+type SystemTable struct {
+	Name         string
+	Doc          string
+	Columns      []SystemColumn
+	TakesPattern bool
+}
+
+// Schema renders the table's schema as "(name type, ...)" — the spelling
+// used by DESIGN.md §13 and the shell's \d command.
+func (t SystemTable) Schema() string {
+	parts := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		parts[i] = c.Name + " " + c.Type
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// SystemTables lists the registered system catalog tables, sorted by name.
+// The same tables are queryable in SCSQL as first-class relations:
+// `select count(sys_sessions());`, `select n.node from stream n where n in
+// sys_nodes() and n.cluster = 'bg' and n.x = 0;`, or — live, paced on the
+// virtual-time frontier — `select streamof(sys_metrics('rp.%'));`.
+func (e *Engine) SystemTables() []SystemTable {
+	tabs := e.core.SystemCatalog().Tables()
+	out := make([]SystemTable, len(tabs))
+	for i, tab := range tabs {
+		cols := make([]SystemColumn, len(tab.Schema))
+		for j, c := range tab.Schema {
+			cols[j] = SystemColumn{Name: c.Name, Type: string(c.Type)}
+		}
+		out[i] = SystemTable{Name: tab.Name, Doc: tab.Doc, Columns: cols, TakesPattern: tab.TakesPattern}
+	}
+	return out
+}
+
+// SystemRows snapshots one system catalog table: rows of values aligned
+// with the table's column order, captured under the owning subsystem's
+// locks without charging any virtual time. The pattern argument applies
+// only to tables with TakesPattern (SQL-LIKE, '%' anywhere; a pattern
+// without '%' matches as a prefix); it must be empty otherwise.
+func (e *Engine) SystemRows(table, pattern string) ([][]any, error) {
+	tab, ok := e.core.SystemCatalog().Lookup(table)
+	if !ok {
+		return nil, fmt.Errorf("scsq: no system table %q (try SystemTables)", table)
+	}
+	if pattern != "" && !tab.TakesPattern {
+		return nil, fmt.Errorf("scsq: system table %s takes no pattern", tab.Name)
+	}
+	rows, err := tab.Snap(pattern)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]any, len(rows))
+	for i, r := range rows {
+		out[i] = append([]any(nil), r.Vals...)
+	}
+	return out, nil
+}
