@@ -1,9 +1,10 @@
-package scsq
+package scsq_test
 
 import (
 	"fmt"
 	"testing"
 
+	"scsq"
 	"scsq/internal/bench"
 	"scsq/internal/fft"
 	"scsq/internal/marshal"
@@ -152,7 +153,7 @@ func BenchmarkTorusRoute(b *testing.B) {
 // Figure 5 query at a small workload.
 func BenchmarkQueryEndToEnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		eng, err := New(WithMPIBufferBytes(10_000))
+		eng, err := scsq.New(scsq.WithMPIBufferBytes(10_000))
 		if err != nil {
 			b.Fatal(err)
 		}

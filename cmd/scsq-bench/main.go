@@ -16,6 +16,8 @@
 //	scsq-bench -fig soak -tiny        # single-seed soak (CI)
 //	scsq-bench -fig sysq              # system catalog: snapshot/query latency + non-perturbation gate → BENCH_sysq.json
 //	scsq-bench -fig sysq -tiny        # seconds-scale catalog smoke (CI)
+//	scsq-bench -fig serve             # serving layer: 1000 concurrent TCP conns, frame accounting → BENCH_serve.json
+//	scsq-bench -fig serve -tiny       # 50-connection smoke (CI)
 //	scsq-bench -fig all -csv          # everything, machine readable
 //	scsq-bench -fig 15 -paper-scale   # the paper's 100 × 3 MB arrays
 //	scsq-bench -perf                  # data-plane microbenchmarks → BENCH_dataplane.json
@@ -45,11 +47,12 @@ func main() {
 
 func run() error {
 	var (
-		fig        = flag.String("fig", "all", "figure to regenerate: 6, 8, 15, ablation, udp, mt, vkernel, soak, sysq or all")
-		tiny       = flag.Bool("tiny", false, "smoke sizing for -fig vkernel (seconds-scale), -fig soak (single seed) and -fig sysq")
+		fig        = flag.String("fig", "all", "figure to regenerate: 6, 8, 15, ablation, udp, mt, vkernel, soak, sysq, serve or all")
+		tiny       = flag.Bool("tiny", false, "smoke sizing for -fig vkernel (seconds-scale), -fig soak (single seed), -fig sysq and -fig serve (50 conns)")
 		vkernelOut = flag.String("vkernel-out", "BENCH_vkernel.json", "file the -fig vkernel report is written to")
 		soakOut    = flag.String("soak-out", "BENCH_soak.json", "file the -fig soak report is written to")
 		sysqOut    = flag.String("sysq-out", "BENCH_sysq.json", "file the -fig sysq report is written to")
+		serveOut   = flag.String("serve-out", "BENCH_serve.json", "file the -fig serve report is written to")
 		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
 		paperScale = flag.Bool("paper-scale", false, "use the paper's 100 × 3 MB arrays (slow)")
 		repeats    = flag.Int("repeats", 5, "measurement repetitions per point")
@@ -255,6 +258,32 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(out, "wrote %s\n", *sysqOut)
+		fmt.Fprintln(out)
+	}
+	if want("serve") {
+		cfg := bench.DefaultServe()
+		if *tiny {
+			cfg = bench.TinyServe()
+		}
+		report, err := bench.RunServe(cfg)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteServe(out, report); err != nil {
+			return err
+		}
+		f, err := os.Create(*serveOut)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteServeJSON(f, report); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *serveOut)
 		fmt.Fprintln(out)
 	}
 	if want("15") {

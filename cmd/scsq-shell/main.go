@@ -4,7 +4,16 @@
 //
 //	scsq-shell -e "select extract(b) from sp a, sp b where ...;"
 //	scsq-shell queries.scsql
-//	scsq-shell            # REPL on stdin
+//	scsq-shell                        # REPL on an in-process engine
+//	scsq-shell -connect 10.0.0.7:9292 # REPL against a remote scsq-server
+//
+// With -connect the shell speaks the SCSQL wire protocol to an scsq-server
+// instead of embedding an engine: statements run as remote scheduler
+// sessions with results streamed back incrementally, and the same meta
+// commands work against the server's catalog (including sys_conns, the
+// serving layer's own table). Engine-construction flags (-mpibuf, -single,
+// -realtcp) and the local-only -utilization/-explain reports apply only to
+// the in-process mode.
 //
 // Each query prints its result elements, the virtual makespan, and — with
 // -payload — the measured streaming bandwidth.
@@ -13,13 +22,13 @@
 // from the system catalog (the same sys_* tables SCSQL queries directly):
 // "\stats [pattern]" prints sys_metrics rows, filtered by a SQL-LIKE
 // pattern ('%' anywhere; a plain string is a prefix); a session id
-// ("\stats q3" or "\stats @q3") scopes the dump to that query's metrics.
-// The registry accumulates across statements, so \stats after a query
-// reports that query's totals. "\ps" prints sys_sessions (the scheduler's
-// session table), "\d [table]" lists catalog tables or one table's schema,
-// and "\cancel <qid>" cancels a session — queries submitted through the
-// SCSQL surface run as scheduler sessions (see ps() and cancel() in SCSQL
-// itself).
+// ("\stats q3" or "\stats @q3") scopes the dump to that query's metrics
+// (in-process mode only). The registry accumulates across statements, so
+// \stats after a query reports that query's totals. "\ps" prints
+// sys_sessions (the scheduler's session table), "\d [table]" lists catalog
+// tables or one table's schema, and "\cancel <qid>" cancels a session —
+// queries submitted through the SCSQL surface run as scheduler sessions
+// (see ps() and cancel() in SCSQL itself).
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"time"
 
 	"scsq"
+	"scsq/internal/server/client"
 )
 
 func main() {
@@ -46,6 +56,8 @@ func main() {
 func run() error {
 	var (
 		exec    = flag.String("e", "", "SCSQL statements to execute (';'-separated)")
+		connect = flag.String("connect", "", "host:port of an scsq-server to run against (default: in-process engine)")
+		token   = flag.String("token", "", "auth token for -connect handshakes")
 		payload = flag.Int64("payload", 0, "payload bytes for bandwidth reporting (0 = no bandwidth line)")
 		mpiBuf  = flag.Int("mpibuf", 64*1024, "MPI driver send-buffer size in bytes")
 		single  = flag.Bool("single", false, "use single-buffered MPI drivers")
@@ -55,20 +67,30 @@ func run() error {
 	)
 	flag.Parse()
 
-	opts := []scsq.Option{scsq.WithMPIBufferBytes(*mpiBuf)}
-	if *single {
-		opts = append(opts, scsq.WithSingleBuffering())
+	sh := &shell{out: os.Stdout}
+	if *connect != "" {
+		cli, err := client.Dial(*connect, client.Options{Token: *token})
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		sh.exec = &remoteExec{cli: cli, payload: *payload}
+		sh.banner = fmt.Sprintf("connected to %s (%s) as %s", *connect, cli.ServerName, cli.ConnID)
+	} else {
+		opts := []scsq.Option{scsq.WithMPIBufferBytes(*mpiBuf)}
+		if *single {
+			opts = append(opts, scsq.WithSingleBuffering())
+		}
+		if *realNet {
+			opts = append(opts, scsq.WithRealTCP())
+		}
+		eng, err := scsq.New(opts...)
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		sh = newLocalShell(eng, *payload, *util, *explain, os.Stdout)
 	}
-	if *realNet {
-		opts = append(opts, scsq.WithRealTCP())
-	}
-	eng, err := scsq.New(opts...)
-	if err != nil {
-		return err
-	}
-	defer eng.Close()
-
-	sh := &shell{eng: eng, payload: *payload, util: *util, explain: *explain, out: os.Stdout}
 
 	if *exec != "" {
 		return sh.runSource(*exec)
@@ -88,12 +110,39 @@ func run() error {
 	return sh.repl(os.Stdin)
 }
 
+// executor abstracts where statements run — the in-process engine or a
+// remote scsq-server — so the REPL and meta commands are mode-agnostic.
+type executor interface {
+	// Execute runs one SCSQL statement and writes its results to out.
+	Execute(stmt string, out io.Writer) error
+	// Tables lists the system catalog.
+	Tables() ([]tableDesc, error)
+	// Rows snapshots one catalog table: column names plus value rows.
+	Rows(table, pattern string) ([]string, [][]any, error)
+	// Cancel cancels a scheduler session by id.
+	Cancel(id string) error
+}
+
+// tableDesc is one catalog table as the shell renders it.
+type tableDesc struct {
+	Name, Doc, Schema string
+	TakesPattern      bool
+}
+
 type shell struct {
-	eng     *scsq.Engine
-	payload int64
-	util    int
-	explain bool
-	out     io.Writer
+	exec   executor
+	eng    *scsq.Engine // non-nil in-process only: enables @qid-scoped \stats
+	banner string
+	out    io.Writer
+}
+
+// newLocalShell wires a shell around an in-process engine.
+func newLocalShell(eng *scsq.Engine, payload int64, util int, explain bool, out io.Writer) *shell {
+	return &shell{
+		exec: &localExec{eng: eng, payload: payload, util: util, explain: explain},
+		eng:  eng,
+		out:  out,
+	}
 }
 
 // runSource executes every ';'-terminated statement in src.
@@ -109,6 +158,9 @@ func (s *shell) runSource(src string) error {
 // repl reads statements from r until EOF, reporting errors without exiting.
 func (s *shell) repl(r io.Reader) error {
 	fmt.Fprintln(s.out, "SCSQ shell — terminate statements with ';', Ctrl-D to exit.")
+	if s.banner != "" {
+		fmt.Fprintln(s.out, "--", s.banner)
+	}
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 1024*1024), 16*1024*1024)
 	var pending strings.Builder
@@ -148,12 +200,25 @@ func (s *shell) execute(stmt string) error {
 	if strings.HasPrefix(stmt, `\`) {
 		return s.meta(stmt)
 	}
-	res, err := s.eng.Exec(stmt + ";")
+	return s.exec.Execute(stmt, s.out)
+}
+
+// localExec runs statements on an embedded engine, one at a time with a
+// reset in between — the original shell behavior.
+type localExec struct {
+	eng     *scsq.Engine
+	payload int64
+	util    int
+	explain bool
+}
+
+func (l *localExec) Execute(stmt string, out io.Writer) error {
+	res, err := l.eng.Exec(stmt + ";")
 	if err != nil {
 		return err
 	}
 	if res.Defined != "" {
-		fmt.Fprintf(s.out, "defined function %s\n", res.Defined)
+		fmt.Fprintf(out, "defined function %s\n", res.Defined)
 		return nil
 	}
 	els, err := res.Stream.Drain()
@@ -161,30 +226,129 @@ func (s *shell) execute(stmt string) error {
 		return err
 	}
 	for _, el := range els {
-		fmt.Fprintf(s.out, "%v\n", formatValue(el.Value))
+		fmt.Fprintf(out, "%v\n", formatValue(el.Value))
 	}
-	fmt.Fprintf(s.out, "-- %d element(s), virtual makespan %v\n", len(els), res.Stream.Makespan())
-	if s.payload > 0 {
-		fmt.Fprintf(s.out, "-- bandwidth %.1f Mbps over %d payload bytes\n",
-			res.Stream.BandwidthMbps(s.payload), s.payload)
+	fmt.Fprintf(out, "-- %d element(s), virtual makespan %v\n", len(els), res.Stream.Makespan())
+	if l.payload > 0 {
+		fmt.Fprintf(out, "-- bandwidth %.1f Mbps over %d payload bytes\n",
+			res.Stream.BandwidthMbps(l.payload), l.payload)
 	}
-	if s.util > 0 {
-		fmt.Fprintf(s.out, "-- busiest resources:\n")
-		for _, u := range s.eng.Utilization(res.Stream, s.util) {
-			fmt.Fprintf(s.out, "--   %-12s %12v %6.1f%%\n", u.Resource, u.Busy, u.Share*100)
+	if l.util > 0 {
+		fmt.Fprintf(out, "-- busiest resources:\n")
+		for _, u := range l.eng.Utilization(res.Stream, l.util) {
+			fmt.Fprintf(out, "--   %-12s %12v %6.1f%%\n", u.Resource, u.Busy, u.Share*100)
 		}
 	}
-	if s.explain {
-		fmt.Fprintf(s.out, "-- communication topology:\n")
-		for _, ed := range s.eng.Topology() {
-			fmt.Fprintf(s.out, "--   %-12s (%s) --%s--> %s (%s)\n", ed.Producer, ed.From, ed.Carrier, ed.Consumer, ed.To)
+	if l.explain {
+		fmt.Fprintf(out, "-- communication topology:\n")
+		for _, ed := range l.eng.Topology() {
+			fmt.Fprintf(out, "--   %-12s (%s) --%s--> %s (%s)\n", ed.Producer, ed.From, ed.Carrier, ed.Consumer, ed.To)
 		}
 	}
-	if err := s.eng.Reset(); err != nil {
+	if err := l.eng.Reset(); err != nil {
 		return fmt.Errorf("reset after statement: %w", err)
 	}
 	return nil
 }
+
+func (l *localExec) Tables() ([]tableDesc, error) {
+	var out []tableDesc
+	for _, tab := range l.eng.SystemTables() {
+		out = append(out, tableDesc{Name: tab.Name, Doc: tab.Doc, Schema: tab.Schema(), TakesPattern: tab.TakesPattern})
+	}
+	return out, nil
+}
+
+func (l *localExec) Rows(table, pattern string) ([]string, [][]any, error) {
+	var cols []string
+	for _, tab := range l.eng.SystemTables() {
+		if tab.Name == table {
+			for _, c := range tab.Columns {
+				cols = append(cols, c.Name)
+			}
+		}
+	}
+	rows, err := l.eng.SystemRows(table, pattern)
+	return cols, rows, err
+}
+
+func (l *localExec) Cancel(id string) error { return l.eng.CancelSession(id) }
+
+// remoteExec runs statements as sessions of a remote scsq-server; results
+// stream back incrementally and print as they arrive.
+type remoteExec struct {
+	cli     *client.Client
+	payload int64
+}
+
+func (r *remoteExec) Execute(stmt string, out io.Writer) error {
+	h, err := r.cli.Submit(stmt+";", 0)
+	if err != nil {
+		return err
+	}
+	n := 0
+	for {
+		row, ok, fin := h.Recv()
+		if ok {
+			fmt.Fprintf(out, "%v\n", formatValue(row.Value))
+			n++
+			continue
+		}
+		if fin == nil {
+			return fmt.Errorf("connection lost mid-stream: %v", r.cli.Err())
+		}
+		if fin.Err != "" {
+			return fmt.Errorf("session %s %s: %s", h.ID, fin.State, fin.Err)
+		}
+		fmt.Fprintf(out, "-- %d element(s), virtual makespan %v, session %s %s\n",
+			n, fin.Makespan, h.ID, fin.State)
+		if r.payload > 0 && fin.Makespan > 0 {
+			mbps := float64(r.payload) * 8 / fin.Makespan.Seconds() / 1e6
+			fmt.Fprintf(out, "-- bandwidth %.1f Mbps over %d payload bytes\n", mbps, r.payload)
+		}
+		return nil
+	}
+}
+
+func (r *remoteExec) Tables() ([]tableDesc, error) {
+	tabs, err := r.cli.Tables()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]tableDesc, len(tabs))
+	for i, t := range tabs {
+		var b strings.Builder
+		b.WriteByte('(')
+		for j, c := range t.Columns {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c[0] + " " + c[1])
+		}
+		b.WriteByte(')')
+		out[i] = tableDesc{Name: t.Name, Doc: t.Doc, Schema: b.String()}
+	}
+	return out, nil
+}
+
+func (r *remoteExec) Rows(table, pattern string) ([]string, [][]any, error) {
+	tabs, err := r.cli.Tables()
+	if err != nil {
+		return nil, nil, err
+	}
+	var cols []string
+	for _, t := range tabs {
+		if t.Name == table {
+			for _, c := range t.Columns {
+				cols = append(cols, c[0])
+			}
+		}
+	}
+	rows, err := r.cli.Snap(table, pattern)
+	return cols, rows, err
+}
+
+func (r *remoteExec) Cancel(id string) error { return r.cli.CancelID(id) }
 
 // meta executes a backslash shell command.
 func (s *shell) meta(cmd string) error {
@@ -206,7 +370,11 @@ func (s *shell) meta(cmd string) error {
 		if len(fields) > 1 {
 			return s.describeTable(fields[1])
 		}
-		for _, tab := range s.eng.SystemTables() {
+		tabs, err := s.exec.Tables()
+		if err != nil {
+			return err
+		}
+		for _, tab := range tabs {
 			name := tab.Name + "()"
 			if tab.TakesPattern {
 				name = tab.Name + "([like])"
@@ -218,7 +386,7 @@ func (s *shell) meta(cmd string) error {
 		if len(fields) != 2 {
 			return fmt.Errorf(`\cancel takes one query id (try \ps)`)
 		}
-		if err := s.eng.CancelSession(fields[1]); err != nil {
+		if err := s.exec.Cancel(fields[1]); err != nil {
 			return err
 		}
 		fmt.Fprintf(s.out, "-- cancelled %s\n", fields[1])
@@ -231,11 +399,15 @@ func (s *shell) meta(cmd string) error {
 // describeTable prints one system table's schema from the live registry.
 func (s *shell) describeTable(name string) error {
 	name = strings.TrimSuffix(strings.ToLower(name), "()")
-	for _, tab := range s.eng.SystemTables() {
+	tabs, err := s.exec.Tables()
+	if err != nil {
+		return err
+	}
+	for _, tab := range tabs {
 		if tab.Name != name {
 			continue
 		}
-		fmt.Fprintf(s.out, "%s %s\n", tab.Name, tab.Schema())
+		fmt.Fprintf(s.out, "%s %s\n", tab.Name, tab.Schema)
 		fmt.Fprintf(s.out, "-- %s\n", tab.Doc)
 		if tab.TakesPattern {
 			fmt.Fprintf(s.out, "-- takes an optional SQL-LIKE pattern ('%%' anywhere; no '%%' = prefix)\n")
@@ -249,15 +421,7 @@ func (s *shell) describeTable(name string) error {
 // backing of \ps (and the same rows ps() and sys_sessions() stream in
 // SCSQL).
 func (s *shell) printTable(table, pattern string) error {
-	var cols []string
-	for _, tab := range s.eng.SystemTables() {
-		if tab.Name == table {
-			for _, c := range tab.Columns {
-				cols = append(cols, c.Name)
-			}
-		}
-	}
-	rows, err := s.eng.SystemRows(table, pattern)
+	cols, rows, err := s.exec.Rows(table, pattern)
 	if err != nil {
 		return err
 	}
@@ -282,13 +446,17 @@ func (s *shell) printTable(table, pattern string) error {
 // '%' anywhere, a plain string is a prefix). A prefix of the form @q3 (or
 // a bare session id like q3) instead scopes the dump to that query's
 // metrics via the snapshot API — the per-session view of a multi-tenant
-// engine.
+// engine, available in-process only.
 func (s *shell) printStats(pattern string) {
 	if qid := queryScope(pattern); qid != "" {
+		if s.eng == nil {
+			fmt.Fprintln(s.out, "error: session-scoped \\stats needs an in-process engine (not -connect)")
+			return
+		}
 		s.printQueryStats(qid)
 		return
 	}
-	rows, err := s.eng.SystemRows("sys_metrics", pattern)
+	_, rows, err := s.exec.Rows("sys_metrics", pattern)
 	if err != nil {
 		fmt.Fprintln(s.out, "error:", err)
 		return

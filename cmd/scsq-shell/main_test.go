@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"scsq"
+	"scsq/internal/server"
+	"scsq/internal/server/client"
 )
 
 func TestSplitStatements(t *testing.T) {
@@ -43,7 +45,7 @@ func TestShellExecute(t *testing.T) {
 	}
 	defer eng.Close()
 	var sb strings.Builder
-	sh := &shell{eng: eng, payload: 1000, util: 2, out: &sb}
+	sh := newLocalShell(eng, 1000, 2, false, &sb)
 	err = sh.runSource(`
 create function f(integer n) -> stream as select extract(a) from sp a where a=sp(iota(1,n), 'be');
 select f(2);`)
@@ -65,7 +67,7 @@ func TestShellREPLRecoversFromErrors(t *testing.T) {
 	}
 	defer eng.Close()
 	var sb strings.Builder
-	sh := &shell{eng: eng, out: &sb}
+	sh := newLocalShell(eng, 0, 0, false, &sb)
 	input := "select nonsense(;\nselect extract(a) from sp a where a=sp(iota(1,1), 'be');\n"
 	if err := sh.repl(strings.NewReader(input)); err != nil {
 		t.Fatal(err)
@@ -99,7 +101,7 @@ func TestShellStatsMeta(t *testing.T) {
 	}
 	defer eng.Close()
 	var sb strings.Builder
-	sh := &shell{eng: eng, out: &sb}
+	sh := newLocalShell(eng, 0, 0, false, &sb)
 
 	// \stats on a fresh engine: nothing recorded yet.
 	if err := sh.execute(`\stats link.`); err != nil {
@@ -145,7 +147,7 @@ func TestShellPSAndQueryScopedStats(t *testing.T) {
 	}
 	defer eng.Close()
 	var sb strings.Builder
-	sh := &shell{eng: eng, out: &sb}
+	sh := newLocalShell(eng, 0, 0, false, &sb)
 
 	ses, err := eng.Submit(`select extract(a) from sp a where a=sp(iota(1,3), 'be');`)
 	if err != nil {
@@ -188,7 +190,7 @@ func TestShellDescribeMeta(t *testing.T) {
 	}
 	defer eng.Close()
 	var sb strings.Builder
-	sh := &shell{eng: eng, out: &sb}
+	sh := newLocalShell(eng, 0, 0, false, &sb)
 
 	// \d lists every catalog table from the live registry.
 	if err := sh.execute(`\d`); err != nil {
@@ -213,5 +215,69 @@ func TestShellDescribeMeta(t *testing.T) {
 	}
 	if err := sh.execute(`\d sys_bogus`); err == nil {
 		t.Fatal("\\d of unknown table succeeded")
+	}
+}
+
+func TestShellRemoteMode(t *testing.T) {
+	eng, err := scsq.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv := server.New(eng, server.Config{})
+	addr, err := srv.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := client.Dial(addr.String(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	var sb strings.Builder
+	sh := &shell{exec: &remoteExec{cli: cli, payload: 1000}, out: &sb}
+
+	// Statements run as remote sessions with incremental results.
+	err = sh.runSource(`select extract(a) from sp a where a=sp(iota(1,3), 'be');`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"1", "2", "3", "3 element(s)", "makespan", "bandwidth", "done"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("remote execute output missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+
+	// Meta commands render from the server's catalog — including the
+	// serving layer's own sys_conns table.
+	if err := sh.execute(`\d`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "sys_conns()") {
+		t.Errorf("\\d over the wire missing sys_conns:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := sh.execute(`\ps`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "done") {
+		t.Errorf("remote \\ps missing the finished session:\n%s", sb.String())
+	}
+	sb.Reset()
+
+	// Session-scoped stats are in-process only; remote mode says so.
+	sh.printStats("@q1")
+	if !strings.Contains(sb.String(), "in-process") {
+		t.Errorf("remote @qid \\stats should explain itself:\n%s", sb.String())
+	}
+	sb.Reset()
+
+	// Errors surface with the remote session's terminal state.
+	if err := sh.execute(`select extract(a) from sp a where a=sp(gen_array(8, 1), 'bg', 99)`); err == nil {
+		t.Fatal("remote failing statement did not error")
 	}
 }

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunServeTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve bench skipped in -short")
+	}
+	cfg := TinyServe()
+	report, err := RunServe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.PeakConns != cfg.Conns+1 {
+		t.Errorf("peak conns %d, want %d", report.PeakConns, cfg.Conns+1)
+	}
+	if want := cfg.Conns * cfg.PerConn; report.Sessions != want {
+		t.Errorf("sessions %d, want %d", report.Sessions, want)
+	}
+	if report.Dropped != 0 || report.Duplicated != 0 {
+		t.Errorf("frame accounting: %d dropped, %d duplicated", report.Dropped, report.Duplicated)
+	}
+	if report.TTFBP99Ns < report.TTFBP50Ns {
+		t.Errorf("ttfb p99 %d < p50 %d", report.TTFBP99Ns, report.TTFBP50Ns)
+	}
+	var sb strings.Builder
+	if err := WriteServe(&sb, report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Serving layer") {
+		t.Errorf("text table:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := WriteServeJSON(&sb, report); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"conns"`, `"dropped_frames"`, `"ttfb_p99_ns"`, `"gomaxprocs"`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("JSON missing %s:\n%s", want, sb.String())
+		}
+	}
+}

@@ -22,7 +22,16 @@ type ClientStream struct {
 	elements []sqep.Element
 	makespan vtime.Time
 	err      error
+	obs      func(sqep.Element)
 }
+
+// SetElementObserver registers fn to be invoked synchronously from Drain's
+// consumption loop with each result element as it reaches the client
+// manager, before Drain returns the full slice. It is how the scheduler
+// streams a session's results incrementally (Session.Results, the network
+// serving layer) without waiting for the terminal state. It must be set
+// before Drain; fn must not call back into the stream.
+func (s *ClientStream) SetElementObserver(fn func(sqep.Element)) { s.obs = fn }
 
 // QueryID returns the id of the query this stream consumes ("q1", ...).
 func (s *ClientStream) QueryID() string { return s.qc.id }
@@ -136,6 +145,9 @@ func (s *ClientStream) Drain() ([]sqep.Element, error) {
 			}
 			s.elements = append(s.elements, el)
 			s.makespan = vtime.MaxTime(s.makespan, el.At)
+			if s.obs != nil {
+				s.obs(el)
+			}
 		}
 	}
 	if err := s.recv.Close(); err != nil {

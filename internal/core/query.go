@@ -45,6 +45,21 @@ type queryCtx struct {
 	finished  bool
 	cancelled bool
 	cause     error
+	// cancelCh closes when the query is cancelled. Poisoning inboxes only
+	// reaches operators blocked on stream frames; client-plan operators
+	// blocked elsewhere (a live-delta stream waiting on a vtime tick) select
+	// on this channel instead.
+	cancelCh chan struct{}
+}
+
+// cancelSignal exposes the cancel channel and the planted cause for
+// operators that need an out-of-band cancellation signal.
+func (qc *queryCtx) cancelSignal() (<-chan struct{}, func() error) {
+	return qc.cancelCh, func() error {
+		qc.mu.Lock()
+		defer qc.mu.Unlock()
+		return qc.cause
+	}
 }
 
 func (qc *queryCtx) addSP(sp *SP) {
@@ -100,6 +115,7 @@ func (qc *queryCtx) cancel(cause error) {
 	qc.cause = cause
 	sps := append([]*SP(nil), qc.sps...)
 	qc.mu.Unlock()
+	close(qc.cancelCh)
 	for _, sp := range sps {
 		sp.proc().Fail(cause)
 	}
@@ -182,12 +198,29 @@ func (e *Engine) BeginQuery() (*Query, error) {
 func (e *Engine) newQueryLocked() *queryCtx {
 	e.qSeq++
 	qc := &queryCtx{
-		eng:   e,
-		id:    fmt.Sprintf("q%d", e.qSeq),
-		pacer: vtime.NewPacer(e.horizon),
+		eng:      e,
+		id:       fmt.Sprintf("q%d", e.qSeq),
+		pacer:    vtime.NewPacer(e.horizon),
+		cancelCh: make(chan struct{}),
 	}
 	e.queries[qc.id] = qc
 	return qc
+}
+
+// BuildCancelSignal returns the cancellation signal of the query currently
+// being built: a channel that closes when that query is cancelled, and an
+// accessor for the planted cause. Plan compilers wire it into operators
+// that block outside the stream graph (live-delta streams waiting on a
+// vtime tick), which inbox poisoning cannot reach. Outside a build it
+// returns a nil channel, which never fires in a select.
+func (e *Engine) BuildCancelSignal() (<-chan struct{}, func() error) {
+	e.mu.Lock()
+	qc := e.cur
+	e.mu.Unlock()
+	if qc == nil {
+		return nil, nil
+	}
+	return qc.cancelSignal()
 }
 
 // BuildAs runs build with q as the engine's build target: every SP and

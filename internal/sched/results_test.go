@@ -1,0 +1,148 @@
+package sched_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"scsq/internal/core"
+	"scsq/internal/sched"
+)
+
+// TestResultsPartialBeforeCompletion proves the incremental contract the
+// serving layer depends on: elements of a live session are readable from
+// Results() strictly before the session reaches a terminal state. A
+// streamof(sys_sessions()) live-delta stream never terminates on its own,
+// so observing even one element while State() is non-final is a
+// deterministic assertion, not a race.
+func TestResultsPartialBeforeCompletion(t *testing.T) {
+	e, err := core.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	s := sched.New(e, nil)
+	defer s.Close()
+
+	q, err := s.Submit(`select streamof(sys_sessions());`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := q.Results()
+	el, ok, err := it.Next()
+	if err != nil || !ok {
+		t.Fatalf("Next: ok=%v err=%v, want a first element", ok, err)
+	}
+	if el.Value == nil {
+		t.Fatalf("first element has no value")
+	}
+	if st := q.State(); st.Final() {
+		t.Fatalf("session already %v after first element; partial results must precede completion", st)
+	}
+
+	// The live stream ends only through cancellation; the iterator must
+	// then unblock with the terminal error.
+	if err := q.Cancel(); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	for {
+		_, ok, err := it.Next()
+		if ok {
+			continue // deltas raced the cancel; keep draining
+		}
+		if !errors.Is(err, sched.ErrCancelled) {
+			t.Fatalf("terminal error = %v, want ErrCancelled", err)
+		}
+		break
+	}
+	if _, err := q.Wait(); !errors.Is(err, sched.ErrCancelled) {
+		t.Fatalf("Wait error = %v, want ErrCancelled", err)
+	}
+}
+
+// TestResultsMatchWait proves Results and Wait deliver identical element
+// sequences for an ordinary finite query, and that a second iterator
+// replays from the first element.
+func TestResultsMatchWait(t *testing.T) {
+	e, err := core.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	s := sched.New(e, nil)
+	defer s.Close()
+
+	q, err := s.Submit(`select extract(a) from sp a where a=sp(gen_array(256, 8), 'bg', 0);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	els, err := q.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(els) != 8 {
+		t.Fatalf("Wait returned %d elements, want 8", len(els))
+	}
+	for pass := 0; pass < 2; pass++ {
+		it := q.Results()
+		for i := range els {
+			el, ok, err := it.Next()
+			if err != nil || !ok {
+				t.Fatalf("pass %d element %d: ok=%v err=%v", pass, i, ok, err)
+			}
+			if el.At != els[i].At || el.Src != els[i].Src {
+				t.Fatalf("pass %d element %d: (%v,%q) != Wait's (%v,%q)",
+					pass, i, el.At, el.Src, els[i].At, els[i].Src)
+			}
+		}
+		if _, ok, err := it.Next(); ok || err != nil {
+			t.Fatalf("pass %d: iterator did not end cleanly: ok=%v err=%v", pass, ok, err)
+		}
+	}
+}
+
+// TestResultsEndWithoutRunning proves iterators of sessions that never ran
+// (definitions, failed builds) unblock promptly with the terminal outcome.
+// The queued-expiry path is covered via Wait — itself a Results reader — in
+// TestQueueDeadlineExpiresQueuedSession.
+func TestResultsEndWithoutRunning(t *testing.T) {
+	e, err := core.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	s := sched.New(e, nil)
+	defer s.Close()
+
+	// A definition session is Done at submit; its iterator is empty.
+	def, err := s.Submit(`create function f() -> stream as select extract(a) from sp a where a=sp(gen_array(8,1),'bg',0);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := def.Results().Next(); ok || err != nil {
+		t.Fatalf("definition iterator: ok=%v err=%v, want empty clean end", ok, err)
+	}
+
+	// A session whose build fails (allocation out of range) finalizes via
+	// finishQueued; its iterator must unblock with the build error.
+	bad, err := s.Submit(`select count(extract(a)) from sp a where a=sp(gen_array(8, 1), 'bg', 99);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := bad.Results().Next()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("failed-build iterator ended without the build error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("iterator of a failed-build session never unblocked")
+	}
+	if st := bad.State(); st != sched.Failed {
+		t.Fatalf("state = %v, want Failed", st)
+	}
+}

@@ -342,6 +342,11 @@ type Query struct {
 	submitted     time.Time
 	admitWait     time.Duration
 	done          chan struct{}
+
+	// res buffers result elements as the drain delivers them, for the
+	// incremental Results iterators (see results.go). Lazily built.
+	resOnce sync.Once
+	res     *resultsState
 }
 
 // ID returns the engine-assigned session id ("q1", "q2", ...). It tags the
@@ -461,6 +466,7 @@ func (s *Scheduler) Submit(src string, opts ...SubmitOption) (*Query, error) {
 			return nil, err
 		}
 		q.state = Done
+		q.endResults()
 		close(q.done)
 		s.mu.Lock()
 		s.seq++
@@ -707,6 +713,7 @@ func (s *Scheduler) finishQueued(q *Query, st State, err error, c *metrics.Count
 	q.state = st
 	q.err = err
 	q.mu.Unlock()
+	q.endResults()
 	close(q.done)
 	c.Inc()
 }
@@ -721,6 +728,7 @@ func (s *Scheduler) run(q *Query) {
 	stream := q.stream
 	q.mu.Unlock()
 
+	stream.SetElementObserver(q.pushResult)
 	els, err := stream.Drain()
 
 	q.mu.Lock()
@@ -746,6 +754,7 @@ func (s *Scheduler) run(q *Query) {
 	}
 	st := q.state
 	q.mu.Unlock()
+	q.endResults()
 	close(q.done)
 
 	s.eng.Metrics().Gauge("sched.nodes." + q.ID()).Set(0)
@@ -795,6 +804,7 @@ func (s *Scheduler) Cancel(id string) error {
 			q.state = Cancelled
 			q.err = ErrCancelled
 			q.mu.Unlock()
+			q.endResults()
 			close(q.done)
 			s.mCancelled.Inc()
 			s.admit()

@@ -1,0 +1,634 @@
+// Package client is the typed Go client of the SCSQL wire protocol: the
+// programmatic face of scsq-server used by the remote shell, the serve
+// load generator, and the server's own tests. One Client multiplexes any
+// number of pipelined sessions over a single connection; a background
+// reader dispatches tagged frames to per-session queues.
+package client
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"scsq/internal/server/wire"
+)
+
+// Errors of the client.
+var (
+	// ErrClosed reports an operation on a closed client (or one whose
+	// connection died; Err has the cause).
+	ErrClosed = errors.New("client: connection closed")
+	// ErrRejected reports a handshake the server refused.
+	ErrRejected = errors.New("client: handshake rejected")
+)
+
+// Options parameterize Dial. The zero value is ready to use.
+type Options struct {
+	// Token is the handshake auth token.
+	Token string
+	// MaxFrame bounds inbound frames (0: wire.DefaultMaxFrame).
+	MaxFrame int
+	// DialTimeout bounds the TCP connect (0: 10s).
+	DialTimeout time.Duration
+	// TLS, when set, dials TLS with this config.
+	TLS *tls.Config
+	// RecvBuffer is the per-session inbound row queue (0: 256). The reader
+	// drops a session's rows only after Cancel — never silently.
+	RecvBuffer int
+}
+
+// Row is one result element of a remote session.
+type Row struct {
+	// At is the element's virtual timestamp offset.
+	At time.Duration
+	// Source names the producing stream process, when it crossed a merge.
+	Source string
+	// Value is the wire-lowered element value (int64, float64, bool,
+	// string, []float64, []any).
+	Value any
+}
+
+// Done is the terminal record of a remote session.
+type Done struct {
+	// State is the session's final scheduler state ("done", "cancelled",
+	// "failed", "expired").
+	State string
+	// Err is the terminal error message, empty for a clean finish.
+	Err string
+	// Makespan is the session's virtual completion time.
+	Makespan time.Duration
+	// Rows is the server-side count of Row frames sent for this session —
+	// the frame-accounting ground truth the serve bench checks against.
+	Rows int64
+}
+
+// SessionHandle is the client side of one submitted statement. The rows
+// channel closes when the session ends — after the terminal record landed
+// (server Done frame) or the connection died (nil terminal record).
+type SessionHandle struct {
+	c   *Client
+	tag int64
+
+	// ID is the server-side session id ("q1", ...), filled by Submit.
+	ID string
+
+	rows chan Row
+
+	mu        sync.Mutex
+	cancelled bool
+	fin       *Done
+}
+
+// Client is one connection to an scsq-server.
+type Client struct {
+	nc net.Conn
+
+	wmu sync.Mutex // serializes writers (Submit, Cancel, Ping, ...)
+
+	mu       sync.Mutex
+	sessions map[int64]*SessionHandle
+	waiters  map[int64]chan result // tag → one-shot reply (OK/Error/SnapR)
+	tagSeq   int64
+	err      error
+	closed   bool
+
+	readerDone chan struct{}
+	recvBuf    int
+
+	// ServerName and ConnID are filled from the Accepted frame.
+	ServerName string
+	ConnID     string
+
+	// Draining is closed when the server announces a drain.
+	Draining  chan struct{}
+	drainOnce sync.Once
+	pongs     chan int64
+}
+
+// result is a one-shot reply to a tagged request.
+type result struct {
+	frame wire.Frame
+	err   error
+}
+
+// Dial connects, handshakes, and starts the reader.
+func Dial(addr string, opts Options) (*Client, error) {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 10 * time.Second
+	}
+	if opts.RecvBuffer <= 0 {
+		opts.RecvBuffer = 256
+	}
+	var nc net.Conn
+	var err error
+	if opts.TLS != nil {
+		nc, err = tls.DialWithDialer(&net.Dialer{Timeout: opts.DialTimeout}, "tcp", addr, opts.TLS)
+	} else {
+		nc, err = net.DialTimeout("tcp", addr, opts.DialTimeout)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(nc, wire.MsgHello, wire.MustBag(int64(wire.ProtoVersion), opts.Token)); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	r := wire.NewReader(nc, opts.MaxFrame)
+	nc.SetReadDeadline(time.Now().Add(opts.DialTimeout))
+	f, err := r.Next()
+	nc.SetReadDeadline(time.Time{})
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	c := &Client{
+		nc:         nc,
+		sessions:   make(map[int64]*SessionHandle),
+		waiters:    make(map[int64]chan result),
+		readerDone: make(chan struct{}),
+		Draining:   make(chan struct{}),
+		pongs:      make(chan int64, 8),
+	}
+	switch f.Type {
+	case wire.MsgAccepted:
+		fields, err := wire.DecodeBag(f.Payload, 3)
+		if err != nil {
+			nc.Close()
+			return nil, err
+		}
+		c.ServerName, _ = wire.Str(fields, 1)
+		c.ConnID, _ = wire.Str(fields, 2)
+	case wire.MsgError:
+		fields, err := wire.DecodeBag(f.Payload, 2)
+		msg := "unreadable error"
+		if err == nil {
+			msg, _ = wire.Str(fields, 1)
+		}
+		nc.Close()
+		return nil, fmt.Errorf("%w: %s", ErrRejected, msg)
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("%w: unexpected frame %#x", ErrRejected, f.Type)
+	}
+	c.recvBuf = opts.RecvBuffer
+	go c.readLoop(r)
+	return c, nil
+}
+
+// Submit sends one SCSQL statement and returns its session handle once the
+// server acknowledges it with the session id. Sessions pipeline freely: any
+// number may be in flight per connection.
+func (c *Client) Submit(stmt string, priority int) (*SessionHandle, error) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	c.tagSeq++
+	tag := c.tagSeq
+	h := &SessionHandle{
+		c:    c,
+		tag:  tag,
+		rows: make(chan Row, c.recvBuf),
+	}
+	ack := make(chan result, 1)
+	c.sessions[tag] = h
+	c.waiters[tag] = ack
+	c.mu.Unlock()
+
+	if err := c.write(wire.MsgSubmit, wire.MustBag(tag, stmt, int64(priority))); err != nil {
+		c.dropSession(tag)
+		return nil, err
+	}
+	res, err := c.await(ack)
+	if err != nil {
+		c.dropSession(tag)
+		return nil, err
+	}
+	switch res.frame.Type {
+	case wire.MsgSubmitted:
+		fields, err := wire.DecodeBag(res.frame.Payload, 2)
+		if err != nil {
+			c.dropSession(tag)
+			return nil, err
+		}
+		h.ID, _ = wire.Str(fields, 1)
+		return h, nil
+	case wire.MsgError:
+		c.dropSession(tag)
+		return nil, remoteErr(res.frame)
+	default:
+		c.dropSession(tag)
+		return nil, fmt.Errorf("client: unexpected reply %#x to submit", res.frame.Type)
+	}
+}
+
+// Recv returns the session's next result row. ok reports false at the end
+// of the stream, in which case the terminal Done record is returned — nil
+// only when the connection died before the session's Done frame arrived.
+func (h *SessionHandle) Recv() (Row, bool, *Done) {
+	row, ok := <-h.rows
+	if ok {
+		return row, true, nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Row{}, false, h.fin
+}
+
+// Wait drains the session to its terminal record, returning all rows.
+func (h *SessionHandle) Wait() ([]Row, Done, error) {
+	var rows []Row
+	for {
+		row, ok, d := h.Recv()
+		if !ok {
+			if d == nil {
+				return rows, Done{}, fmt.Errorf("%w: session torn down mid-stream", ErrClosed)
+			}
+			return rows, *d, nil
+		}
+		rows = append(rows, row)
+	}
+}
+
+// Cancel asks the server to cancel this session. Rows already in flight
+// may still arrive; the session ends with a cancelled Done record.
+func (h *SessionHandle) Cancel() error {
+	h.mu.Lock()
+	h.cancelled = true
+	h.mu.Unlock()
+	return h.c.request(wire.MsgCancel, wire.MustBag(h.tag, ""))
+}
+
+// CancelID cancels a session anywhere on the server by its session id
+// (cross-connection, like SCSQL's cancel('q3')).
+func (c *Client) CancelID(id string) error {
+	return c.request(wire.MsgCancel, wire.MustBag(int64(-1), id))
+}
+
+// Ping round-trips a nonce through the server.
+func (c *Client) Ping() error {
+	nonce := time.Now().UnixNano()
+	if err := c.write(wire.MsgPing, wire.MustBag(nonce)); err != nil {
+		return err
+	}
+	select {
+	case got := <-c.pongs:
+		if got != nonce {
+			return fmt.Errorf("client: pong nonce %d != %d", got, nonce)
+		}
+		return nil
+	case <-c.readerDone:
+		return c.Err()
+	case <-time.After(30 * time.Second):
+		return errors.New("client: ping timeout")
+	}
+}
+
+// Table describes one remote sys_* table.
+type Table struct {
+	Name    string
+	Doc     string
+	Columns [][2]string // name, type
+}
+
+// Tables lists the server's system catalog.
+func (c *Client) Tables() ([]Table, error) {
+	ack := c.addWaiter(-2) // tables replies carry no tag; -2 is their slot
+	defer c.removeWaiter(-2)
+	if err := c.write(wire.MsgTables, wire.MustBag()); err != nil {
+		return nil, err
+	}
+	res, err := c.await(ack)
+	if err != nil {
+		return nil, err
+	}
+	if res.frame.Type == wire.MsgError {
+		return nil, remoteErr(res.frame)
+	}
+	fields, err := wire.DecodeBag(res.frame.Payload, 1)
+	if err != nil {
+		return nil, err
+	}
+	n, err := wire.Int(fields, 0)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(fields)-1) != 3*n {
+		return nil, fmt.Errorf("%w: tables listing has %d fields for %d tables", wire.ErrBadPayload, len(fields)-1, n)
+	}
+	out := make([]Table, 0, n)
+	for i := 0; i < int(n); i++ {
+		name, err1 := wire.Str(fields, 1+3*i)
+		doc, err2 := wire.Str(fields, 2+3*i)
+		colsAny, ok := fields[3+3*i].([]any)
+		if err1 != nil || err2 != nil || !ok {
+			return nil, wire.ErrBadPayload
+		}
+		t := Table{Name: name, Doc: doc}
+		for _, cv := range colsAny {
+			pair, ok := cv.([]any)
+			if !ok || len(pair) != 2 {
+				return nil, wire.ErrBadPayload
+			}
+			cn, _ := pair[0].(string)
+			ct, _ := pair[1].(string)
+			t.Columns = append(t.Columns, [2]string{cn, ct})
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Snap fetches one snapshot of a sys_* table. Rows are wire-lowered
+// ([]any per row).
+func (c *Client) Snap(table, pattern string) ([][]any, error) {
+	c.mu.Lock()
+	c.tagSeq++
+	tag := c.tagSeq
+	c.mu.Unlock()
+	ack := c.addWaiter(tag)
+	defer c.removeWaiter(tag)
+	if err := c.write(wire.MsgSnap, wire.MustBag(tag, table, pattern)); err != nil {
+		return nil, err
+	}
+	res, err := c.await(ack)
+	if err != nil {
+		return nil, err
+	}
+	if res.frame.Type == wire.MsgError {
+		return nil, remoteErr(res.frame)
+	}
+	fields, err := wire.DecodeBag(res.frame.Payload, 2)
+	if err != nil {
+		return nil, err
+	}
+	bag, ok := fields[1].([]any)
+	if !ok {
+		return nil, wire.ErrBadPayload
+	}
+	rows := make([][]any, len(bag))
+	for i, rv := range bag {
+		row, ok := rv.([]any)
+		if !ok {
+			return nil, wire.ErrBadPayload
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// Err returns the connection's terminal error (nil while healthy).
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Kill closes the transport abruptly — no Goodbye, mid-frame if a write is
+// in flight. This is the misbehaving-client path the server must survive
+// (chaos and disconnect tests); in-flight sessions end with nil terminal
+// records.
+func (c *Client) Kill() {
+	c.nc.Close()
+	<-c.readerDone
+}
+
+// Close sends a Goodbye and closes the connection. In-flight sessions end
+// with ErrClosed-style terminal records.
+func (c *Client) Close() error {
+	c.wmu.Lock()
+	wire.WriteFrame(c.nc, wire.MsgGoodbye, wire.MustBag())
+	c.wmu.Unlock()
+	err := c.nc.Close()
+	<-c.readerDone
+	return err
+}
+
+// --- internals ---
+
+// write serializes one frame onto the connection.
+func (c *Client) write(typ byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := wire.WriteFrame(c.nc, typ, payload); err != nil {
+		c.fail(err)
+		return fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	return nil
+}
+
+// request sends a frame whose reply is a tagged OK/Error.
+func (c *Client) request(typ byte, payload []byte) error {
+	fields, err := wire.DecodeBag(payload, 1)
+	if err != nil {
+		return err
+	}
+	tag, _ := wire.Int(fields, 0)
+	ack := c.addWaiter(tag)
+	defer c.removeWaiter(tag)
+	if err := c.write(typ, payload); err != nil {
+		return err
+	}
+	res, err := c.await(ack)
+	if err != nil {
+		return err
+	}
+	if res.frame.Type == wire.MsgError {
+		return remoteErr(res.frame)
+	}
+	return nil
+}
+
+func (c *Client) addWaiter(tag int64) chan result {
+	ch := make(chan result, 1)
+	c.mu.Lock()
+	c.waiters[tag] = ch
+	c.mu.Unlock()
+	return ch
+}
+
+func (c *Client) removeWaiter(tag int64) {
+	c.mu.Lock()
+	delete(c.waiters, tag)
+	c.mu.Unlock()
+}
+
+// await blocks for a one-shot reply or connection death.
+func (c *Client) await(ch chan result) (result, error) {
+	select {
+	case res := <-ch:
+		return res, res.err
+	case <-c.readerDone:
+		return result{}, fmt.Errorf("%w: %v", ErrClosed, c.Err())
+	}
+}
+
+func (c *Client) dropSession(tag int64) {
+	c.mu.Lock()
+	delete(c.sessions, tag)
+	delete(c.waiters, tag)
+	c.mu.Unlock()
+}
+
+// fail records the terminal error once.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+// readLoop dispatches inbound frames until the connection dies, then
+// finalizes every outstanding session and waiter.
+func (c *Client) readLoop(r *wire.Reader) {
+	defer func() {
+		c.mu.Lock()
+		c.closed = true
+		if c.err == nil {
+			c.err = ErrClosed
+		}
+		sessions := c.sessions
+		c.sessions = make(map[int64]*SessionHandle)
+		waiters := c.waiters
+		c.waiters = make(map[int64]chan result)
+		err := c.err
+		c.mu.Unlock()
+		for _, h := range sessions {
+			close(h.rows)
+		}
+		for _, ch := range waiters {
+			select {
+			case ch <- result{err: fmt.Errorf("%w: %v", ErrClosed, err)}:
+			default:
+			}
+		}
+		close(c.readerDone)
+	}()
+	for {
+		f, err := r.Next()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch f.Type {
+		case wire.MsgRow:
+			c.dispatchRow(f)
+		case wire.MsgDone:
+			c.dispatchDone(f)
+		case wire.MsgPong:
+			if fields, err := wire.DecodeBag(f.Payload, 1); err == nil {
+				nonce, _ := wire.Int(fields, 0)
+				select {
+				case c.pongs <- nonce:
+				default:
+				}
+			}
+		case wire.MsgDraining:
+			c.drainOnce.Do(func() { close(c.Draining) })
+		case wire.MsgTablesR:
+			c.deliver(-2, result{frame: f})
+		case wire.MsgSubmitted, wire.MsgOK, wire.MsgSnapR, wire.MsgError:
+			fields, err := wire.DecodeBag(f.Payload, 1)
+			if err != nil {
+				continue
+			}
+			tag, err := wire.Int(fields, 0)
+			if err != nil {
+				continue
+			}
+			c.deliver(tag, result{frame: f})
+		}
+	}
+}
+
+// deliver hands a one-shot reply to its waiter (dropped if none: a late
+// reply to an abandoned request).
+func (c *Client) deliver(tag int64, res result) {
+	c.mu.Lock()
+	ch := c.waiters[tag]
+	c.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- res:
+		default:
+		}
+	}
+}
+
+// dispatchRow routes a Row frame to its session's queue. Rows of a
+// cancelled session are dropped when its queue is full — the consumer may
+// be gone — but never for a live one: the reader blocks, which
+// backpressures the TCP stream and, transitively, the server's pump.
+func (c *Client) dispatchRow(f wire.Frame) {
+	fields, err := wire.DecodeBag(f.Payload, 4)
+	if err != nil {
+		return
+	}
+	tag, err := wire.Int(fields, 0)
+	if err != nil {
+		return
+	}
+	atNs, _ := wire.Int(fields, 1)
+	src, _ := wire.Str(fields, 2)
+	c.mu.Lock()
+	h := c.sessions[tag]
+	c.mu.Unlock()
+	if h == nil {
+		return
+	}
+	row := Row{At: time.Duration(atNs), Source: src, Value: fields[3]}
+	h.mu.Lock()
+	cancelled := h.cancelled
+	h.mu.Unlock()
+	if cancelled {
+		select {
+		case h.rows <- row:
+		default: // consumer gone; dropping avoids head-of-line deadlock
+		}
+		return
+	}
+	h.rows <- row
+}
+
+// dispatchDone finalizes a session with its terminal record.
+func (c *Client) dispatchDone(f wire.Frame) {
+	fields, err := wire.DecodeBag(f.Payload, 5)
+	if err != nil {
+		return
+	}
+	tag, err := wire.Int(fields, 0)
+	if err != nil {
+		return
+	}
+	state, _ := wire.Str(fields, 1)
+	msg, _ := wire.Str(fields, 2)
+	makespan, _ := wire.Int(fields, 3)
+	rows, _ := wire.Int(fields, 4)
+	c.mu.Lock()
+	h := c.sessions[tag]
+	delete(c.sessions, tag)
+	c.mu.Unlock()
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.fin = &Done{State: state, Err: msg, Makespan: time.Duration(makespan), Rows: rows}
+	h.mu.Unlock()
+	close(h.rows)
+}
+
+// remoteErr converts an Error frame into an error.
+func remoteErr(f wire.Frame) error {
+	fields, err := wire.DecodeBag(f.Payload, 2)
+	if err != nil {
+		return err
+	}
+	msg, _ := wire.Str(fields, 1)
+	return fmt.Errorf("server: %s", msg)
+}

@@ -1,0 +1,481 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scsq"
+	"scsq/internal/server/wire"
+	"scsq/internal/vtime"
+)
+
+// connState labels a connection's lifecycle for sys_conns.
+type connState int32
+
+const (
+	connHandshake connState = iota
+	connOpen
+	connDraining
+	connClosed
+)
+
+func (s connState) String() string {
+	switch s {
+	case connHandshake:
+		return "handshake"
+	case connOpen:
+		return "open"
+	case connDraining:
+		return "draining"
+	default:
+		return "closed"
+	}
+}
+
+// outFrame is one queued outbound frame.
+type outFrame struct {
+	typ     byte
+	payload []byte
+}
+
+// conn is one client connection: a reader goroutine decoding and
+// dispatching request frames, a writer goroutine flushing the bounded out
+// queue, and one pump goroutine per live session streaming its results.
+//
+// Teardown is single-shot (closeOnce): close(dead) unblocks every sender,
+// the transport closes (unblocking reader and writer), and every live
+// session is cancelled — which is what releases its node leases, exactly
+// once, through the scheduler's claim-by-removal finalization.
+type conn struct {
+	srv *Server
+	id  int64
+	nc  net.Conn
+
+	out  chan outFrame
+	dead chan struct{}
+
+	closeOnce sync.Once
+	state     atomic.Int32
+
+	mu       sync.Mutex
+	sessions map[int64]*connSession // by client-chosen tag
+
+	pumps sync.WaitGroup
+
+	// sys_conns counters.
+	nSubmitted atomic.Int64
+	nRowsOut   atomic.Int64
+	nFramesIn  atomic.Int64
+	nFramesOut atomic.Int64
+}
+
+// connSession is one live session bound to a connection tag.
+type connSession struct {
+	tag  int64
+	sess *scsq.Session
+	done atomic.Bool // pump delivered the Done frame
+}
+
+func newConn(s *Server, id int64, nc net.Conn) *conn {
+	return &conn{
+		srv:      s,
+		id:       id,
+		nc:       nc,
+		out:      make(chan outFrame, s.cfg.WriteQueue),
+		dead:     make(chan struct{}),
+		sessions: make(map[int64]*connSession),
+	}
+}
+
+// stats snapshots the sys_conns row fields.
+func (c *conn) stats() (id, remote, state string, sessions, submitted, rowsOut, framesIn, framesOut int64) {
+	c.mu.Lock()
+	n := 0
+	for _, cs := range c.sessions {
+		if !cs.done.Load() {
+			n++
+		}
+	}
+	c.mu.Unlock()
+	return fmt.Sprintf("c%d", c.id), c.nc.RemoteAddr().String(),
+		connState(c.state.Load()).String(), int64(n), c.nSubmitted.Load(),
+		c.nRowsOut.Load(), c.nFramesIn.Load(), c.nFramesOut.Load()
+}
+
+// liveSessions counts sessions whose Done frame has not been queued yet.
+func (c *conn) liveSessions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, cs := range c.sessions {
+		if !cs.done.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// send queues one outbound frame, blocking when the queue is full — the
+// backpressure path — and reports false once the connection is dead.
+func (c *conn) send(typ byte, payload []byte) bool {
+	select {
+	case c.out <- outFrame{typ, payload}:
+		return true
+	case <-c.dead:
+		return false
+	}
+}
+
+// trySend queues a frame only if there is room — used for advisory frames
+// (Draining) that must never block the server's control flow.
+func (c *conn) trySend(typ byte, payload []byte) {
+	select {
+	case c.out <- outFrame{typ, payload}:
+	case <-c.dead:
+	default:
+	}
+}
+
+// sendErr queues an Error frame for the given tag (-1: connection-level).
+func (c *conn) sendErr(tag int64, err error) {
+	c.send(wire.MsgError, wire.MustBag(tag, err.Error()))
+}
+
+// writeLoop flushes queued frames to the transport until the connection
+// dies. A write error tears the connection down: the peer is gone.
+func (c *conn) writeLoop() {
+	for {
+		select {
+		case f := <-c.out:
+			if err := wire.WriteFrame(c.nc, f.typ, f.payload); err != nil {
+				c.close(err)
+				return
+			}
+			c.nFramesOut.Add(1)
+			c.srv.mFramesOut.Inc()
+		case <-c.dead:
+			// Flush what is already queued so a Goodbye/Done race still
+			// delivers terminal frames, then stop.
+			for {
+				select {
+				case f := <-c.out:
+					if wire.WriteFrame(c.nc, f.typ, f.payload) != nil {
+						return
+					}
+					c.nFramesOut.Add(1)
+					c.srv.mFramesOut.Inc()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// readLoop performs the handshake, then decodes and dispatches request
+// frames until the connection dies.
+func (c *conn) readLoop() {
+	defer c.close(nil)
+	r := wire.NewReader(c.nc, c.srv.cfg.MaxFrame)
+
+	if err := c.handshake(r); err != nil {
+		c.sendErr(-1, err)
+		// Give the writer a beat to flush the rejection before close.
+		time.Sleep(10 * time.Millisecond)
+		return
+	}
+	c.state.Store(int32(connOpen))
+
+	for {
+		if c.srv.cfg.IdleTimeout > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.IdleTimeout))
+		}
+		f, err := r.Next()
+		if err != nil {
+			return // EOF, deadline, torn frame, oversize: all terminal
+		}
+		c.nFramesIn.Add(1)
+		c.srv.mFramesIn.Inc()
+		switch f.Type {
+		case wire.MsgSubmit:
+			if !c.handleSubmit(f.Payload) {
+				return
+			}
+		case wire.MsgCancel:
+			c.handleCancel(f.Payload)
+		case wire.MsgPing:
+			if fields, err := wire.DecodeBag(f.Payload, 1); err == nil {
+				nonce, _ := wire.Int(fields, 0)
+				c.send(wire.MsgPong, wire.MustBag(nonce))
+			}
+		case wire.MsgTables:
+			c.handleTables()
+		case wire.MsgSnap:
+			c.handleSnap(f.Payload)
+		case wire.MsgGoodbye:
+			return
+		default:
+			c.sendErr(-1, fmt.Errorf("server: unknown message type %#x", f.Type))
+		}
+	}
+}
+
+// handshake enforces the Hello exchange under the handshake deadline:
+// version match, then the optional auth hook.
+func (c *conn) handshake(r *wire.Reader) error {
+	c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.HandshakeTimeout))
+	defer c.nc.SetReadDeadline(time.Time{})
+	f, err := r.Next()
+	if err != nil {
+		return fmt.Errorf("%w: %v", wire.ErrNotHello, err)
+	}
+	c.nFramesIn.Add(1)
+	c.srv.mFramesIn.Inc()
+	if f.Type != wire.MsgHello {
+		return wire.ErrNotHello
+	}
+	fields, err := wire.DecodeBag(f.Payload, 2)
+	if err != nil {
+		return err
+	}
+	version, err := wire.Int(fields, 0)
+	if err != nil {
+		return err
+	}
+	if version != wire.ProtoVersion {
+		return fmt.Errorf("%w: client %d, server %d", wire.ErrVersionMismatch, version, wire.ProtoVersion)
+	}
+	token, err := wire.Str(fields, 1)
+	if err != nil {
+		return err
+	}
+	if c.srv.cfg.Auth != nil {
+		if err := c.srv.cfg.Auth(token); err != nil {
+			return fmt.Errorf("%w: %v", ErrAuthFailed, err)
+		}
+	}
+	c.send(wire.MsgAccepted, wire.MustBag(int64(wire.ProtoVersion), c.srv.cfg.Name, fmt.Sprintf("c%d", c.id)))
+	return nil
+}
+
+// handleSubmit binds one statement to a new scheduler session and spawns
+// its result pump. Returns false only on malformed payloads (framing is
+// intact but the peer is confused; drop the connection).
+func (c *conn) handleSubmit(payload []byte) bool {
+	fields, err := wire.DecodeBag(payload, 3)
+	if err != nil {
+		c.sendErr(-1, err)
+		return false
+	}
+	tag, err1 := wire.Int(fields, 0)
+	stmt, err2 := wire.Str(fields, 1)
+	prio, err3 := wire.Int(fields, 2)
+	if err1 != nil || err2 != nil || err3 != nil {
+		c.sendErr(-1, wire.ErrBadPayload)
+		return false
+	}
+	if c.srv.isDraining() {
+		c.sendErr(tag, ErrDraining)
+		return true
+	}
+	c.mu.Lock()
+	if _, dup := c.sessions[tag]; dup {
+		c.mu.Unlock()
+		c.sendErr(tag, fmt.Errorf("server: tag %d already in flight", tag))
+		return true
+	}
+	c.mu.Unlock()
+
+	submitted := time.Now()
+	sess, err := c.srv.eng.Submit(stmt, scsq.WithPriority(int(prio)))
+	if err != nil {
+		c.sendErr(tag, err)
+		return true
+	}
+	c.srv.mSubmits.Inc()
+	c.nSubmitted.Add(1)
+	cs := &connSession{tag: tag, sess: sess}
+	c.mu.Lock()
+	c.sessions[tag] = cs
+	c.mu.Unlock()
+	c.send(wire.MsgSubmitted, wire.MustBag(tag, sess.ID()))
+
+	c.pumps.Add(1)
+	c.srv.wg.Add(1)
+	go func() {
+		defer c.srv.wg.Done()
+		defer c.pumps.Done()
+		c.pump(cs, submitted)
+	}()
+	return true
+}
+
+// pump streams one session's result elements to the client as Row frames,
+// closing with a Done frame carrying the terminal state. It observes the
+// submit-to-first-row latency into the rt. TTFB histogram.
+func (c *conn) pump(cs *connSession, submitted time.Time) {
+	it := cs.sess.Results()
+	first := true
+	var rows int64
+	for {
+		el, ok, err := it.Next()
+		if !ok {
+			state := cs.sess.State().String()
+			msg := ""
+			if err != nil {
+				msg = err.Error()
+			}
+			c.send(wire.MsgDone, wire.MustBag(cs.tag, state, msg,
+				cs.sess.Makespan().Nanoseconds(), rows))
+			cs.done.Store(true)
+			return
+		}
+		if first {
+			first = false
+			c.srv.hTTFB.Observe(vtime.Duration(time.Since(submitted)))
+		}
+		payload, encErr := wire.EncodeBag(cs.tag, el.At.Nanoseconds(), el.Source, wire.WireValue(el.Value))
+		if encErr != nil {
+			// WireValue guarantees encodability; a failure here is a
+			// programming error, reported in-band rather than panicking
+			// the server.
+			c.sendErr(cs.tag, encErr)
+			continue
+		}
+		rows++
+		c.nRowsOut.Add(1)
+		if !c.send(wire.MsgRow, payload) {
+			// Connection died mid-stream: the close path cancels the
+			// session; keep draining the iterator so the pump observes
+			// the terminal state and exits.
+			continue
+		}
+	}
+}
+
+// handleCancel cancels by tag (this connection's session) or, when tag is
+// negative, by server-wide session id.
+func (c *conn) handleCancel(payload []byte) {
+	fields, err := wire.DecodeBag(payload, 2)
+	if err != nil {
+		c.sendErr(-1, err)
+		return
+	}
+	tag, err1 := wire.Int(fields, 0)
+	id, err2 := wire.Str(fields, 1)
+	if err1 != nil || err2 != nil {
+		c.sendErr(-1, wire.ErrBadPayload)
+		return
+	}
+	if tag >= 0 {
+		c.mu.Lock()
+		cs := c.sessions[tag]
+		c.mu.Unlock()
+		if cs == nil {
+			c.sendErr(tag, fmt.Errorf("server: no session with tag %d", tag))
+			return
+		}
+		if err := cs.sess.Cancel(); err != nil {
+			c.sendErr(tag, err)
+			return
+		}
+		c.send(wire.MsgOK, wire.MustBag(tag))
+		return
+	}
+	if err := c.srv.eng.CancelSession(id); err != nil {
+		c.sendErr(tag, err)
+		return
+	}
+	c.send(wire.MsgOK, wire.MustBag(tag))
+}
+
+// handleTables answers the catalog listing.
+func (c *conn) handleTables() {
+	tabs := c.srv.eng.SystemTables()
+	fields := []any{int64(len(tabs))}
+	for _, t := range tabs {
+		cols := make([]any, 0, len(t.Columns))
+		for _, col := range t.Columns {
+			cols = append(cols, []any{col.Name, col.Type})
+		}
+		fields = append(fields, t.Name, t.Doc, cols)
+	}
+	payload, err := wire.EncodeBag(fields...)
+	if err != nil {
+		c.sendErr(-1, err)
+		return
+	}
+	c.send(wire.MsgTablesR, payload)
+}
+
+// handleSnap answers a one-shot sys_* table snapshot.
+func (c *conn) handleSnap(payload []byte) {
+	fields, err := wire.DecodeBag(payload, 3)
+	if err != nil {
+		c.sendErr(-1, err)
+		return
+	}
+	tag, err1 := wire.Int(fields, 0)
+	table, err2 := wire.Str(fields, 1)
+	pattern, err3 := wire.Str(fields, 2)
+	if err1 != nil || err2 != nil || err3 != nil {
+		c.sendErr(-1, wire.ErrBadPayload)
+		return
+	}
+	rows, err := c.srv.eng.SystemRows(table, pattern)
+	if err != nil {
+		c.sendErr(tag, err)
+		return
+	}
+	bag := make([]any, len(rows))
+	for i, r := range rows {
+		bag[i] = wire.WireValue(r)
+	}
+	reply, err := wire.EncodeBag(tag, bag)
+	if err != nil {
+		c.sendErr(tag, err)
+		return
+	}
+	c.send(wire.MsgSnapR, reply)
+}
+
+// announceDrain tells the client the server is draining (best-effort).
+func (c *conn) announceDrain(grace time.Duration) {
+	c.state.Store(int32(connDraining))
+	c.trySend(wire.MsgDraining, wire.MustBag(grace.Nanoseconds()))
+}
+
+// cancelSessions cancels every session of this connection that has not
+// delivered its Done frame yet. Cancelling an already-final session is a
+// no-op error, ignored: the pump owns the Done delivery either way.
+func (c *conn) cancelSessions() {
+	c.mu.Lock()
+	css := make([]*connSession, 0, len(c.sessions))
+	for _, cs := range c.sessions {
+		css = append(css, cs)
+	}
+	c.mu.Unlock()
+	for _, cs := range css {
+		if !cs.done.Load() {
+			_ = cs.sess.Cancel()
+		}
+	}
+}
+
+// close tears the connection down exactly once: mark dead (unblocking
+// senders), close the transport (unblocking reader and writer), cancel the
+// live sessions (releasing their leases through the scheduler), wait for
+// the pumps to observe the terminal states, and unregister.
+func (c *conn) close(cause error) {
+	c.closeOnce.Do(func() {
+		c.state.Store(int32(connClosed))
+		close(c.dead)
+		c.nc.Close()
+		c.cancelSessions()
+		c.pumps.Wait()
+		c.srv.removeConn(c)
+	})
+}

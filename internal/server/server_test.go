@@ -1,0 +1,518 @@
+package server_test
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scsq"
+	"scsq/internal/scsql"
+	"scsq/internal/server"
+	"scsq/internal/server/client"
+	"scsq/internal/server/wire"
+	"scsq/internal/vtime"
+)
+
+// newServer spins up an engine and a listening server on an ephemeral port.
+func newServer(t *testing.T, cfg server.Config, opts ...scsq.Option) (*scsq.Engine, *server.Server, string) {
+	t.Helper()
+	eng, err := scsq.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng, cfg)
+	addr, err := srv.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	return eng, srv, addr.String()
+}
+
+func TestHandshakeSubmitStream(t *testing.T) {
+	_, _, addr := newServer(t, server.Config{})
+	cli, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if cli.ServerName == "" || cli.ConnID == "" {
+		t.Fatalf("Accepted frame incomplete: name=%q conn=%q", cli.ServerName, cli.ConnID)
+	}
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	h, err := cli.Submit(`select count(sys_nodes());`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(h.ID, "q") {
+		t.Fatalf("session id = %q", h.ID)
+	}
+	rows, done, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	n, ok := rows[0].Value.(int64)
+	if !ok || n <= 0 {
+		t.Fatalf("count(sys_nodes()) = %#v over the wire", rows[0].Value)
+	}
+	if done.State != "done" || done.Err != "" || done.Rows != 1 {
+		t.Fatalf("done = %+v", done)
+	}
+}
+
+func TestPipelinedSessions(t *testing.T) {
+	_, _, addr := newServer(t, server.Config{})
+	cli, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	const n = 8
+	var wg sync.WaitGroup
+	vals := make([]int64, n)
+	errs := make([]error, n)
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, err := cli.Submit(`select count(sys_nodes());`, 0)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ids[i] = h.ID
+			rows, done, err := h.Wait()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if len(rows) != 1 || done.State != "done" {
+				errs[i] = fmt.Errorf("rows=%d done=%+v", len(rows), done)
+				return
+			}
+			vals[i], _ = rows[0].Value.(int64)
+		}(i)
+	}
+	wg.Wait()
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		if vals[i] != vals[0] {
+			t.Fatalf("session %d value %d != %d", i, vals[i], vals[0])
+		}
+		if seen[ids[i]] {
+			t.Fatalf("session id %s assigned twice", ids[i])
+		}
+		seen[ids[i]] = true
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	_, _, addr := newServer(t, server.Config{})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := wire.WriteFrame(nc, wire.MsgHello, wire.MustBag(int64(99), "")); err != nil {
+		t.Fatal(err)
+	}
+	r := wire.NewReader(nc, 0)
+	f, err := r.Next()
+	if err != nil {
+		t.Fatalf("expected an Error frame, got %v", err)
+	}
+	if f.Type != wire.MsgError {
+		t.Fatalf("frame type %#x, want MsgError", f.Type)
+	}
+	fields, err := wire.DecodeBag(f.Payload, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := wire.Str(fields, 1)
+	if !strings.Contains(msg, "version") {
+		t.Fatalf("rejection %q does not mention the version", msg)
+	}
+	// The server closes after rejecting.
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("connection still open after version rejection")
+	}
+}
+
+func TestGarbageBeforeHandshake(t *testing.T) {
+	_, _, addr := newServer(t, server.Config{})
+	for _, garbage := range [][]byte{
+		[]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"),                                          // not our protocol
+		{0xff, 0xff, 0xff, 0x7f, 0x01},                                                       // absurd length field
+		wire.AppendFrame(nil, wire.MsgSubmit, wire.MustBag(int64(0), "select 1;", int64(0))), // valid frame, not Hello
+	} {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nc.Write(garbage); err != nil {
+			nc.Close()
+			t.Fatal(err)
+		}
+		// The server must reject (Error frame and/or close) — never Accept.
+		nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		r := wire.NewReader(nc, 0)
+		for {
+			f, err := r.Next()
+			if err != nil {
+				break // closed: good
+			}
+			if f.Type == wire.MsgAccepted {
+				t.Fatalf("garbage %q was accepted", garbage)
+			}
+		}
+		nc.Close()
+	}
+}
+
+func TestAuthHook(t *testing.T) {
+	_, _, addr := newServer(t, server.Config{
+		Auth: func(token string) error {
+			if token != "sesame" {
+				return errors.New("bad token")
+			}
+			return nil
+		},
+	})
+	if _, err := client.Dial(addr, client.Options{Token: "wrong"}); err == nil {
+		t.Fatal("bad token accepted")
+	} else if !strings.Contains(err.Error(), "authentication") {
+		t.Fatalf("rejection %v does not mention authentication", err)
+	}
+	cli, err := client.Dial(addr, client.Options{Token: "sesame"})
+	if err != nil {
+		t.Fatalf("good token rejected: %v", err)
+	}
+	cli.Close()
+}
+
+func TestShedOverMaxConns(t *testing.T) {
+	eng, _, addr := newServer(t, server.Config{MaxConns: 1})
+	cli, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := client.Dial(addr, client.Options{DialTimeout: 2 * time.Second}); err == nil {
+		t.Fatal("connection over the cap was accepted")
+	}
+	shed := eng.MetricsRegistry().Counter("server.conns.shed").Value()
+	if shed < 1 {
+		t.Fatalf("server.conns.shed = %d, want >= 1", shed)
+	}
+}
+
+func TestSysConnsOverWire(t *testing.T) {
+	eng, _, addr := newServer(t, server.Config{})
+	cli, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// The catalog listing includes sys_conns alongside the golden five.
+	tabs, err := cli.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, tab := range tabs {
+		names[tab.Name] = true
+	}
+	for _, want := range []string{"sys_conns", "sys_sessions", "sys_nodes", "sys_links", "sys_rps", "sys_metrics"} {
+		if !names[want] {
+			t.Fatalf("catalog listing %v misses %s", names, want)
+		}
+	}
+
+	// A snapshot over the wire sees this very connection.
+	rows, err := cli.Snap("sys_conns", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("sys_conns has %d rows, want 1", len(rows))
+	}
+	if id, _ := rows[0][0].(string); id != cli.ConnID {
+		t.Fatalf("sys_conns row id %v != handshake conn id %q", rows[0][0], cli.ConnID)
+	}
+
+	// A live stream over the wire reflects the connection count as it
+	// changes: the initial snapshot carries one row per open connection,
+	// and a new connection shows up as a delta on the next vtime tick.
+	h, err := cli.Submit(`select streamof(sys_conns());`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok, _ := h.Recv()
+	if !ok {
+		t.Fatal("live sys_conns stream ended at the initial snapshot")
+	}
+	first, ok := row.Value.([]any)
+	if !ok || len(first) != len(server.SysConnsSchema) {
+		t.Fatalf("live row = %#v, want a %d-column tuple", row.Value, len(server.SysConnsSchema))
+	}
+
+	cli2, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	// Pace the live stream: deltas flow on virtual-time observations.
+	sawNew := make(chan struct{})
+	go func() {
+		for {
+			row, ok, _ := h.Recv()
+			if !ok {
+				return
+			}
+			if vals, ok := row.Value.([]any); ok && len(vals) > 0 {
+				if id, _ := vals[0].(string); id == cli2.ConnID {
+					close(sawNew)
+					return
+				}
+			}
+		}
+	}()
+	deadline := time.After(10 * time.Second)
+	vt := vtime.Time(0)
+	for {
+		vt = vt.Add(vtime.Millisecond)
+		eng.Scheduler().ObserveVTime(vt)
+		select {
+		case <-sawNew:
+		case <-time.After(5 * time.Millisecond):
+			continue
+		case <-deadline:
+			t.Fatal("live sys_conns stream never showed the second connection")
+		}
+		break
+	}
+	if err := h.Cancel(); err != nil {
+		t.Fatalf("cancel live stream: %v", err)
+	}
+	_, done, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != "cancelled" {
+		t.Fatalf("live stream finished %+v, want cancelled", done)
+	}
+}
+
+func TestCancelInFlight(t *testing.T) {
+	_, _, addr := newServer(t, server.Config{})
+	cli, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	h, err := cli.Submit(`select streamof(sys_sessions());`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := h.Recv(); !ok {
+		t.Fatal("no initial snapshot row")
+	}
+	if err := h.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	_, done, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != "cancelled" || !strings.Contains(done.Err, "cancel") {
+		t.Fatalf("done = %+v, want cancelled", done)
+	}
+}
+
+func TestMidStreamDisconnectReleasesLeases(t *testing.T) {
+	eng, srv, addr := newServer(t, server.Config{})
+	cli, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A Figure-5-shaped query holds two BG node leases and streams a row
+	// per generated array — long enough to be mid-stream when we cut the
+	// connection.
+	h, err := cli.Submit(scsql.Figure5Query(64, 20000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := h.Recv(); !ok {
+		t.Fatal("no first row before disconnect")
+	}
+	q, err := eng.Scheduler().Get(h.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Kill() // abrupt: no Goodbye, transport just dies
+
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if q.State().Final() && q.Nodes() == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := q.State(); !st.Final() {
+		t.Fatalf("session %s still %v after disconnect", h.ID, st)
+	}
+	if n := q.Nodes(); n != 0 {
+		t.Fatalf("session %s still holds %d leases after disconnect", h.ID, n)
+	}
+	// The connection unregisters, so sys_conns drains to empty.
+	for time.Now().Before(deadline) {
+		rows, err := eng.SystemRows("sys_conns", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rows, _ := eng.SystemRows("sys_conns", "")
+	if len(rows) != 0 {
+		t.Fatalf("sys_conns still has %d rows after disconnect", len(rows))
+	}
+	_ = srv
+}
+
+func TestGracefulDrain(t *testing.T) {
+	eng, err := scsq.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	// Warm the engine (its lazy background goroutines — coordinator
+	// pollers — belong to the engine, not the server) before taking the
+	// goroutine baseline the drain must return to.
+	if s, err := eng.Submit(`select count(sys_nodes());`); err != nil {
+		t.Fatal(err)
+	} else if _, err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	srv := server.New(eng, server.Config{})
+	addr, err := srv.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cli, err := client.Dial(addr.String(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One finite session (completes inside the grace) and one live stream
+	// (must be cancelled by the drain).
+	fin, err := cli.Submit(`select count(sys_nodes());`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := cli.Submit(`select streamof(sys_sessions());`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := live.Recv(); !ok {
+		t.Fatal("live stream dead before drain")
+	}
+
+	if err := srv.Drain(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	// The drain announcement reached the client.
+	select {
+	case <-cli.Draining:
+	default:
+		t.Error("client never saw the Draining frame")
+	}
+	// Every session ended with a terminal record: the finite one done, the
+	// live one cancelled.
+	_, fdone, err := fin.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fdone.State != "done" {
+		t.Errorf("finite session drained as %+v, want done", fdone)
+	}
+	_, ldone, err := live.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ldone.State != "cancelled" {
+		t.Errorf("live session drained as %+v, want cancelled", ldone)
+	}
+	// New connections are refused.
+	if _, err := client.Dial(addr.String(), client.Options{DialTimeout: time.Second}); err == nil {
+		t.Error("dial succeeded after drain")
+	}
+	cli.Close()
+
+	// Zero goroutine leak: everything the server spawned has exited.
+	for i := 0; i < 200 && runtime.NumGoroutine() > baseline; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutine leak after drain: %d > baseline %d\n%s",
+			n, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestSysConnsSchemaGolden is the drift guard for the sys_conns contract:
+// the live schema, the golden literal here, and DESIGN.md §14 must move
+// together.
+func TestSysConnsSchemaGolden(t *testing.T) {
+	const golden = "(id string, remote string, state string, sessions int, submitted int, rows_out int, frames_in int, frames_out int)"
+	if got := server.SysConnsSchema.String(); got != golden {
+		t.Fatalf("sys_conns schema drifted:\n  live:   %s\n  golden: %s", got, golden)
+	}
+	doc, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(doc), "sys_conns "+golden) {
+		t.Fatal("DESIGN.md does not document sys_conns with the live schema — update §14")
+	}
+}
+
+// TestServerlessCatalogUnchanged proves attaching no server leaves the
+// golden five-table catalog intact (the scsql drift guard depends on it).
+func TestServerlessCatalogUnchanged(t *testing.T) {
+	eng, err := scsq.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for _, tab := range eng.SystemTables() {
+		if tab.Name == "sys_conns" {
+			t.Fatal("sys_conns registered without a server attached")
+		}
+	}
+}

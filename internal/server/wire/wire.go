@@ -1,0 +1,232 @@
+// Package wire defines the SCSQL network protocol: the framing, message
+// types, and payload encoding spoken between scsq-server and its clients
+// (internal/server/client, scsq-shell -connect, the serve load generator).
+//
+// A frame is
+//
+//	frame   := u32 LE length, type byte, payload
+//	length  := 1 + len(payload)   — everything after the length field
+//
+// and every payload is one value in the engine's own marshal format
+// (internal/marshal): the protocol reuses the codec the simulation ships
+// stream objects with, so result values cross the network in the same
+// encoding they had inside the simulated BG/L torus. Message payloads are
+// marshal bags ([]any) whose fields are positional; unknown trailing fields
+// are ignored, which is how the protocol grows without a version bump.
+//
+// The conversation starts with a handshake — client sends Hello carrying
+// the protocol version (and an optional auth token), server answers Accepted
+// or Error and closes — after which the client pipelines Submit/Cancel/
+// Ping/Tables/Snap freely; the server interleaves per-session Row frames as
+// the simulation produces them, tagging every frame with the client-chosen
+// statement tag, so responses need no ordering relative to one another.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"scsq/internal/marshal"
+)
+
+// ProtoVersion is the protocol generation this package speaks. A server
+// rejects a Hello carrying a different version: the framing may be
+// compatible, but message semantics are not negotiated field-by-field.
+const ProtoVersion = 1
+
+// DefaultMaxFrame bounds the length field of a single frame (8 MiB).
+// Result rows larger than this indicate a runaway value, not a bigger
+// buffer requirement.
+const DefaultMaxFrame = 8 << 20
+
+// Message types. Client→server types sit in 0x01..0x3f, server→client in
+// 0x41..0x7f, so a peer can tell at a glance (and in tests) which side a
+// captured frame belongs to.
+const (
+	// MsgHello opens the conversation: [version int, token string].
+	MsgHello byte = 0x01
+	// MsgSubmit submits one SCSQL statement: [tag int, statement string,
+	// priority int]. The tag is chosen by the client and echoed on every
+	// frame concerning this session.
+	MsgSubmit byte = 0x03
+	// MsgCancel cancels a session by tag or by server-side session id:
+	// [tag int, id string]. A negative tag means "by id".
+	MsgCancel byte = 0x04
+	// MsgPing elicits a MsgPong: [nonce int].
+	MsgPing byte = 0x05
+	// MsgGoodbye announces an orderly close: []. The server finishes
+	// in-flight writes and closes the connection.
+	MsgGoodbye byte = 0x06
+	// MsgTables asks for the system catalog listing: [].
+	MsgTables byte = 0x07
+	// MsgSnap asks for one snapshot of a sys_* table: [tag int,
+	// table string, pattern string].
+	MsgSnap byte = 0x08
+
+	// MsgAccepted answers a valid Hello: [version int, server string,
+	// session_prefix string].
+	MsgAccepted byte = 0x41
+	// MsgRow carries one result element: [tag int, at_ns int,
+	// source string, value]. at_ns is the element's virtual timestamp.
+	MsgRow byte = 0x42
+	// MsgDone closes a session's result stream: [tag int, state string,
+	// error string, makespan_ns int, rows int].
+	MsgDone byte = 0x43
+	// MsgError reports a request-level failure: [tag int, message string].
+	// Tag -1 is a connection-level error (handshake, framing).
+	MsgError byte = 0x44
+	// MsgPong answers a ping: [nonce int].
+	MsgPong byte = 0x45
+	// MsgOK acknowledges a request with no richer answer (cancel): [tag int].
+	MsgOK byte = 0x46
+	// MsgTablesR answers MsgTables: [n int, then per table: name string,
+	// doc string, columns bag of [name string, type string]].
+	MsgTablesR byte = 0x47
+	// MsgSnapR answers MsgSnap: [tag int, rows bag]. Each row is the
+	// wire form of the catalog tuple.
+	MsgSnapR byte = 0x48
+	// MsgDraining tells the client the server is shutting down: [grace_ns
+	// int]. In-flight sessions keep streaming; new submits are refused.
+	MsgDraining byte = 0x49
+	// MsgSubmitted answers MsgSubmit with the server-side session id:
+	// [tag int, id string].
+	MsgSubmitted byte = 0x4a
+)
+
+// Errors of the framing layer.
+var (
+	// ErrFrameTooLarge reports a length field exceeding the reader's frame
+	// cap — the connection is unrecoverable because the stream position of
+	// the next frame is unknowable without trusting the oversized length.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	// ErrEmptyFrame reports a length field of zero: every frame carries at
+	// least the type byte.
+	ErrEmptyFrame = errors.New("wire: empty frame (length 0)")
+	// ErrBadPayload reports a payload that is not one well-formed marshal
+	// bag of the fields the message type requires.
+	ErrBadPayload = errors.New("wire: malformed message payload")
+	// ErrVersionMismatch reports a Hello carrying the wrong protocol
+	// version.
+	ErrVersionMismatch = errors.New("wire: protocol version mismatch")
+	// ErrNotHello reports a first frame that is not MsgHello — garbage, or
+	// a peer speaking some other protocol.
+	ErrNotHello = errors.New("wire: connection must open with Hello")
+)
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+// AppendFrame encodes one frame onto buf and returns the extended slice.
+// payload is the already-marshaled message body.
+func AppendFrame(buf []byte, typ byte, payload []byte) []byte {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = typ
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	_, err := w.Write(AppendFrame(nil, typ, payload))
+	return err
+}
+
+// Reader decodes frames from a byte stream, enforcing the frame cap.
+type Reader struct {
+	r   io.Reader
+	max uint32
+	hdr [4]byte
+}
+
+// NewReader returns a frame reader over r. maxFrame bounds the length
+// field; 0 means DefaultMaxFrame.
+func NewReader(r io.Reader, maxFrame int) *Reader {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &Reader{r: r, max: uint32(maxFrame)}
+}
+
+// Next reads one frame. io.EOF at a frame boundary means the peer closed
+// cleanly; a partial frame yields io.ErrUnexpectedEOF.
+func (r *Reader) Next() (Frame, error) {
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(r.hdr[:])
+	if n == 0 {
+		return Frame{}, ErrEmptyFrame
+	}
+	if n > r.max {
+		return Frame{}, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, r.max)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return Frame{Type: body[0], Payload: body[1:]}, nil
+}
+
+// EncodeBag marshals fields as one bag payload. Fields must be
+// marshal-encodable (see WireValue for arbitrary engine values).
+func EncodeBag(fields ...any) ([]byte, error) {
+	return marshal.Append(nil, fields)
+}
+
+// MustBag is EncodeBag for fields known statically to encode; it panics on
+// the programming error of an unencodable field.
+func MustBag(fields ...any) []byte {
+	b, err := EncodeBag(fields...)
+	if err != nil {
+		panic(fmt.Sprintf("wire: unencodable message fields: %v", err))
+	}
+	return b
+}
+
+// DecodeBag unmarshals a message payload into its positional fields,
+// requiring at least want fields (trailing extras are allowed and ignored:
+// a newer peer may append fields).
+func DecodeBag(payload []byte, want int) ([]any, error) {
+	v, n, err := marshal.Decode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	if n != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after message", ErrBadPayload, len(payload)-n)
+	}
+	fields, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("%w: payload is %T, want bag", ErrBadPayload, v)
+	}
+	if len(fields) < want {
+		return nil, fmt.Errorf("%w: %d fields, want at least %d", ErrBadPayload, len(fields), want)
+	}
+	return fields, nil
+}
+
+// Int extracts field i of a decoded bag as an int64.
+func Int(fields []any, i int) (int64, error) {
+	x, ok := fields[i].(int64)
+	if !ok {
+		return 0, fmt.Errorf("%w: field %d is %T, want int", ErrBadPayload, i, fields[i])
+	}
+	return x, nil
+}
+
+// Str extracts field i of a decoded bag as a string.
+func Str(fields []any, i int) (string, error) {
+	s, ok := fields[i].(string)
+	if !ok {
+		return "", fmt.Errorf("%w: field %d is %T, want string", ErrBadPayload, i, fields[i])
+	}
+	return s, nil
+}

@@ -22,6 +22,14 @@ type DeltaPoll struct {
 	Tick <-chan struct{}
 	// Stop releases the tick subscription; called once, at Close.
 	Stop func()
+	// Done optionally aborts the stream: a live-delta stream blocks on Tick
+	// indefinitely, so a query with no stream processes to poison (a pure
+	// client-plan streamof(sys_*())) needs its own cancellation signal.
+	// When Done fires, Next reports DoneErr() as the stream error (or a
+	// clean end if DoneErr is nil / returns nil). Nil Done never fires.
+	Done <-chan struct{}
+	// DoneErr reports why Done fired (e.g. the query's cancellation cause).
+	DoneErr func() error
 
 	queue []Element
 	seen  map[string]bool
@@ -78,12 +86,23 @@ func (d *DeltaPoll) Next() (Element, bool, error) {
 		if d.done {
 			return Element{}, false, nil
 		}
-		if _, ok := <-d.Tick; !ok {
+		select {
+		case _, ok := <-d.Tick:
+			if !ok {
+				d.done = true
+				return Element{}, false, nil
+			}
+			if err := d.poll(); err != nil {
+				return Element{}, false, err
+			}
+		case <-d.Done:
 			d.done = true
+			if d.DoneErr != nil {
+				if err := d.DoneErr(); err != nil {
+					return Element{}, false, err
+				}
+			}
 			return Element{}, false, nil
-		}
-		if err := d.poll(); err != nil {
-			return Element{}, false, err
 		}
 	}
 }

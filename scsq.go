@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"scsq/internal/carrier"
+	"scsq/internal/catalog"
 	"scsq/internal/core"
 	"scsq/internal/hw"
 	"scsq/internal/metrics"
@@ -341,6 +342,24 @@ func (e *Engine) WriteTrace(w io.Writer) error {
 	return t.WriteJSON(w)
 }
 
+// Scheduler returns the engine's multi-tenant query scheduler. It is the
+// serving layer's attachment point (internal/server binds connections onto
+// scheduler sessions and paces live catalog streams off its virtual policy
+// clock); the type lives in an internal package, so the method is usable
+// only inside this module.
+func (e *Engine) Scheduler() *sched.Scheduler { return e.sched }
+
+// SystemCatalog returns the engine's system catalog registry, so module
+// subsystems (the network server's sys_conns table) can register virtual
+// tables of their own. External callers use SystemTables and SystemRows.
+func (e *Engine) SystemCatalog() *catalog.Registry { return e.core.SystemCatalog() }
+
+// MetricsRegistry returns the engine's live telemetry registry — the
+// registration point for module subsystems that contribute counters (the
+// network server's conns/frames/latency instrumentation). External callers
+// read the same data via MetricsSnapshot.
+func (e *Engine) MetricsRegistry() *metrics.Registry { return e.core.Metrics() }
+
 // Result is the outcome of one SCSQL statement.
 type Result struct {
 	// Defined is the function name for create-function statements.
@@ -578,20 +597,52 @@ func (s *Session) State() SessionState { return s.q.State() }
 func (s *Session) Statement() string { return s.q.Statement() }
 
 // Wait blocks until the session finishes and returns its result elements.
+// It is a thin wrapper over Results: the same elements, read to the end of
+// the stream.
 func (s *Session) Wait() ([]Element, error) {
-	els, err := s.q.Wait()
-	if err != nil {
-		return nil, err
+	var out []Element
+	it := s.Results()
+	for {
+		el, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, el)
 	}
-	out := make([]Element, 0, len(els))
-	for _, el := range els {
-		out = append(out, Element{
-			Value:  el.Value,
-			At:     el.At.Sub(0).Std(),
-			Source: el.Src,
-		})
+}
+
+// ResultIter iterates a session's result elements incrementally: Next
+// returns each element as soon as the simulation delivers it to the client
+// manager — before the session reaches a terminal state — which is what
+// lets the network serving layer stream result frames while the query is
+// still running. An iterator must not be shared between goroutines;
+// independent iterators each start from the first element.
+type ResultIter struct {
+	it *sched.ResultIter
+}
+
+// Results returns a new incremental iterator over the session's result
+// elements.
+func (s *Session) Results() *ResultIter {
+	return &ResultIter{it: s.q.Results()}
+}
+
+// Next blocks until another element is available or the session is
+// terminal. ok is false at the end of the stream; err is then the
+// session's terminal error (nil for a completed session).
+func (r *ResultIter) Next() (Element, bool, error) {
+	el, ok, err := r.it.Next()
+	if !ok || err != nil {
+		return Element{}, false, err
 	}
-	return out, nil
+	return Element{
+		Value:  el.Value,
+		At:     el.At.Sub(0).Std(),
+		Source: el.Src,
+	}, true, nil
 }
 
 // Cancel cancels the session: queued sessions leave the admission queue;
