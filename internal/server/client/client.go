@@ -264,8 +264,10 @@ func (h *SessionHandle) Cancel() error {
 	return h.c.request(wire.MsgCancel, wire.MustBag(h.tag, ""))
 }
 
-// CancelID cancels a session anywhere on the server by its session id
-// (cross-connection, like SCSQL's cancel('q3')).
+// CancelID cancels one of this connection's sessions by its server-side
+// session id (the wire form of SCSQL's cancel('q3')). The server scopes
+// the lookup to the issuing connection: a client cannot cancel another
+// connection's queries.
 func (c *Client) CancelID(id string) error {
 	return c.request(wire.MsgCancel, wire.MustBag(int64(-1), id))
 }

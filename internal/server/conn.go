@@ -45,23 +45,27 @@ type outFrame struct {
 // dispatching request frames, a writer goroutine flushing the bounded out
 // queue, and one pump goroutine per live session streaming its results.
 //
-// Teardown is single-shot (closeOnce): close(dead) unblocks every sender,
-// the transport closes (unblocking reader and writer), and every live
-// session is cancelled — which is what releases its node leases, exactly
-// once, through the scheduler's claim-by-removal finalization.
+// Teardown is single-shot (closeOnce): the closing flag flips under mu
+// (fencing session registration), close(dead) unblocks every sender, the
+// writer flushes what is already queued and exits, the transport closes
+// (unblocking the reader), and every live session is cancelled — which is
+// what releases its node leases, exactly once, through the scheduler's
+// claim-by-removal finalization.
 type conn struct {
 	srv *Server
 	id  int64
 	nc  net.Conn
 
-	out  chan outFrame
-	dead chan struct{}
+	out    chan outFrame
+	dead   chan struct{}
+	wrDone chan struct{} // closed when writeLoop returns (queue flushed)
 
 	closeOnce sync.Once
 	state     atomic.Int32
 
 	mu       sync.Mutex
-	sessions map[int64]*connSession // by client-chosen tag
+	closing  bool                   // set by close() before it cancels/waits
+	sessions map[int64]*connSession // by client-chosen tag; evicted at Done
 
 	pumps sync.WaitGroup
 
@@ -86,6 +90,7 @@ func newConn(s *Server, id int64, nc net.Conn) *conn {
 		nc:       nc,
 		out:      make(chan outFrame, s.cfg.WriteQueue),
 		dead:     make(chan struct{}),
+		wrDone:   make(chan struct{}),
 		sessions: make(map[int64]*connSession),
 	}
 }
@@ -145,13 +150,16 @@ func (c *conn) sendErr(tag int64, err error) {
 }
 
 // writeLoop flushes queued frames to the transport until the connection
-// dies. A write error tears the connection down: the peer is gone.
+// dies. A write error tears the connection down: the peer is gone. The
+// teardown runs in its own goroutine because close() waits on wrDone —
+// calling it from here would deadlock the flush handshake.
 func (c *conn) writeLoop() {
+	defer close(c.wrDone)
 	for {
 		select {
 		case f := <-c.out:
 			if err := wire.WriteFrame(c.nc, f.typ, f.payload); err != nil {
-				c.close(err)
+				go c.close(err)
 				return
 			}
 			c.nFramesOut.Add(1)
@@ -182,9 +190,16 @@ func (c *conn) readLoop() {
 	r := wire.NewReader(c.nc, c.srv.cfg.MaxFrame)
 
 	if err := c.handshake(r); err != nil {
-		c.sendErr(-1, err)
-		// Give the writer a beat to flush the rejection before close.
-		time.Sleep(10 * time.Millisecond)
+		// Written synchronously: the writer carries no traffic before the
+		// handshake completes (the first queued frame is Accepted, on the
+		// success path), so the rejection cannot interleave with it, and the
+		// client is guaranteed the diagnostic before the deferred close
+		// tears the transport down.
+		c.nc.SetWriteDeadline(time.Now().Add(time.Second))
+		if wire.WriteFrame(c.nc, wire.MsgError, wire.MustBag(int64(-1), err.Error())) == nil {
+			c.nFramesOut.Add(1)
+			c.srv.mFramesOut.Inc()
+		}
 		return
 	}
 	c.state.Store(int32(connOpen))
@@ -299,11 +314,20 @@ func (c *conn) handleSubmit(payload []byte) bool {
 	c.nSubmitted.Add(1)
 	cs := &connSession{tag: tag, sess: sess}
 	c.mu.Lock()
+	if c.closing {
+		// close() already snapshotted c.sessions for cancellation and may
+		// be past pumps.Wait(): registering now would leak the session's
+		// leases forever (and pumps.Add would race the Wait). Cancel it
+		// here instead; the leases release through the ordinary path.
+		c.mu.Unlock()
+		_ = sess.Cancel()
+		return false
+	}
 	c.sessions[tag] = cs
+	c.pumps.Add(1)
 	c.mu.Unlock()
 	c.send(wire.MsgSubmitted, wire.MustBag(tag, sess.ID()))
 
-	c.pumps.Add(1)
 	c.srv.wg.Add(1)
 	go func() {
 		defer c.srv.wg.Done()
@@ -331,6 +355,13 @@ func (c *conn) pump(cs *connSession, submitted time.Time) {
 			c.send(wire.MsgDone, wire.MustBag(cs.tag, state, msg,
 				cs.sess.Makespan().Nanoseconds(), rows))
 			cs.done.Store(true)
+			// Evict: a finished session must not pin its result buffer for
+			// the life of the connection, and its tag becomes reusable.
+			c.mu.Lock()
+			if c.sessions[cs.tag] == cs {
+				delete(c.sessions, cs.tag)
+			}
+			c.mu.Unlock()
 			return
 		}
 		if first {
@@ -356,8 +387,10 @@ func (c *conn) pump(cs *connSession, submitted time.Time) {
 	}
 }
 
-// handleCancel cancels by tag (this connection's session) or, when tag is
-// negative, by server-wide session id.
+// handleCancel cancels by tag or, when tag is negative, by session id.
+// Both forms are scoped to the issuing connection's own sessions: a client
+// may cancel only what it submitted, never another connection's queries
+// (the engine-wide cancel stays an in-process shell affordance).
 func (c *conn) handleCancel(payload []byte) {
 	fields, err := wire.DecodeBag(payload, 2)
 	if err != nil {
@@ -385,7 +418,20 @@ func (c *conn) handleCancel(payload []byte) {
 		c.send(wire.MsgOK, wire.MustBag(tag))
 		return
 	}
-	if err := c.srv.eng.CancelSession(id); err != nil {
+	var target *connSession
+	c.mu.Lock()
+	for _, cs := range c.sessions {
+		if cs.sess.ID() == id {
+			target = cs
+			break
+		}
+	}
+	c.mu.Unlock()
+	if target == nil {
+		c.sendErr(tag, fmt.Errorf("server: no session %q on this connection", id))
+		return
+	}
+	if err := target.sess.Cancel(); err != nil {
 		c.sendErr(tag, err)
 		return
 	}
@@ -465,14 +511,29 @@ func (c *conn) cancelSessions() {
 	}
 }
 
-// close tears the connection down exactly once: mark dead (unblocking
-// senders), close the transport (unblocking reader and writer), cancel the
-// live sessions (releasing their leases through the scheduler), wait for
-// the pumps to observe the terminal states, and unregister.
+// close tears the connection down exactly once: set the closing fence
+// (no session registers after it), mark dead (unblocking senders and
+// turning the writer into its flush-and-exit path), wait for the writer to
+// flush the already-queued frames — bounded by a write deadline, so a
+// stuck peer cannot wedge teardown — close the transport (unblocking the
+// reader), cancel the live sessions (releasing their leases through the
+// scheduler), wait for the pumps to observe the terminal states, and
+// unregister. Flushing before nc.Close() is what makes MsgGoodbye and
+// Drain deterministic: queued Done/Pong/reply frames reach the peer
+// instead of racing the transport close.
 func (c *conn) close(cause error) {
 	c.closeOnce.Do(func() {
 		c.state.Store(int32(connClosed))
+		c.mu.Lock()
+		c.closing = true
+		c.mu.Unlock()
 		close(c.dead)
+		c.nc.SetWriteDeadline(time.Now().Add(time.Second))
+		select {
+		case <-c.wrDone:
+		case <-time.After(2 * time.Second):
+			// Writer stuck past its deadline (shouldn't happen); proceed.
+		}
 		c.nc.Close()
 		c.cancelSessions()
 		c.pumps.Wait()

@@ -516,3 +516,90 @@ func TestServerlessCatalogUnchanged(t *testing.T) {
 		}
 	}
 }
+
+// TestTagReusableAfterDone proves a finished session is evicted from the
+// connection's session table: its tag is free for a new submit, rather
+// than failing "already in flight" for the life of the connection.
+func TestTagReusableAfterDone(t *testing.T) {
+	_, _, addr := newServer(t, server.Config{})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := wire.WriteFrame(nc, wire.MsgHello, wire.MustBag(int64(wire.ProtoVersion), "")); err != nil {
+		t.Fatal(err)
+	}
+	r := wire.NewReader(nc, 0)
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if f, err := r.Next(); err != nil || f.Type != wire.MsgAccepted {
+		t.Fatalf("handshake: frame %#v err %v", f, err)
+	}
+	const tag = int64(7)
+	for round := 0; round < 2; round++ {
+		if err := wire.WriteFrame(nc, wire.MsgSubmit, wire.MustBag(tag, `select count(sys_nodes());`, int64(0))); err != nil {
+			t.Fatal(err)
+		}
+		sawSubmitted, sawDone := false, false
+		for !sawDone {
+			f, err := r.Next()
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			switch f.Type {
+			case wire.MsgSubmitted:
+				sawSubmitted = true
+			case wire.MsgDone:
+				sawDone = true
+			case wire.MsgError:
+				fields, _ := wire.DecodeBag(f.Payload, 2)
+				msg, _ := wire.Str(fields, 1)
+				t.Fatalf("round %d: tag %d rejected: %s", round, tag, msg)
+			}
+		}
+		if !sawSubmitted {
+			t.Fatalf("round %d: no Submitted ack for tag %d", round, tag)
+		}
+	}
+}
+
+// TestCancelByIDScopedToConnection proves the negative-tag cancel form
+// cannot reach across connections: one client killing another client's
+// query must fail, while cancelling its own session by id succeeds.
+func TestCancelByIDScopedToConnection(t *testing.T) {
+	_, _, addr := newServer(t, server.Config{})
+	victim, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+	attacker, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer attacker.Close()
+
+	h, err := victim.Submit(`select streamof(sys_sessions());`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := h.Recv(); !ok {
+		t.Fatal("no initial snapshot row")
+	}
+	if err := attacker.CancelID(h.ID); err == nil {
+		t.Fatalf("cross-connection cancel of %s succeeded", h.ID)
+	} else if !strings.Contains(err.Error(), "no session") {
+		t.Fatalf("cross-connection cancel failed with %v, want a scoping error", err)
+	}
+	// The victim's stream is still live and cancellable by its owner.
+	if err := victim.CancelID(h.ID); err != nil {
+		t.Fatalf("own-connection cancel by id: %v", err)
+	}
+	_, done, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != "cancelled" {
+		t.Fatalf("victim session finished %+v, want cancelled by its owner", done)
+	}
+}

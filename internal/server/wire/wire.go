@@ -52,7 +52,9 @@ const (
 	// frame concerning this session.
 	MsgSubmit byte = 0x03
 	// MsgCancel cancels a session by tag or by server-side session id:
-	// [tag int, id string]. A negative tag means "by id".
+	// [tag int, id string]. A negative tag means "by id". Both forms are
+	// scoped to the issuing connection's own sessions: a client can never
+	// cancel another connection's queries.
 	MsgCancel byte = 0x04
 	// MsgPing elicits a MsgPong: [nonce int].
 	MsgPing byte = 0x05
