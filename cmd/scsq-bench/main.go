@@ -18,6 +18,8 @@
 //	scsq-bench -fig sysq -tiny        # seconds-scale catalog smoke (CI)
 //	scsq-bench -fig serve             # serving layer: 1000 concurrent TCP conns, frame accounting → BENCH_serve.json
 //	scsq-bench -fig serve -tiny       # 50-connection smoke (CI)
+//	scsq-bench -fig place             # cost-model placement planner vs greedy on the 6144-node torus → BENCH_place.json
+//	scsq-bench -fig place -tiny       # 256-node torus smoke (CI)
 //	scsq-bench -fig all -csv          # everything, machine readable
 //	scsq-bench -fig 15 -paper-scale   # the paper's 100 × 3 MB arrays
 //	scsq-bench -perf                  # data-plane microbenchmarks → BENCH_dataplane.json
@@ -34,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"scsq/internal/bench"
 )
@@ -47,12 +50,13 @@ func main() {
 
 func run() error {
 	var (
-		fig        = flag.String("fig", "all", "figure to regenerate: 6, 8, 15, ablation, udp, mt, vkernel, soak, sysq, serve or all")
-		tiny       = flag.Bool("tiny", false, "smoke sizing for -fig vkernel (seconds-scale), -fig soak (single seed), -fig sysq and -fig serve (50 conns)")
+		fig        = flag.String("fig", "all", "figure to regenerate: 6, 8, 15, ablation, udp, mt, vkernel, soak, sysq, serve, place or all")
+		tiny       = flag.Bool("tiny", false, "smoke sizing for -fig vkernel (seconds-scale), -fig soak (single seed), -fig sysq, -fig serve (50 conns) and -fig place (256-node torus)")
 		vkernelOut = flag.String("vkernel-out", "BENCH_vkernel.json", "file the -fig vkernel report is written to")
 		soakOut    = flag.String("soak-out", "BENCH_soak.json", "file the -fig soak report is written to")
 		sysqOut    = flag.String("sysq-out", "BENCH_sysq.json", "file the -fig sysq report is written to")
 		serveOut   = flag.String("serve-out", "BENCH_serve.json", "file the -fig serve report is written to")
+		placeOut   = flag.String("place-out", "BENCH_place.json", "file the -fig place report is written to")
 		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
 		paperScale = flag.Bool("paper-scale", false, "use the paper's 100 × 3 MB arrays (slow)")
 		repeats    = flag.Int("repeats", 5, "measurement repetitions per point")
@@ -284,6 +288,34 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(out, "wrote %s\n", *serveOut)
+		fmt.Fprintln(out)
+	}
+	if want("place") {
+		cfg := bench.DefaultPlace()
+		if *tiny {
+			cfg = bench.TinyPlace()
+		}
+		start := time.Now()
+		rows, err := bench.RunPlace(cfg)
+		if err != nil {
+			return err
+		}
+		if err := bench.WritePlace(out, cfg, rows); err != nil {
+			return err
+		}
+		report := bench.NewPlaceReport(cfg, rows, time.Since(start))
+		f, err := os.Create(*placeOut)
+		if err != nil {
+			return err
+		}
+		if err := bench.WritePlaceJSON(f, report); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *placeOut)
 		fmt.Fprintln(out)
 	}
 	if want("15") {

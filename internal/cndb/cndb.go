@@ -28,6 +28,11 @@ var ErrNoAvailableNode = errors.New("cndb: allocation sequence contains no avail
 // in preferred order. A Sequence is stateful — consecutive selections
 // against the same sequence continue where the previous one stopped, which
 // is how spv() spreads a batch of stream processes round-robin.
+//
+// The cursor only ever moves when a selection actually grants a node:
+// probing is side-effect-free, so a failed or aborted selection leaves the
+// sequence exactly where it started and a retried admission re-probes from
+// a stable offset instead of a drifting one.
 type Sequence struct {
 	mu  sync.Mutex
 	ids []int
@@ -49,12 +54,12 @@ func (s *Sequence) Period() int { return len(s.ids) }
 // IDs returns a copy of one full cycle of the sequence.
 func (s *Sequence) IDs() []int { return append([]int(nil), s.ids...) }
 
-func (s *Sequence) next() int {
+// Pos returns the cursor position: the index of the candidate the next
+// selection probes first. Tests use it to prove probing is side-effect-free.
+func (s *Sequence) Pos() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	id := s.ids[s.pos]
-	s.pos = (s.pos + 1) % len(s.ids)
-	return id
+	return s.pos
 }
 
 // DB is one cluster's compute node database. BlueGene compute nodes are
@@ -122,8 +127,20 @@ func (db *DB) SelectFor(owner string, seq *Sequence) (int, error) {
 	if seq == nil {
 		return db.selectNaive(owner)
 	}
-	for i := 0; i < seq.Period(); i++ {
-		id := seq.next()
+	// Probe one full cycle against a snapshot of the cursor and commit the
+	// cursor only together with a successful grant (both under seq.mu, after
+	// db.mu — the only lock order used for this pair). A probe that fails —
+	// a full cycle without an available node, or an out-of-range id aborting
+	// mid-cycle — leaves the cursor untouched, so concurrent admissions
+	// cannot strand a satisfiable sequence by displacing each other's
+	// cursors, and a parked session's retry re-probes from the same stable
+	// start offset as its failed attempt.
+	seq.mu.Lock()
+	defer seq.mu.Unlock()
+	start := seq.pos
+	for i := 0; i < len(seq.ids); i++ {
+		j := (start + i) % len(seq.ids)
+		id := seq.ids[j]
 		if id < 0 || id >= db.size {
 			return 0, fmt.Errorf("cndb: allocation sequence node %d out of range for cluster %q (size %d)", id, db.cluster, db.size)
 		}
@@ -131,6 +148,7 @@ func (db *DB) SelectFor(owner string, seq *Sequence) (int, error) {
 			continue
 		}
 		db.grant(owner, id)
+		seq.pos = (j + 1) % len(seq.ids)
 		return id, nil
 	}
 	return 0, fmt.Errorf("%w (cluster %q)", ErrNoAvailableNode, db.cluster)

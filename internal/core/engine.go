@@ -92,6 +92,12 @@ type Engine struct {
 	// must see a consistent node pool, which makes admission deterministic.
 	buildMu sync.Mutex
 
+	// plannerMu guards the optional placement planner hook. A separate
+	// (read-mostly) lock: planning happens on the placement path, which
+	// must not contend with e.mu's bookkeeping.
+	plannerMu sync.RWMutex
+	planner   PlacementPlanner
+
 	mu        sync.Mutex
 	queries   map[string]*queryCtx // live query contexts by id
 	cur       *queryCtx            // current build target (nil outside builds)
@@ -663,6 +669,59 @@ func (e *Engine) recordEdge(ed Edge) {
 	e.edges = append(e.edges, ed)
 }
 
+// PlacementPlanner is the optional admission-time placement hook (see
+// internal/place): given the candidate node ids a placement's allocation
+// sequence allows (nil for a naive whole-cluster placement) and the batch
+// size of the request, it returns the order lease acquisition should probe
+// instead. Implementations must be deterministic pure functions of the
+// cluster snapshot — planning happens under the engine's build serialization
+// and is part of the admission schedule. ok=false (or an empty order) keeps
+// the original sequence order: the fallback semantics of DESIGN.md §15.
+type PlacementPlanner interface {
+	PlanPlacement(owner string, c hw.ClusterName, candidates []int, batch int) ([]int, bool)
+}
+
+// SetPlacementPlanner installs (nil: removes) the engine's placement
+// planner. With no planner installed the placement path is byte-for-byte
+// the historic one — schedules are bit-identical to a planner-less build.
+func (e *Engine) SetPlacementPlanner(p PlacementPlanner) {
+	e.plannerMu.Lock()
+	e.planner = p
+	e.plannerMu.Unlock()
+}
+
+// placementPlanner returns the installed planner, or nil.
+func (e *Engine) placementPlanner() PlacementPlanner {
+	e.plannerMu.RLock()
+	defer e.plannerMu.RUnlock()
+	return e.planner
+}
+
+// planned returns the allocation sequence a placement should actually walk:
+// the planner's reordering when one is installed and admissible, the
+// original sequence otherwise. The original sequence object is never
+// mutated — an SP keeps it for supervised re-placement, which re-plans
+// against the then-current cluster state.
+func (e *Engine) planned(owner string, c hw.ClusterName, seq *cndb.Sequence, batch int) *cndb.Sequence {
+	p := e.placementPlanner()
+	if p == nil {
+		return seq
+	}
+	var candidates []int
+	if seq != nil {
+		candidates = seq.IDs()
+	}
+	ids, ok := p.PlanPlacement(owner, c, candidates, batch)
+	if !ok || len(ids) == 0 {
+		return seq
+	}
+	planned, err := cndb.NewSequence(ids...)
+	if err != nil {
+		return seq
+	}
+	return planned
+}
+
 // place allocates a compute node in cluster c under the owning query's
 // lease. BlueGene placements go through the front-end coordinator and are
 // picked up by bgCC's polling loop, because CNK offers no server
@@ -672,6 +731,7 @@ func (e *Engine) place(owner string, c hw.ClusterName, seq *cndb.Sequence) (int,
 	if !ok {
 		return 0, fmt.Errorf("core: unknown cluster %q", c)
 	}
+	seq = e.planned(owner, c, seq, 1)
 	if c == hw.BlueGene {
 		reply, err := e.coords[hw.FrontEnd].SubmitBGPlacementFor(owner, seq)
 		if err != nil {
@@ -828,6 +888,10 @@ func (e *Engine) spvBG(subs []Subquery, seq *cndb.Sequence) ([]*SP, error) {
 	qc := e.buildTarget(true)
 	fe := e.coords[hw.FrontEnd]
 	bg := e.coords[hw.BlueGene]
+	// Plan the whole bag at once: the planner sees the batch size and
+	// orders the candidates with lookahead, and every request of the bag
+	// walks the one planned sequence.
+	walk := e.planned(qc.id, hw.BlueGene, seq, len(subs))
 	replies := make([]<-chan coord.PlaceResult, 0, len(subs))
 	// drainFrom releases the nodes of requests we will not build on.
 	drainFrom := func(i int) {
@@ -838,7 +902,7 @@ func (e *Engine) spvBG(subs []Subquery, seq *cndb.Sequence) ([]*SP, error) {
 		}
 	}
 	for i := range subs {
-		reply, err := fe.SubmitBGPlacementFor(qc.id, seq)
+		reply, err := fe.SubmitBGPlacementFor(qc.id, walk)
 		if err != nil {
 			drainFrom(0)
 			return nil, fmt.Errorf("core: spv[%d]: core: sp(%q): %w", i, hw.BlueGene, err)

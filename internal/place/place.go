@@ -1,0 +1,535 @@
+// Package place is the cost-model placement planner for concurrent queries.
+//
+// Admission historically placed every stream process greedily: the next
+// node of the query's allocation sequence (or the naive next-available
+// scan) with no regard for what the other live sessions already occupy.
+// On the BlueGene partition that packs co-running tenants into the same
+// pset, so all their inbound streams funnel through one I/O-node forwarder
+// — the contention the mt figure measures (92.4 Mbps aggregate at k=2
+// against ~127 Mbps for a single query). This is the multi-application
+// in-network stream placement problem of Benoit et al. (arXiv:0903.0710);
+// the planner applies the greedy heuristics of Eidenbenz & Locher
+// (arXiv:1601.06060) to it, scoring candidates with the same calibrated
+// cost model the simulator charges (internal/hw.CostModel, internal/torus).
+//
+// The planner never invents placements: it only reorders (and filters the
+// dead nodes out of) the candidate set the query's allocation sequence
+// already allows — the full cluster for a naive placement. Admissibility is
+// therefore inherited from the sequence, and lease acquisition and plan
+// build proceed through the unchanged cndb/coordinator path, walking the
+// planner's order instead of the sequence's. When the planner finds no
+// admissible candidate it reports a fallback and admission keeps today's
+// sequence order. With no planner installed, no code path changes at all:
+// schedules are bit-identical to the planner-less engine.
+//
+// Scoring estimates the marginal virtual cost per byte a stream through the
+// candidate node would pay, in the cost model's own units:
+//
+//   - pset I/O forwarder sharing: IOByte per foreign lease in the
+//     candidate's pset — the dominant term; every tenant sharing a pset
+//     serializes on one ciod forwarder (~400 Mbps).
+//   - torus locality: PacketCost/TorusPacketBytes per hop between the
+//     candidate and the session's nearest already-placed node, plus the
+//     FwdFactor-weighted share for each foreign-leased co-processor the
+//     route crosses.
+//   - shared Linux clusters: NIC serialization (BeNICByte/FENICByte) per
+//     co-resident RP on the candidate.
+//
+// Two objectives are selectable per engine. AggregateThroughput (the
+// default) greedily minimizes the summed cost of the batch with lookahead:
+// each slot is scored with the previous slots' picks counted as occupied
+// and owned, so a bag placement spreads the way the whole batch wants, not
+// the way slot one wants. MaxStretch instead minimizes the worst sharing
+// degree any session would experience after the placement (the stretch
+// objective of the scheduling literature), breaking ties by aggregate cost.
+// All ties break deterministically toward the lowest node id, keeping plans
+// a pure function of the admission-time snapshot — the determinism contract
+// of DESIGN.md §9.
+package place
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"scsq/internal/cndb"
+	"scsq/internal/hw"
+	"scsq/internal/torus"
+)
+
+// Objective selects what the planner optimizes.
+type Objective int
+
+const (
+	// AggregateThroughput maximizes estimated system throughput: greedy
+	// minimal summed per-byte cost with lookahead across the batch.
+	AggregateThroughput Objective = iota
+	// MaxStretch minimizes the maximum sharing degree (forwarder or NIC
+	// co-residency) any session experiences after the placement.
+	MaxStretch
+)
+
+// String names the objective as sys_placements reports it.
+func (o Objective) String() string {
+	switch o {
+	case MaxStretch:
+		return "maxstretch"
+	default:
+		return "aggregate"
+	}
+}
+
+// Config parameterizes a Planner. The zero value is the default planner:
+// aggregate-throughput objective with full batch lookahead.
+type Config struct {
+	// Objective selects the optimization target.
+	Objective Objective
+	// Lookahead bounds how many slots of a batch are planned with state
+	// simulation (earlier picks counted as occupied). 0 means the whole
+	// batch; 1 degrades to pure slot-by-slot greedy.
+	Lookahead int
+}
+
+// Decision records one planning call, as exposed by sys_placements.
+type Decision struct {
+	// ID is the monotone decision number (1-based).
+	ID int
+	// Owner is the query id the placement was planned for.
+	Owner string
+	// Cluster is the target cluster.
+	Cluster string
+	// Batch is how many placements the request covers (spv bag size).
+	Batch int
+	// Objective is the objective the planner ran.
+	Objective Objective
+	// Chosen is the planned node order for the batch slots (empty on
+	// fallback).
+	Chosen []int
+	// Score is the summed estimated per-byte cost of the chosen slots in
+	// cost-model units (virtual ns/B; lower is better).
+	Score float64
+	// Considered is the number of admissible candidates scored.
+	Considered int
+	// Fallback reports that the planner yielded nothing admissible and
+	// admission kept the original sequence order.
+	Fallback bool
+}
+
+// ChosenString renders the chosen node list as "a,b,c" for the catalog row.
+func (d Decision) ChosenString() string {
+	parts := make([]string, len(d.Chosen))
+	for i, n := range d.Chosen {
+		parts[i] = fmt.Sprintf("%d", n)
+	}
+	return strings.Join(parts, ",")
+}
+
+// maxDecisions bounds the retained decision log; older entries are dropped
+// (sys_placements is an observability window, not an audit trail).
+const maxDecisions = 512
+
+// Planner scores candidate nodes for incoming placements against the node
+// sets already leased to live sessions. It is safe for concurrent use: every
+// planning call snapshots the cluster database under its own locks.
+type Planner struct {
+	env *hw.Env
+	dbs map[hw.ClusterName]*cndb.DB
+	cfg Config
+
+	mu        sync.Mutex
+	seq       int
+	decisions []Decision
+}
+
+// New builds a planner over the environment and the per-cluster compute
+// node databases admission leases from.
+func New(env *hw.Env, dbs map[hw.ClusterName]*cndb.DB, cfg Config) *Planner {
+	return &Planner{env: env, dbs: dbs, cfg: cfg}
+}
+
+// Config returns the planner's configuration.
+func (p *Planner) Config() Config { return p.cfg }
+
+// Decisions returns the retained decision log, oldest first.
+func (p *Planner) Decisions() []Decision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Decision(nil), p.decisions...)
+}
+
+// Reset clears the decision log (the engine's Reset does not reach into the
+// planner; the owning scheduler resets it when a fresh measurement batch
+// starts).
+func (p *Planner) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq = 0
+	p.decisions = nil
+}
+
+// record appends one decision under the log cap.
+func (p *Planner) record(d Decision) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	d.ID = p.seq
+	p.decisions = append(p.decisions, d)
+	if len(p.decisions) > maxDecisions {
+		p.decisions = p.decisions[len(p.decisions)-maxDecisions:]
+	}
+}
+
+// PlanPlacement implements core's PlacementPlanner hook: it returns the
+// node order admission should probe for a request by owner of batch
+// placements on cluster c, constrained to candidates (nil means the whole
+// cluster, the naive case). The order contains every admissible candidate —
+// the planned batch picks first, the rest ranked behind them — so lease
+// acquisition still has a full cycle to probe if the cluster moved between
+// planning and probing. ok=false means nothing was admissible and the
+// caller must fall back to the original sequence order.
+func (p *Planner) PlanPlacement(owner string, c hw.ClusterName, candidates []int, batch int) ([]int, bool) {
+	db := p.dbs[c]
+	if db == nil {
+		return nil, false
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	v := p.snapshot(owner, db)
+	admissible := v.admissible(candidates)
+	if len(admissible) == 0 {
+		p.record(Decision{Owner: owner, Cluster: string(c), Batch: batch,
+			Objective: p.cfg.Objective, Fallback: true})
+		return nil, false
+	}
+
+	simSlots := batch
+	if p.cfg.Lookahead > 0 && p.cfg.Lookahead < simSlots {
+		simSlots = p.cfg.Lookahead
+	}
+	if simSlots > len(admissible) {
+		simSlots = len(admissible)
+	}
+
+	// Planning must stay cheap in real time: admission interleaving with
+	// already-running sessions is wall-clock-sensitive, and a slow planner
+	// serializes the very batch it is trying to spread. Bulk scoring is
+	// allocation-free (HopCount arithmetic, keys cached outside the sort
+	// comparator); only the refineWidth best candidates of each slot pay the
+	// route walk for the foreign-congestion term.
+	order := make([]int, 0, len(admissible))
+	score := 0.0
+	remaining := admissible
+	keys := make([]scoreKey, len(remaining))
+	top := make([]int, 0, refineWidth)
+	for slot := 0; slot < simSlots; slot++ {
+		// One bulk-scoring pass keeping the refineWidth best candidates in a
+		// small sorted insertion buffer — no full sort per slot.
+		top = top[:0]
+		for i := range remaining {
+			keys[i] = p.scoreKey(v, remaining[i])
+			if len(top) == refineWidth {
+				worst := top[len(top)-1]
+				if !keys[i].less(keys[worst], remaining[i], remaining[worst]) {
+					continue
+				}
+				top = top[:len(top)-1]
+			}
+			pos := len(top)
+			for pos > 0 && keys[i].less(keys[top[pos-1]], remaining[i], remaining[top[pos-1]]) {
+				pos--
+			}
+			top = append(top, 0)
+			copy(top[pos+1:], top[pos:])
+			top[pos] = i
+		}
+		best := -1
+		var bestKey scoreKey
+		for _, i := range top {
+			k := p.refine(v, remaining[i], keys[i])
+			if best < 0 || k.less(bestKey, remaining[i], remaining[best]) {
+				best, bestKey = i, k
+			}
+		}
+		score += bestKey.cost
+		order = append(order, remaining[best])
+		v.take(remaining[best])
+		remaining = append(remaining[:best:best], remaining[best+1:]...)
+		keys = keys[:len(remaining)]
+	}
+	// Rank the tail under the final simulated state so probing past the
+	// planned picks still prefers the cheapest remaining nodes.
+	for i := range remaining {
+		keys[i] = p.scoreKey(v, remaining[i])
+	}
+	sort.Sort(&tailSorter{keys: keys, nodes: remaining})
+	for j, n := range remaining {
+		order = append(order, n)
+		// Slots the simulation did not cover (admissible shorter than the
+		// lookahead window never hits this) still contribute to the score.
+		if simSlots+j < batch {
+			score += keys[j].cost
+		}
+	}
+
+	chosen := order
+	if len(chosen) > batch {
+		chosen = chosen[:batch]
+	}
+	p.record(Decision{Owner: owner, Cluster: string(c), Batch: batch,
+		Objective: p.cfg.Objective, Chosen: append([]int(nil), chosen...),
+		Score: score, Considered: len(admissible)})
+	return order, true
+}
+
+// scoreKey is one candidate's cached ordering key: (primary, secondary)
+// lexicographic, node id as the caller-supplied final tie break, plus the
+// raw cost for Decision.Score.
+type scoreKey struct {
+	primary, secondary, cost float64
+}
+
+// tailSorter orders the unplanned tail by cached key without the reflection
+// overhead of sort.Slice (the tail is the whole cluster minus a few picks).
+type tailSorter struct {
+	keys  []scoreKey
+	nodes []int
+}
+
+func (s *tailSorter) Len() int { return len(s.nodes) }
+func (s *tailSorter) Less(a, b int) bool {
+	return s.keys[a].less(s.keys[b], s.nodes[a], s.nodes[b])
+}
+func (s *tailSorter) Swap(a, b int) {
+	s.keys[a], s.keys[b] = s.keys[b], s.keys[a]
+	s.nodes[a], s.nodes[b] = s.nodes[b], s.nodes[a]
+}
+
+func (k scoreKey) less(o scoreKey, n, on int) bool {
+	if k.primary != o.primary {
+		return k.primary < o.primary
+	}
+	if k.secondary != o.secondary {
+		return k.secondary < o.secondary
+	}
+	return n < on
+}
+
+// scoreKey evaluates one candidate under the view's current simulated state.
+func (p *Planner) scoreKey(v *view, n int) scoreKey {
+	stretch, cost := p.scoreWithCost(v, n)
+	if p.cfg.Objective == MaxStretch {
+		return scoreKey{primary: float64(stretch), secondary: cost, cost: cost}
+	}
+	return scoreKey{primary: cost, cost: cost}
+}
+
+// refineWidth is how many of a slot's best base-scored candidates get the
+// exact foreign-congestion refinement. Wide enough to cover every plausible
+// winner (a 6144-node cluster rarely has 32 distinct-cost front runners),
+// narrow enough that planning stays microseconds, not milliseconds.
+const refineWidth = 32
+
+// refine adds the FwdFactor-weighted congestion share for the foreign
+// co-processors on the candidate's route to the session's nearest placed
+// node — the one scoring term that walks a route, paid only for the top
+// candidates of a slot.
+func (p *Planner) refine(v *view, n int, base scoreKey) scoreKey {
+	if !v.bg || len(v.ownNodes) == 0 {
+		return base
+	}
+	own, _ := v.nearestOwn(n)
+	busy := v.busyOn(own, n)
+	if busy == 0 {
+		return base
+	}
+	m := p.env.Cost
+	add := float64(m.PacketCost) / float64(m.TorusPacketBytes) * m.FwdFactor * float64(busy)
+	base.cost += add
+	if p.cfg.Objective == MaxStretch {
+		base.secondary += add
+	} else {
+		base.primary += add
+	}
+	return base
+}
+
+// scoreWithCost estimates the placement's sharing degree (stretch) and
+// marginal per-byte cost for candidate n under the view's simulated state.
+func (p *Planner) scoreWithCost(v *view, n int) (stretch int, cost float64) {
+	m := p.env.Cost
+	if v.bg {
+		ps := n / v.psetSize
+		foreign := v.foreignPset[ps]
+		// Forwarder sharing: every foreign lease in the pset serializes its
+		// bytes through the same I/O node ciod.
+		cost += m.IOByte * float64(foreign)
+		stretch = foreign + v.ownPset[ps] + 1
+		if len(v.ownNodes) > 0 {
+			_, hops := v.nearestOwn(n)
+			perByteHop := float64(m.PacketCost) / float64(m.TorusPacketBytes)
+			cost += perByteHop * float64(hops)
+		}
+		return stretch, cost
+	}
+	nic := m.BeNICByte
+	if v.cluster == hw.FrontEnd {
+		nic = m.FENICByte
+	}
+	load := v.rps[n] + v.simOwn[n]
+	return load + 1, nic * float64(load)
+}
+
+// view is the planner's per-call snapshot of one cluster, plus the
+// simulated effect of the batch slots already planned.
+type view struct {
+	cluster   hw.ClusterName
+	bg        bool
+	exclusive bool
+	size      int
+	dead      []bool
+	rps       []int // total RPs per node (leased, any owner)
+	simOwn    []int // planned-but-not-yet-leased picks per node
+	taken     []bool
+
+	// BlueGene geometry, aggregated per pset and per session.
+	psetSize    int
+	tor         *torus.Torus
+	foreignNode []bool // node leased by at least one other owner
+	foreignPset []int // foreign lease count per pset (BG only)
+	ownPset     []int // own lease count per pset (BG only)
+	ownNodes    []int
+}
+
+// snapshot captures the cluster state the plan is a pure function of. The
+// node states and the lease table are taken under the database's lock;
+// admission is serialized by the engine's build lock, so the snapshot is
+// stable for the whole planning call.
+func (p *Planner) snapshot(owner string, db *cndb.DB) *view {
+	states := db.NodeStates()
+	v := &view{
+		cluster:     db.Cluster(),
+		bg:          db.Cluster() == hw.BlueGene,
+		exclusive:   db.Exclusive(),
+		size:        db.Size(),
+		dead:        make([]bool, db.Size()),
+		rps:         make([]int, db.Size()),
+		simOwn:      make([]int, db.Size()),
+		taken:       make([]bool, db.Size()),
+		psetSize:    p.env.PsetSize(),
+		tor:         p.env.Torus,
+		foreignNode: make([]bool, db.Size()),
+	}
+	if v.bg && v.psetSize > 0 {
+		npsets := (v.size + v.psetSize - 1) / v.psetSize
+		v.foreignPset = make([]int, npsets)
+		v.ownPset = make([]int, npsets)
+	}
+	for _, st := range states {
+		v.dead[st.Node] = st.Dead
+		v.rps[st.Node] = st.RPs
+	}
+	for _, l := range db.Leases() {
+		if l.Node < 0 || l.Node >= v.size {
+			continue
+		}
+		if l.Owner == owner {
+			v.ownNodes = append(v.ownNodes, l.Node)
+			if v.bg {
+				v.ownPset[l.Node/v.psetSize]++
+			}
+			continue
+		}
+		v.foreignNode[l.Node] = true
+		if v.bg {
+			v.foreignPset[l.Node/v.psetSize]++
+		}
+	}
+	sort.Ints(v.ownNodes)
+	return v
+}
+
+// admissible filters and dedups the candidate set: in range, alive, and —
+// on exclusive clusters — not already occupied or planned. nil candidates
+// mean the whole cluster in id order (the naive placement's search space).
+func (v *view) admissible(candidates []int) []int {
+	out := make([]int, 0, v.size)
+	seen := make([]bool, v.size)
+	accept := func(n int) {
+		if n < 0 || n >= v.size || seen[n] {
+			return
+		}
+		seen[n] = true
+		if v.dead[n] || v.taken[n] {
+			return
+		}
+		if v.exclusive && v.rps[n] > 0 {
+			return
+		}
+		out = append(out, n)
+	}
+	if candidates == nil {
+		for n := 0; n < v.size; n++ {
+			accept(n)
+		}
+		return out
+	}
+	for _, n := range candidates {
+		accept(n)
+	}
+	return out
+}
+
+// take commits a simulated pick: the node counts as owned (and occupied on
+// exclusive clusters) for the remaining slots of the batch.
+func (v *view) take(n int) {
+	v.taken[n] = true
+	v.simOwn[n]++
+	v.ownNodes = append(v.ownNodes, n)
+	sort.Ints(v.ownNodes)
+	if v.bg {
+		v.ownPset[n/v.psetSize]++
+	}
+}
+
+// nearestOwn returns the session's already-placed node closest to candidate
+// n and the hop distance to it. Nearest means fewest hops, ties to the
+// lowest node id (ownNodes is sorted, so the first minimum wins). Uses
+// torus.HopCount, so the whole scan is allocation-free.
+func (v *view) nearestOwn(n int) (own, hops int) {
+	own = -1
+	if v.tor == nil {
+		return own, 0
+	}
+	for _, o := range v.ownNodes {
+		h, err := v.tor.HopCount(o, n)
+		if err != nil {
+			continue
+		}
+		if own < 0 || h < hops {
+			own, hops = o, h
+		}
+	}
+	return own, hops
+}
+
+// busyOn counts the foreign-leased co-processors on the route from own to
+// candidate n. This is the only scoring term that materializes a route, so
+// only refine pays for it.
+func (v *view) busyOn(own, n int) int {
+	if own < 0 || v.tor == nil {
+		return 0
+	}
+	mids, err := v.tor.Intermediates(own, n)
+	if err != nil {
+		return 0
+	}
+	busy := 0
+	for _, mid := range mids {
+		if mid >= 0 && mid < v.size && v.foreignNode[mid] {
+			busy++
+		}
+	}
+	return busy
+}

@@ -27,6 +27,7 @@ import (
 	"scsq/internal/cndb"
 	"scsq/internal/core"
 	"scsq/internal/metrics"
+	"scsq/internal/place"
 	"scsq/internal/scsql"
 	"scsq/internal/sqep"
 	"scsq/internal/vtime"
@@ -239,6 +240,8 @@ type Scheduler struct {
 	shedding  bool
 	retryOn   bool
 	retry     AdmissionRetryPolicy
+	placeCfg  *place.Config  // WithPlacementPlanner, nil = greedy placement
+	planner   *place.Planner // built in installPlanner when placeCfg is set
 
 	// alarms is the scheduler's virtual policy clock: a monotone time raised
 	// by the coordinators' heartbeat frontier (via ObserveVTime) plus the
@@ -303,6 +306,7 @@ func New(eng *core.Engine, cat *scsql.Catalog, opts ...Option) *Scheduler {
 		eng.Env().SetFairSlice(s.fairSlice)
 	}
 	eng.SetQueryScheduler(s)
+	s.installPlanner()
 	s.registerSysSessions()
 	return s
 }

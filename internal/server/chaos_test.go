@@ -130,6 +130,15 @@ func TestChaosConnectSubmitCancelDisconnect(t *testing.T) {
 	if err := srv.Drain(time.Second); err != nil {
 		t.Fatal(err)
 	}
+	// Drain joins every teardown (including write-error teardowns spawned
+	// off the write loop), so no stale sys_conns row may survive it — not
+	// even from a client that disconnected between registration and its
+	// first submit. No polling: the rows must already be gone.
+	if rows, err := eng.SystemRows("sys_conns", ""); err != nil {
+		t.Fatal(err)
+	} else if len(rows) != 0 {
+		t.Fatalf("%d stale sys_conns rows after drain: %v", len(rows), rows)
+	}
 	for i := 0; i < 500 && runtime.NumGoroutine() > baseline; i++ {
 		time.Sleep(10 * time.Millisecond)
 	}

@@ -159,7 +159,14 @@ func (c *conn) writeLoop() {
 		select {
 		case f := <-c.out:
 			if err := wire.WriteFrame(c.nc, f.typ, f.payload); err != nil {
-				go c.close(err)
+				// Track the teardown goroutine in the server's WaitGroup:
+				// otherwise Drain's wg.Wait() can return while this close is
+				// still running and a stale sys_conns row survives the drain.
+				c.srv.wg.Add(1)
+				go func() {
+					defer c.srv.wg.Done()
+					c.close(err)
+				}()
 				return
 			}
 			c.nFramesOut.Add(1)
@@ -511,18 +518,24 @@ func (c *conn) cancelSessions() {
 	}
 }
 
-// close tears the connection down exactly once: set the closing fence
+// close tears the connection down exactly once: unregister (evicting the
+// sys_conns row immediately, even if the client never submitted), set the
+// closing fence
 // (no session registers after it), mark dead (unblocking senders and
 // turning the writer into its flush-and-exit path), wait for the writer to
 // flush the already-queued frames — bounded by a write deadline, so a
 // stuck peer cannot wedge teardown — close the transport (unblocking the
 // reader), cancel the live sessions (releasing their leases through the
-// scheduler), wait for the pumps to observe the terminal states, and
-// unregister. Flushing before nc.Close() is what makes MsgGoodbye and
+// scheduler), and wait for the pumps to observe the terminal states.
+// Flushing before nc.Close() is what makes MsgGoodbye and
 // Drain deterministic: queued Done/Pong/reply frames reach the peer
 // instead of racing the transport close.
 func (c *conn) close(cause error) {
 	c.closeOnce.Do(func() {
+		// Unregister first: a client that disconnects between registration
+		// and its first submit must not leave a stale sys_conns row while
+		// the rest of teardown (flush, cancel, pump joins) runs.
+		c.srv.removeConn(c)
 		c.state.Store(int32(connClosed))
 		c.mu.Lock()
 		c.closing = true
@@ -537,6 +550,5 @@ func (c *conn) close(cause error) {
 		c.nc.Close()
 		c.cancelSessions()
 		c.pumps.Wait()
-		c.srv.removeConn(c)
 	})
 }

@@ -108,6 +108,34 @@ func (t *Torus) Hops(src, dst int) (int, error) {
 	return len(p), nil
 }
 
+// HopCount is Hops without materializing the route: the sum of the
+// per-dimension minimal ring distances, O(1) and allocation-free. Callers
+// that score many node pairs (the placement planner walks every candidate
+// of a 6144-node cluster) must use this instead of Hops.
+func (t *Torus) HopCount(src, dst int) (int, error) {
+	from, err := t.CoordOf(src)
+	if err != nil {
+		return 0, err
+	}
+	to, err := t.CoordOf(dst)
+	if err != nil {
+		return 0, err
+	}
+	return ringDist(from.X, to.X, t.dimX) +
+		ringDist(from.Y, to.Y, t.dimY) +
+		ringDist(from.Z, to.Z, t.dimZ), nil
+}
+
+// ringDist is the minimal distance between a and b on a ring of the given
+// size (ties between directions are equidistant, so the value is unique).
+func ringDist(a, b, size int) int {
+	d := mod(b-a, size)
+	if size-d < d {
+		return size - d
+	}
+	return d
+}
+
 // Intermediates returns the co-processors (node ids) that forward traffic
 // from src to dst: the route excluding the destination itself.
 func (t *Torus) Intermediates(src, dst int) ([]int, error) {

@@ -249,10 +249,33 @@ func TestHopsSymmetricDistance(t *testing.T) {
 	}
 }
 
-func ringDist(a, b, size int) int {
-	d := (b - a + size) % size
-	if size-d < d {
-		return size - d
+// HopCount must agree exactly with the materialized route's length on every
+// pair — it is the planner's allocation-free fast path.
+func TestHopCountMatchesRouteLength(t *testing.T) {
+	for _, dims := range [][3]int{{4, 4, 2}, {3, 5, 4}, {2, 2, 2}, {6, 1, 1}} {
+		tor, err := New(dims[0], dims[1], dims[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := tor.Size()
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				route, err := tor.Route(src, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hops, err := tor.HopCount(src, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if hops != len(route) {
+					t.Fatalf("dims %v: HopCount(%d,%d) = %d, route length %d",
+						dims, src, dst, hops, len(route))
+				}
+			}
+		}
 	}
-	return d
+	if _, err := (&Torus{dimX: 2, dimY: 2, dimZ: 2}).HopCount(0, 99); err == nil {
+		t.Fatal("HopCount accepted an out-of-range node")
+	}
 }

@@ -45,6 +45,7 @@ import (
 	"scsq/internal/core"
 	"scsq/internal/hw"
 	"scsq/internal/metrics"
+	"scsq/internal/place"
 	"scsq/internal/sched"
 	"scsq/internal/scsql"
 	"scsq/internal/sqep"
@@ -261,6 +262,35 @@ func WithFairShareSlice(d time.Duration) Option {
 			return fmt.Errorf("scsq: fair-share slice must be >= 0, got %v", d)
 		}
 		c.schedOpts = append(c.schedOpts, sched.WithFairSlice(vtime.Duration(d.Nanoseconds())))
+		return nil
+	})
+}
+
+// PlacementObjective selects what the placement planner optimizes; see
+// WithPlacementPlanner.
+type PlacementObjective = place.Objective
+
+// Placement planner objectives.
+const (
+	// PlaceAggregateThroughput maximizes estimated system throughput
+	// (greedy with batch lookahead) — the default.
+	PlaceAggregateThroughput = place.AggregateThroughput
+	// PlaceMaxStretch minimizes the worst contention (forwarder/NIC
+	// sharing degree) any session experiences.
+	PlaceMaxStretch = place.MaxStretch
+)
+
+// WithPlacementPlanner attaches the cost-model placement planner to the
+// engine: instead of greedily walking each query's allocation sequence,
+// admission scores the sequence's candidate nodes with the torus/GbE cost
+// model against the node sets already leased to live sessions and probes
+// them in the chosen order (internal/place; DESIGN.md §15). Planner
+// decisions are queryable via the sys_placements catalog table. Off by
+// default: without the planner, placement is byte-for-byte the historic
+// greedy path.
+func WithPlacementPlanner(obj PlacementObjective) Option {
+	return optionFunc(func(c *config) error {
+		c.schedOpts = append(c.schedOpts, sched.WithPlacementPlanner(place.Config{Objective: obj}))
 		return nil
 	})
 }
